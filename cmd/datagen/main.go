@@ -1,0 +1,105 @@
+// Command datagen generates synthetic tissue circuits and serializes their
+// element arrays to disk — the repository's stand-in for the Blue Brain
+// Project's model-building pipeline (see the substitution table in
+// DESIGN.md). The written files are consumed by anything that wants a
+// reproducible dataset without regenerating morphologies.
+//
+// Usage:
+//
+//	go run ./cmd/datagen -out circuit.nsc [-neurons N] [-edge E] [-seed S] [-layered]
+//	go run ./cmd/datagen -info circuit.nsc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	out := flag.String("out", "", "output path for the generated circuit")
+	info := flag.String("info", "", "print a summary of an existing circuit file and exit")
+	neurons := flag.Int("neurons", 128, "number of neurons")
+	edge := flag.Float64("edge", 350, "cubic volume edge (µm)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	layered := flag.Bool("layered", false, "use the cortical layer density profile")
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		if err := printInfo(*info); err != nil {
+			log.Fatal(err)
+		}
+	case *out != "":
+		if err := generate(*out, *neurons, *edge, *seed, *layered); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(path string, neurons int, edge float64, seed int64, layered bool) error {
+	p := circuit.DefaultParams()
+	p.Neurons = neurons
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(edge, edge, edge))
+	p.Seed = seed
+	if layered {
+		p.Layers = circuit.CorticalLayers()
+	}
+	c, err := circuit.Build(p)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := circuit.WriteElements(f, c.Elements); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d neurons, %s elements, %s on disk (density %.4f elems/µm³)\n",
+		path, neurons, stats.Count(int64(len(c.Elements))), stats.Bytes(st.Size()), c.Density())
+	return nil
+}
+
+func printInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	elems, err := circuit.ReadElements(f)
+	if err != nil {
+		return err
+	}
+	bounds := geom.EmptyAABB()
+	neurons := make(map[int32]struct{})
+	somas := 0
+	for i := range elems {
+		bounds = bounds.Union(elems[i].Bounds())
+		neurons[elems[i].Neuron] = struct{}{}
+		if elems[i].Branch < 0 {
+			somas++
+		}
+	}
+	fmt.Printf("%s: %s elements, %d neurons (%d somas), bounds %v\n",
+		path, stats.Count(int64(len(elems))), len(neurons), somas, bounds)
+	return nil
+}

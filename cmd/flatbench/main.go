@@ -1,0 +1,60 @@
+// Command flatbench drives experiments E1, E2 and E6: the FLAT range-query
+// reproductions of Figures 2+3, Figure 4 and the §1 scaling narrative. It
+// prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	go run ./cmd/flatbench            # E1: density sweep
+//	go run ./cmd/flatbench -crawl     # E2: crawl cost vs result size
+//	go run ./cmd/flatbench -scale     # E6: constant-density scaling
+//	go run ./cmd/flatbench -all       # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"neurospatial/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flatbench: ")
+	crawl := flag.Bool("crawl", false, "run E2 (crawl cost)")
+	scale := flag.Bool("scale", false, "run E6 (scaling)")
+	all := flag.Bool("all", false, "run every FLAT experiment")
+	flag.Parse()
+
+	runDensity := *all || (!*crawl && !*scale)
+	if runDensity {
+		rows, err := experiments.RunE1(experiments.DefaultE1())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E1Table(rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *crawl {
+		rows, err := experiments.RunE2(experiments.DefaultE2())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E2Table(rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *scale {
+		rows, err := experiments.RunE6(experiments.DefaultE6())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E6Table(rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Command neurodemo is the terminal rendition of the SIGMOD'13 demonstration
+// itself: three "stations", one per technique, with ASCII visualizations
+// standing in for the tool's 3-D views (per the substitution table in
+// DESIGN.md).
+//
+//	Station 1 (§2.2, Figures 2-4): a range query is placed on the model;
+//	FLAT and the R-tree execute it side by side; FLAT's crawl order is
+//	rendered by labeling each page with the order it was retrieved.
+//
+//	Station 2 (§3.2, Figure 6): a walkthrough follows a neuron branch; the
+//	positions visited are drawn, and the prefetching statistics panel is
+//	printed for every method.
+//
+//	Station 3 (§4.2, Figure 7): the synapse join runs and the discovered
+//	synapse locations are highlighted on the model projection.
+//
+// Usage:
+//
+//	go run ./cmd/neurodemo [-neurons N] [-station 1|2|3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/core"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/stats"
+	"neurospatial/internal/viz"
+)
+
+const canvasW, canvasH = 72, 30
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("neurodemo: ")
+	neurons := flag.Int("neurons", 48, "neurons in the model")
+	station := flag.Int("station", 0, "run a single station (1, 2 or 3); 0 runs all")
+	flag.Parse()
+
+	p := circuit.DefaultParams()
+	p.Neurons = *neurons
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(300, 300, 300))
+	p.Layers = circuit.CorticalLayers()
+	model, err := core.BuildModel(p, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== neurodemo: %d neurons, %d segments, cortical layer profile ===\n\n",
+		*neurons, len(model.Circuit.Elements))
+
+	if *station == 0 || *station == 1 {
+		station1(model)
+	}
+	if *station == 0 || *station == 2 {
+		station2(model)
+	}
+	if *station == 0 || *station == 3 {
+		station3(model)
+	}
+}
+
+// drawModel paints every element's center, giving the audience the model
+// overview of Figure 2 (XY projection; Y is the cortical depth axis, so the
+// layer density contrast is visible).
+func drawModel(model *core.Model, ch byte) *viz.Canvas {
+	c, err := viz.NewCanvas(canvasW, canvasH, model.Circuit.Bounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range model.Circuit.Elements {
+		c.Plot(model.Circuit.Elements[i].Shape.Center(), ch)
+	}
+	return c
+}
+
+func station1(model *core.Model) {
+	fmt.Println("--- station 1: efficient spatial data querying (FLAT, §2) ---")
+	q := geom.BoxAround(model.Circuit.Params.Volume.Center(), 45)
+
+	c := drawModel(model, '.')
+	c.Box(q, '#')
+	fmt.Println(c.String())
+	fmt.Println("model projection (dots: neuron segments; #: the selected range query)")
+
+	cmp := model.CompareRangeQuery(q)
+	tb := stats.NewTable("live statistics (Figure 3)", "method", "pages read", "per level (leaf..root)", "time")
+	tb.AddRow("FLAT", cmp.FlatStats.TotalReads(), "-", stats.Dur(cmp.FlatTime))
+	tb.AddRow("R-Tree", cmp.RTreeStats.NodeAccesses(),
+		fmt.Sprintf("%v", cmp.RTreeStats.NodesPerLevel), stats.Dur(cmp.RTreeTime))
+	tb.Render(os.Stdout)
+	fmt.Printf("both retrieved %d elements\n\n", cmp.Results)
+
+	// Figure 4: the crawl order, each page labeled by retrieval order.
+	crawl := model.Flat.QueryTraced(q, nil, func(int32) {})
+	c2, err := viz.NewCanvas(canvasW, canvasH, q.Expand(15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2.Box(q, '#')
+	for i, page := range crawl.CrawlOrder {
+		c2.FillBox(model.Flat.PageBox(page).Intersect(q), viz.CrawlGlyph(i))
+	}
+	fmt.Println(c2.String())
+	fmt.Printf("FLAT's crawl order (Figure 4): %d pages, labeled 0-9a-z in retrieval order;\n"+
+		"the crawl spreads outward from the seed page through neighborhood links\n\n",
+		len(crawl.CrawlOrder))
+}
+
+func station2(model *core.Model) {
+	fmt.Println("--- station 2: efficient data exploration (SCOUT, §3) ---")
+	neuron, branch, path := model.Circuit.LongestPath()
+
+	c := drawModel(model, '.')
+	for _, pt := range path {
+		c.Plot(pt, '@')
+	}
+	fmt.Println(c.String())
+	fmt.Printf("walk-through trajectory (@): neuron %d, branch %d, %.0f µm\n\n",
+		neuron, branch, pathLen(path))
+
+	cfg := core.ExploreConfig{ThinkTime: 500 * time.Millisecond}
+	tb := stats.NewTable("prefetching statistics (Figure 6)",
+		"method", "stall", "speedup", "prefetched", "correct", "accuracy")
+	var base time.Duration
+	for _, pf := range model.Prefetchers() {
+		run, err := model.Explore(neuron, branch, pf, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pf.Name() == "none" {
+			base = run.Latency
+		}
+		tb.AddRow(pf.Name(), stats.Dur(run.Latency), stats.Speedup(base, run.Latency),
+			run.PrefetchReads, run.PrefetchHits, stats.Ratio(run.PrefetchHits, run.PrefetchReads))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println()
+}
+
+func station3(model *core.Model) {
+	fmt.Println("--- station 3: efficient data discovery (TOUCH, §4) ---")
+	region := model.Circuit.Bounds
+	alg, err := model.JoinByName("TOUCH")
+	if err != nil {
+		log.Fatal(err)
+	}
+	synapses, st := model.FindSynapses(region, 2.0, alg)
+
+	c := drawModel(model, '.')
+	for _, s := range synapses {
+		c.Plot(s.Location, 'O')
+	}
+	fmt.Println(c.String())
+	fmt.Printf("synapse locations highlighted (O, Figure 7): %d candidates\n", len(synapses))
+	fmt.Printf("TOUCH: %v, %s pairwise tests, %s auxiliary memory\n\n",
+		stats.Dur(st.TotalTime()), stats.Count(st.BoxTests+st.Comparisons), stats.Bytes(st.ExtraBytes))
+
+	_ = pager.DefaultCostModel() // the demo's cost model is documented in pager
+}
+
+func pathLen(path []geom.Vec) float64 {
+	var l float64
+	for i := 0; i+1 < len(path); i++ {
+		l += path[i].Dist(path[i+1])
+	}
+	return l
+}

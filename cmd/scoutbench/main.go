@@ -1,0 +1,58 @@
+// Command scoutbench drives experiments E3 and E4: the SCOUT reproductions
+// of Figure 5 (candidate-set pruning) and Figure 6 (walk-through speedup per
+// prefetching method). It prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	go run ./cmd/scoutbench            # E4: speedup comparison
+//	go run ./cmd/scoutbench -pruning   # E3: candidate pruning
+//	go run ./cmd/scoutbench -all       # both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"neurospatial/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scoutbench: ")
+	pruning := flag.Bool("pruning", false, "run E3 (candidate pruning)")
+	sweep := flag.Bool("sweep", false, "run the walkthrough-length sweep (the 'up to 15x' series)")
+	all := flag.Bool("all", false, "run every SCOUT experiment")
+	flag.Parse()
+
+	if *all || (!*pruning && !*sweep) {
+		rows, err := experiments.RunE4(experiments.DefaultE4())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E4Table(rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *pruning {
+		rows, err := experiments.RunE3(experiments.DefaultE3())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E3Table(rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *sweep {
+		tb, err := experiments.E4LengthSweep(experiments.DefaultE4(), []float64{400, 900, 2500, 6000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

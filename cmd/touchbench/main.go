@@ -1,0 +1,55 @@
+// Command touchbench drives experiment E5: the TOUCH reproduction of
+// Figure 7 and the §4.1 performance claims — the synapse-placement join run
+// with every method, reporting time, memory footprint and pairwise
+// comparisons. It prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	go run ./cmd/touchbench                 # E5 at the default scale
+//	go run ./cmd/touchbench -neurons 256    # bigger model
+//	go run ./cmd/touchbench -skip-nl        # skip the quadratic baseline
+//	go run ./cmd/touchbench -eps-sweep      # TOUCH vs PBSM across ε
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"neurospatial/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("touchbench: ")
+	neurons := flag.Int("neurons", 0, "override the model size")
+	skipNL := flag.Bool("skip-nl", false, "skip the quadratic NestedLoop baseline")
+	epsSweep := flag.Bool("eps-sweep", false, "also run the ε sensitivity sweep")
+	flag.Parse()
+
+	cfg := experiments.DefaultE5()
+	if *neurons > 0 {
+		cfg.Neurons = *neurons
+	}
+	if *skipNL {
+		cfg.IncludeNestedLoop = false
+	}
+	rows, err := experiments.RunE5(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.E5Table(rows).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *epsSweep {
+		fmt.Println()
+		tb, err := experiments.E5EpsSweep(cfg, []float64{0.5, 1, 2, 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

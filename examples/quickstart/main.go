@@ -1,0 +1,88 @@
+// Command quickstart is the smallest end-to-end tour of the library: build a
+// tissue model, query it with FLAT (§2), explore it with SCOUT (§3), and
+// discover synapses with TOUCH (§4) — the three stations of the SIGMOD'13
+// demo in one program.
+//
+// Usage:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/core"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// 1. Build a model: 48 neurons in a 300 µm cube of simulated cortex.
+	params := circuit.DefaultParams()
+	params.Neurons = 48
+	params.Volume = geom.Box(geom.V(0, 0, 0), geom.V(300, 300, 300))
+	model, err := core.BuildModel(params, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d neurons, %d segments, %d FLAT pages\n",
+		len(model.Circuit.Morphologies), len(model.Circuit.Elements), model.Flat.NumPages())
+
+	// 2. Query it (§2): a range query in the center, FLAT vs R-tree.
+	q := geom.BoxAround(geom.V(150, 150, 150), 40)
+	cmp := model.CompareRangeQuery(q)
+	tb := stats.NewTable("range query, 80 µm cube at the model center",
+		"method", "pages read", "time")
+	tb.AddRow("FLAT", cmp.FlatStats.TotalReads(), stats.Dur(cmp.FlatTime))
+	tb.AddRow("R-Tree", cmp.RTreeStats.NodeAccesses(), stats.Dur(cmp.RTreeTime))
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("both returned %d elements\n\n", cmp.Results)
+
+	// 3. Explore it (§3): follow the longest branch with SCOUT prefetching.
+	neuron, branch, _ := model.Circuit.LongestPath()
+	scout, err := model.PrefetcherByName("scout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	none, err := model.PrefetcherByName("none")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.ExploreConfig{}
+	base, err := model.Explore(neuron, branch, none, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := model.Explore(neuron, branch, scout, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("walkthrough of neuron %d branch %d: %d queries\n",
+		neuron, branch, len(run.Steps))
+	fmt.Printf("  no prefetch: %v stall, SCOUT: %v stall (%s speedup, %.0f%% accuracy)\n\n",
+		base.Latency, run.Latency, stats.Speedup(base.Latency, run.Latency),
+		100*run.Accuracy())
+
+	// 4. Discover synapses (§4): TOUCH distance join in a sub-region.
+	touchAlg, err := model.JoinByName("TOUCH")
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := geom.BoxAround(geom.V(150, 150, 150), 75)
+	synapses, jst := model.FindSynapses(region, 2.0, touchAlg)
+	fmt.Printf("synapse discovery in a 150 µm cube: %d candidates in %v (%s comparisons)\n",
+		len(synapses), jst.TotalTime(), stats.Count(jst.Comparisons))
+	if len(synapses) > 0 {
+		s := synapses[0]
+		fmt.Printf("  first: axon elem %d ↔ dendrite elem %d at %v\n",
+			s.Axon, s.Dendrite, s.Location)
+	}
+}

@@ -1,0 +1,326 @@
+package circuit
+
+import (
+	"bytes"
+	"testing"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/morphology"
+)
+
+// tinyParams keeps unit-test circuits fast.
+func tinyParams() Params {
+	p := DefaultParams()
+	p.Neurons = 8
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	return p
+}
+
+func TestBuildValidation(t *testing.T) {
+	p := tinyParams()
+	p.Neurons = 0
+	if _, err := Build(p); err == nil {
+		t.Error("zero neurons accepted")
+	}
+	p = tinyParams()
+	p.Volume = geom.EmptyAABB()
+	if _, err := Build(p); err == nil {
+		t.Error("empty volume accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := MustBuild(tinyParams())
+	b := MustBuild(tinyParams())
+	if len(a.Elements) != len(b.Elements) {
+		t.Fatalf("element counts differ: %d vs %d", len(a.Elements), len(b.Elements))
+	}
+	for i := range a.Elements {
+		if a.Elements[i] != b.Elements[i] {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+	p := tinyParams()
+	p.Seed = 99
+	c := MustBuild(p)
+	if len(c.Elements) == len(a.Elements) && c.Elements[0] == a.Elements[0] {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestElementProvenance(t *testing.T) {
+	c := MustBuild(tinyParams())
+	if len(c.Morphologies) != 8 {
+		t.Fatalf("morphologies = %d", len(c.Morphologies))
+	}
+	somas := 0
+	for i, e := range c.Elements {
+		if int(e.ID) != i {
+			t.Fatalf("element %d has ID %d", i, e.ID)
+		}
+		if e.Neuron < 0 || int(e.Neuron) >= len(c.Morphologies) {
+			t.Fatalf("element %d has neuron %d", i, e.Neuron)
+		}
+		m := c.Morphologies[e.Neuron]
+		if e.Branch == -1 {
+			somas++
+			if e.Shape != m.Soma {
+				t.Fatalf("soma element %d shape mismatch", i)
+			}
+			continue
+		}
+		if int(e.Branch) >= len(m.Branches) {
+			t.Fatalf("element %d has branch %d", i, e.Branch)
+		}
+		b := m.Branches[e.Branch]
+		if int(e.Seg) >= b.NumSegments() {
+			t.Fatalf("element %d has segment %d of %d", i, e.Seg, b.NumSegments())
+		}
+		if e.Shape != b.Segment(int(e.Seg)) {
+			t.Fatalf("element %d shape mismatch", i)
+		}
+	}
+	if somas != 8 {
+		t.Errorf("somas = %d", somas)
+	}
+	// Total count matches the morphologies.
+	want := 0
+	for _, m := range c.Morphologies {
+		want += m.NumSegments()
+	}
+	if len(c.Elements) != want {
+		t.Errorf("elements = %d, want %d", len(c.Elements), want)
+	}
+}
+
+func TestSomasInsideVolume(t *testing.T) {
+	c := MustBuild(tinyParams())
+	for i, m := range c.Morphologies {
+		if !c.Params.Volume.Contains(m.Soma.A) {
+			t.Errorf("soma %d at %v outside volume", i, m.Soma.A)
+		}
+	}
+	if !c.Bounds.ContainsBox(c.Params.Volume.Intersect(c.Bounds)) {
+		t.Error("bounds inconsistent")
+	}
+	for _, e := range c.Elements {
+		if !c.Bounds.ContainsBox(e.Bounds()) {
+			t.Fatalf("element %d escapes circuit bounds", e.ID)
+		}
+	}
+}
+
+func TestDensityScalesWithNeuronCount(t *testing.T) {
+	small := MustBuild(tinyParams())
+	p := tinyParams()
+	p.Neurons = 32
+	big := MustBuild(p)
+	if big.Density() < small.Density()*2 {
+		t.Errorf("density did not scale: %v vs %v", small.Density(), big.Density())
+	}
+}
+
+func TestElementsInOracle(t *testing.T) {
+	c := MustBuild(tinyParams())
+	q := geom.BoxAround(geom.V(100, 100, 100), 40)
+	ids := c.ElementsIn(q)
+	if len(ids) == 0 {
+		t.Fatal("central query found nothing")
+	}
+	seen := make(map[int32]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatal("duplicate ID in oracle result")
+		}
+		seen[id] = true
+		if !c.Elements[id].Shape.IntersectsBox(q) {
+			t.Fatal("oracle returned non-intersecting element")
+		}
+	}
+	for i := range c.Elements {
+		if c.Elements[i].Shape.IntersectsBox(q) && !seen[c.Elements[i].ID] {
+			t.Fatal("oracle missed an intersecting element")
+		}
+	}
+	// A query far outside finds nothing.
+	if got := c.ElementsIn(geom.BoxAround(geom.V(1e6, 1e6, 1e6), 10)); len(got) != 0 {
+		t.Errorf("far query found %d elements", len(got))
+	}
+}
+
+func TestBranchPath(t *testing.T) {
+	c := MustBuild(tinyParams())
+	m := c.Morphologies[0]
+	tips := m.Terminals()
+	path, err := c.BranchPath(0, tips[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 3 {
+		t.Fatalf("path too short: %d points", len(path))
+	}
+	// The path ends at the tip of the terminal branch.
+	tipBranch := m.Branches[tips[0]]
+	if path[len(path)-1] != tipBranch.Points[len(tipBranch.Points)-1] {
+		t.Error("path does not end at the branch tip")
+	}
+	// The path starts at the stem root (on the soma surface).
+	d := path[0].Dist(m.Soma.A)
+	if d > m.Soma.Radius*1.01 || d < m.Soma.Radius*0.99 {
+		t.Errorf("path start %v not on soma surface (dist %v)", path[0], d)
+	}
+	// Consecutive points are within the step length.
+	for i := 0; i+1 < len(path); i++ {
+		if path[i].Dist(path[i+1]) > c.Params.Morphology.StepLength+1e-9 {
+			t.Fatal("path step too long")
+		}
+	}
+	if _, err := c.BranchPath(-1, 0); err == nil {
+		t.Error("negative neuron accepted")
+	}
+	if _, err := c.BranchPath(0, 10_000); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	c := MustBuild(tinyParams())
+	n, b, path := c.LongestPath()
+	if len(path) < 10 {
+		t.Fatalf("longest path only %d points", len(path))
+	}
+	direct, err := c.BranchPath(n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(path) {
+		t.Error("LongestPath disagrees with BranchPath")
+	}
+	// No other tip path is longer.
+	best := pathLength(path)
+	for ni := range c.Morphologies {
+		for _, tip := range c.Morphologies[ni].Terminals() {
+			p, _ := c.BranchPath(int32(ni), tip)
+			if pathLength(p) > best+1e-9 {
+				t.Fatal("LongestPath missed a longer path")
+			}
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	c := MustBuild(tinyParams())
+	var buf bytes.Buffer
+	if err := WriteElements(&buf, c.Elements); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadElements(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(c.Elements) {
+		t.Fatalf("roundtrip count %d, want %d", len(got), len(c.Elements))
+	}
+	for i := range got {
+		if got[i] != c.Elements[i] {
+			t.Fatalf("element %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestReadElementsRejectsGarbage(t *testing.T) {
+	if _, err := ReadElements(bytes.NewReader([]byte("not a circuit"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadElements(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated payload.
+	c := MustBuild(tinyParams())
+	var buf bytes.Buffer
+	if err := WriteElements(&buf, c.Elements[:4]); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadElements(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestMorphologyParamsRespected(t *testing.T) {
+	p := tinyParams()
+	p.Morphology = morphology.DefaultParams()
+	p.Morphology.IncludeAxon = false
+	p.Morphology.NumDendrites = 2
+	c := MustBuild(p)
+	for _, m := range c.Morphologies {
+		if got := len(m.Children(-1)); got != 2 {
+			t.Fatalf("stems = %d, want 2", got)
+		}
+	}
+}
+
+func TestCorticalLayersSkewDensity(t *testing.T) {
+	p := tinyParams()
+	p.Neurons = 60
+	p.Layers = CorticalLayers()
+	c := MustBuild(p)
+	if len(c.Morphologies) != 60 {
+		t.Fatalf("neurons = %d", len(c.Morphologies))
+	}
+	// Count somas per layer band and compare the packed granular layer (L4)
+	// with the nearly cell-free L1.
+	layers := CorticalLayers()
+	var heightSum float64
+	for _, l := range layers {
+		heightSum += l.Height
+	}
+	counts := make([]int, len(layers))
+	extent := p.Volume.Size().Y
+	for _, m := range c.Morphologies {
+		y := m.Soma.A.Y - p.Volume.Min.Y
+		y0 := 0.0
+		for i, l := range layers {
+			h := extent * l.Height / heightSum
+			if y >= y0 && y < y0+h {
+				counts[i]++
+				break
+			}
+			y0 += h
+		}
+	}
+	if counts[0] >= counts[2] {
+		t.Errorf("L1 (%d somas) not sparser than L4 (%d)", counts[0], counts[2])
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total < 58 { // allow boundary effects
+		t.Errorf("layer counting lost somas: %d", total)
+	}
+}
+
+func TestLayerValidation(t *testing.T) {
+	p := tinyParams()
+	p.Layers = []Layer{{Height: -1, Weight: 1}}
+	if _, err := Build(p); err == nil {
+		t.Error("negative layer height accepted")
+	}
+	p.Layers = []Layer{{Height: 1, Weight: 0}}
+	if _, err := Build(p); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestLayeredDeterministic(t *testing.T) {
+	p := tinyParams()
+	p.Layers = CorticalLayers()
+	a := MustBuild(p)
+	b := MustBuild(p)
+	for i := range a.Elements {
+		if a.Elements[i] != b.Elements[i] {
+			t.Fatal("layered build not deterministic")
+		}
+	}
+}

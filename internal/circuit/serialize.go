@@ -1,0 +1,96 @@
+package circuit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"neurospatial/internal/geom"
+)
+
+// Binary circuit format, little endian:
+//
+//	magic   uint32  'NSC1'
+//	nElems  uint32
+//	elements: per element
+//	    neuron  int32
+//	    branch  int32
+//	    seg     int32
+//	    ax, ay, az, bx, by, bz, radius  float64
+//
+// Only the flattened element array is serialized; morphological ground truth
+// is regenerated from the deterministic seed when needed, which keeps files
+// compact enough for the million-element experiment datasets.
+
+const magic uint32 = 0x4e534331 // "NSC1"
+
+// WriteElements serializes the element array to w.
+func WriteElements(w io.Writer, elems []Element) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(elems)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("circuit: writing header: %w", err)
+	}
+	var buf [12 + 7*8]byte
+	for i := range elems {
+		e := &elems[i]
+		binary.LittleEndian.PutUint32(buf[0:], uint32(e.Neuron))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.Branch))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(e.Seg))
+		putF64 := func(off int, v float64) {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		}
+		putF64(12, e.Shape.A.X)
+		putF64(20, e.Shape.A.Y)
+		putF64(28, e.Shape.A.Z)
+		putF64(36, e.Shape.B.X)
+		putF64(44, e.Shape.B.Y)
+		putF64(52, e.Shape.B.Z)
+		putF64(60, e.Shape.Radius)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("circuit: writing element %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadElements deserializes an element array written by WriteElements.
+// Element IDs are reassigned sequentially.
+func ReadElements(r io.Reader) ([]Element, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("circuit: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != magic {
+		return nil, fmt.Errorf("circuit: bad magic %#x", got)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	elems := make([]Element, 0, n)
+	var buf [12 + 7*8]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("circuit: reading element %d: %w", i, err)
+		}
+		getF64 := func(off int) float64 {
+			return math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		}
+		e := Element{
+			ID:     int32(i),
+			Neuron: int32(binary.LittleEndian.Uint32(buf[0:])),
+			Branch: int32(binary.LittleEndian.Uint32(buf[4:])),
+			Seg:    int32(binary.LittleEndian.Uint32(buf[8:])),
+			Shape: geom.Segment{
+				A:      geom.V(getF64(12), getF64(20), getF64(28)),
+				B:      geom.V(getF64(36), getF64(44), getF64(52)),
+				Radius: getF64(60),
+			},
+		}
+		elems = append(elems, e)
+	}
+	return elems, nil
+}

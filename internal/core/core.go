@@ -1,0 +1,355 @@
+// Package core is the integrated face of this repository: the programmatic
+// equivalent of the demonstration tool the paper presents. One Model bundles
+// a tissue circuit with the three spatial data-management techniques the demo
+// showcases, exposing the workflows of the paper's three sections:
+//
+//   - §2  RangeQuery / CompareRangeQuery — efficient spatial querying with
+//     FLAT, side by side with the R-tree baseline and its per-level
+//     statistics;
+//   - §3  Explore — walkthrough query sequences with pluggable prefetchers
+//     (none, Hilbert, extrapolation, SCOUT);
+//   - §4  FindSynapses — distance-join synapse discovery with pluggable join
+//     algorithms (nested loop, sweep, PBSM, S3, TOUCH).
+//
+// The example programs under examples/ and the experiment drivers under cmd/
+// are all thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/join"
+	"neurospatial/internal/morphology"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/prefetch"
+	"neurospatial/internal/query"
+	"neurospatial/internal/rtree"
+	"neurospatial/internal/scout"
+	"neurospatial/internal/touch"
+)
+
+// Options configures model construction.
+type Options struct {
+	// Flat configures the FLAT index.
+	Flat flat.Options
+	// RTreeFanout is the node capacity of the element-level comparison
+	// R-tree. Values <= 0 select the FLAT page size, making one leaf
+	// correspond to one page so I/O counts are comparable.
+	RTreeFanout int
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions() Options {
+	return Options{Flat: flat.DefaultOptions()}
+}
+
+// Model is a built tissue model with its indexes.
+type Model struct {
+	// Circuit is the underlying tissue data.
+	Circuit *circuit.Circuit
+	// Flat is the FLAT index over the circuit's elements.
+	Flat *flat.Index
+	// RTree is the element-level R-tree baseline, with fanout equal to the
+	// FLAT page size so node reads and page reads are comparable.
+	RTree *rtree.Tree
+	opts  Options
+}
+
+// BuildModel constructs the circuit and both indexes.
+func BuildModel(p circuit.Params, opts Options) (*Model, error) {
+	c, err := circuit.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: building circuit: %w", err)
+	}
+	return NewModel(c, opts)
+}
+
+// NewModel indexes an existing circuit.
+func NewModel(c *circuit.Circuit, opts Options) (*Model, error) {
+	if opts.Flat.PageSize <= 0 {
+		opts.Flat = flat.DefaultOptions()
+	}
+	if opts.RTreeFanout <= 0 {
+		opts.RTreeFanout = opts.Flat.PageSize
+	}
+	items := make([]rtree.Item, len(c.Elements))
+	for i := range c.Elements {
+		items[i] = rtree.Item{Box: c.Elements[i].Bounds(), ID: c.Elements[i].ID}
+	}
+	f, err := flat.Build(items, opts.Flat)
+	if err != nil {
+		return nil, fmt.Errorf("core: building FLAT: %w", err)
+	}
+	rt, err := rtree.STR(items, opts.RTreeFanout)
+	if err != nil {
+		return nil, fmt.Errorf("core: building R-tree: %w", err)
+	}
+	return &Model{Circuit: c, Flat: f, RTree: rt, opts: opts}, nil
+}
+
+// Segment returns the capsule geometry of an element.
+func (m *Model) Segment(id int32) geom.Segment { return m.Circuit.Elements[id].Shape }
+
+// RangeQuery returns the IDs of elements whose capsules intersect q, exact
+// (box filter via FLAT, capsule refinement), sorted ascending.
+func (m *Model) RangeQuery(q geom.AABB) ([]int32, flat.QueryStats) {
+	var out []int32
+	st := m.Flat.Query(q, nil, func(id int32) {
+		if m.Circuit.Elements[id].Shape.IntersectsBox(q) {
+			out = append(out, id)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, st
+}
+
+// QueryComparison contrasts FLAT and the R-tree on one query — the two
+// columns of the demo's Figure 3 statistics panel.
+type QueryComparison struct {
+	// Results is the number of matching elements (identical for both).
+	Results int
+	// FlatStats is FLAT's execution record.
+	FlatStats flat.QueryStats
+	// FlatTime is FLAT's wall-clock execution time.
+	FlatTime time.Duration
+	// RTreeStats is the R-tree's execution record (per-level node reads).
+	RTreeStats rtree.QueryStats
+	// RTreeTime is the R-tree's wall-clock execution time.
+	RTreeTime time.Duration
+}
+
+// CompareRangeQuery runs the same box-filter query on FLAT and the R-tree
+// and returns both cost profiles. It panics if the two indexes disagree on
+// the result — they never should.
+func (m *Model) CompareRangeQuery(q geom.AABB) QueryComparison {
+	var cmp QueryComparison
+	start := time.Now()
+	flatCount := 0
+	cmp.FlatStats = m.Flat.Query(q, nil, func(int32) { flatCount++ })
+	cmp.FlatTime = time.Since(start)
+
+	start = time.Now()
+	treeCount := 0
+	cmp.RTreeStats = m.RTree.Query(q, func(rtree.Item) { treeCount++ })
+	cmp.RTreeTime = time.Since(start)
+
+	if flatCount != treeCount {
+		panic(fmt.Sprintf("core: FLAT (%d) and R-tree (%d) disagree on %v",
+			flatCount, treeCount, q))
+	}
+	cmp.Results = flatCount
+	return cmp
+}
+
+// TissueStats summarizes a region of the model — the §2.1 use case ("FLAT is
+// currently used by the neuroscientists to compute statistics (tissue
+// density etc.)").
+type TissueStats struct {
+	// Region is the analyzed box.
+	Region geom.AABB
+	// Elements is the number of capsules intersecting the region.
+	Elements int
+	// Neurons is the number of distinct neurons contributing them.
+	Neurons int
+	// TotalLength is the summed axis length of the intersecting capsules.
+	TotalLength float64
+	// Density is elements per unit volume.
+	Density float64
+	// MeanRadius is the average capsule radius.
+	MeanRadius float64
+}
+
+// AnalyzeRegion computes tissue statistics for a region via a FLAT query.
+func (m *Model) AnalyzeRegion(region geom.AABB) TissueStats {
+	ids, _ := m.RangeQuery(region)
+	st := TissueStats{Region: region, Elements: len(ids)}
+	neurons := make(map[int32]struct{})
+	var radiusSum float64
+	for _, id := range ids {
+		e := &m.Circuit.Elements[id]
+		neurons[e.Neuron] = struct{}{}
+		st.TotalLength += e.Shape.Length()
+		radiusSum += e.Shape.Radius
+	}
+	st.Neurons = len(neurons)
+	if v := region.Volume(); v > 0 {
+		st.Density = float64(st.Elements) / v
+	}
+	if st.Elements > 0 {
+		st.MeanRadius = radiusSum / float64(st.Elements)
+	}
+	return st
+}
+
+// Prefetchers returns the prefetching methods the demo offers, in display
+// order: none, hilbert, extrapolation, scout (§3.2).
+func (m *Model) Prefetchers() []prefetch.Prefetcher {
+	return []prefetch.Prefetcher{
+		prefetch.None{},
+		prefetch.Hilbert{},
+		prefetch.Extrapolation{},
+		scout.New(scout.Options{}),
+	}
+}
+
+// PrefetcherByName returns the named prefetching method.
+func (m *Model) PrefetcherByName(name string) (prefetch.Prefetcher, error) {
+	for _, p := range m.Prefetchers() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown prefetcher %q (have none, hilbert, extrapolation, scout)", name)
+}
+
+// ExploreConfig parameterizes a walkthrough simulation.
+type ExploreConfig struct {
+	// Stride is the arc-length distance between consecutive queries.
+	// Default 8.
+	Stride float64
+	// Radius is the query half-extent. Default 15.
+	Radius float64
+	// ThinkTime is the user's pause between queries. Default 500ms.
+	ThinkTime time.Duration
+	// PoolPages is the buffer-pool capacity; 0 sizes it to hold the whole
+	// dataset (the in-memory regime of the demo).
+	PoolPages int
+	// Cost is the I/O cost model; the zero value selects the default.
+	Cost pager.CostModel
+}
+
+func (c ExploreConfig) sanitize(m *Model) ExploreConfig {
+	if c.Stride <= 0 {
+		c.Stride = 8
+	}
+	if c.Radius <= 0 {
+		c.Radius = 15
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = 500 * time.Millisecond
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = m.Flat.NumPages()
+	}
+	if c.Cost.PageRead <= 0 {
+		c.Cost = pager.DefaultCostModel()
+	}
+	return c
+}
+
+// Explore simulates following the stem-to-tip path of the given branch with
+// the given prefetching method (§3.2's interactive walk-through).
+func (m *Model) Explore(neuron int32, branch int, method prefetch.Prefetcher,
+	cfg ExploreConfig) (prefetch.RunStats, error) {
+	cfg = cfg.sanitize(m)
+	path, err := m.Circuit.BranchPath(neuron, branch)
+	if err != nil {
+		return prefetch.RunStats{}, err
+	}
+	seq, err := query.Walkthrough(path, cfg.Stride, cfg.Radius)
+	if err != nil {
+		return prefetch.RunStats{}, err
+	}
+	boxes := make([]geom.AABB, seq.Len())
+	for i, s := range seq.Steps {
+		boxes[i] = s.Box
+	}
+	sim := &prefetch.Simulator{
+		Index:     m.Flat,
+		Segment:   m.Segment,
+		Cost:      cfg.Cost,
+		ThinkTime: cfg.ThinkTime,
+		PoolPages: cfg.PoolPages,
+	}
+	return sim.Run(method, boxes)
+}
+
+// JoinAlgorithms returns the join methods the demo offers, in display order:
+// NestedLoop, SweepLine, PBSM, S3, TOUCH (§4.2).
+func (m *Model) JoinAlgorithms() []join.Algorithm {
+	return []join.Algorithm{
+		join.NestedLoop{},
+		join.SweepLine{},
+		join.PBSM{},
+		join.S3{},
+		touch.New(),
+	}
+}
+
+// JoinByName returns the named join algorithm.
+func (m *Model) JoinByName(name string) (join.Algorithm, error) {
+	for _, a := range m.JoinAlgorithms() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown join algorithm %q (have NestedLoop, SweepLine, PBSM, S3, TOUCH)", name)
+}
+
+// Synapse is one synapse candidate: an axon segment of one neuron within the
+// synaptic gap of a dendrite segment of another.
+type Synapse struct {
+	// Axon is the presynaptic element ID.
+	Axon int32
+	// Dendrite is the postsynaptic element ID.
+	Dendrite int32
+	// Location is the midpoint between the two capsule axes, where the demo
+	// highlights the synapse (Figure 7).
+	Location geom.Vec
+}
+
+// SynapseInputs extracts the two join operands for a region: axonal segments
+// (dataset A) and dendritic segments (dataset B) intersecting it. Pass the
+// circuit bounds to join the whole model.
+func (m *Model) SynapseInputs(region geom.AABB) (axons, dendrites []join.Object) {
+	for i := range m.Circuit.Elements {
+		e := &m.Circuit.Elements[i]
+		if e.Branch < 0 {
+			continue // somas do not form synapses in this model
+		}
+		if !e.Bounds().Intersects(region) {
+			continue
+		}
+		kind := m.Circuit.Morphologies[e.Neuron].Branches[e.Branch].Kind
+		switch kind {
+		case morphology.KindAxon:
+			axons = append(axons, join.Make(e.ID, e.Shape))
+		case morphology.KindDendrite:
+			dendrites = append(dendrites, join.Make(e.ID, e.Shape))
+		}
+	}
+	return axons, dendrites
+}
+
+// FindSynapses runs the §4 workload: a distance join between axonal and
+// dendritic segments in the region, keeping only pairs from different
+// neurons. eps is the synaptic gap ("close enough for electrical impulses to
+// leap over").
+func (m *Model) FindSynapses(region geom.AABB, eps float64, alg join.Algorithm) ([]Synapse, join.Stats) {
+	axons, dendrites := m.SynapseInputs(region)
+	var out []Synapse
+	st := alg.Join(axons, dendrites, eps, func(p join.Pair) {
+		a := &m.Circuit.Elements[p.A]
+		d := &m.Circuit.Elements[p.B]
+		if a.Neuron == d.Neuron {
+			return // same-cell contacts are not synapses
+		}
+		out = append(out, Synapse{
+			Axon:     p.A,
+			Dendrite: p.B,
+			Location: a.Shape.Center().Add(d.Shape.Center()).Scale(0.5),
+		})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Axon != out[j].Axon {
+			return out[i].Axon < out[j].Axon
+		}
+		return out[i].Dendrite < out[j].Dendrite
+	})
+	return out, st
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/geom"
+)
+
+func tinyModel(t testing.TB, neurons int) *Model {
+	t.Helper()
+	p := circuit.DefaultParams()
+	p.Neurons = neurons
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(250, 250, 250))
+	m, err := BuildModel(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildModelValidation(t *testing.T) {
+	p := circuit.DefaultParams()
+	p.Neurons = 0
+	if _, err := BuildModel(p, DefaultOptions()); err == nil {
+		t.Error("zero-neuron model accepted")
+	}
+}
+
+func TestRangeQueryExact(t *testing.T) {
+	m := tinyModel(t, 8)
+	q := geom.BoxAround(geom.V(125, 125, 125), 40)
+	ids, _ := m.RangeQuery(q)
+	if len(ids) == 0 {
+		t.Fatal("central query found nothing")
+	}
+	// Sorted, unique, and exactly the oracle set (capsule-exact).
+	want := m.Circuit.ElementsIn(q)
+	if len(ids) != len(want) {
+		t.Fatalf("got %d, oracle %d", len(ids), len(want))
+	}
+	for i := range ids {
+		if ids[i] != want[i] {
+			t.Fatalf("result %d: got %d want %d", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestCompareRangeQuery(t *testing.T) {
+	m := tinyModel(t, 10)
+	q := geom.BoxAround(geom.V(125, 125, 125), 35)
+	cmp := m.CompareRangeQuery(q)
+	if cmp.Results == 0 {
+		t.Fatal("no results")
+	}
+	if cmp.FlatStats.Results != int64(cmp.Results) || cmp.RTreeStats.Results != int64(cmp.Results) {
+		t.Error("stats result counts inconsistent")
+	}
+	if cmp.FlatTime <= 0 || cmp.RTreeTime <= 0 {
+		t.Error("times not measured")
+	}
+	// The comparison is meaningful only if both did real work.
+	if cmp.FlatStats.TotalReads() == 0 || cmp.RTreeStats.NodeAccesses() == 0 {
+		t.Error("no I/O recorded")
+	}
+}
+
+func TestAnalyzeRegion(t *testing.T) {
+	m := tinyModel(t, 8)
+	region := geom.BoxAround(geom.V(125, 125, 125), 50)
+	st := m.AnalyzeRegion(region)
+	if st.Elements == 0 || st.Neurons == 0 {
+		t.Fatal("empty analysis of a central region")
+	}
+	if st.Neurons > 8 {
+		t.Errorf("more neurons than the circuit has: %d", st.Neurons)
+	}
+	if st.TotalLength <= 0 || st.MeanRadius <= 0 {
+		t.Error("degenerate geometry stats")
+	}
+	wantDensity := float64(st.Elements) / region.Volume()
+	if st.Density != wantDensity {
+		t.Errorf("density = %v, want %v", st.Density, wantDensity)
+	}
+	// Empty region.
+	empty := m.AnalyzeRegion(geom.BoxAround(geom.V(1e6, 0, 0), 1))
+	if empty.Elements != 0 || empty.MeanRadius != 0 {
+		t.Error("far region not empty")
+	}
+}
+
+func TestPrefetcherRegistry(t *testing.T) {
+	m := tinyModel(t, 6)
+	names := []string{"none", "hilbert", "extrapolation", "scout"}
+	got := m.Prefetchers()
+	if len(got) != len(names) {
+		t.Fatalf("prefetchers = %d", len(got))
+	}
+	for i, p := range got {
+		if p.Name() != names[i] {
+			t.Errorf("prefetcher %d = %q, want %q", i, p.Name(), names[i])
+		}
+		byName, err := m.PrefetcherByName(names[i])
+		if err != nil || byName.Name() != names[i] {
+			t.Errorf("PrefetcherByName(%q): %v", names[i], err)
+		}
+	}
+	if _, err := m.PrefetcherByName("markov"); err == nil {
+		t.Error("unknown prefetcher accepted")
+	}
+}
+
+func TestJoinRegistry(t *testing.T) {
+	m := tinyModel(t, 6)
+	names := []string{"NestedLoop", "SweepLine", "PBSM", "S3", "TOUCH"}
+	got := m.JoinAlgorithms()
+	if len(got) != len(names) {
+		t.Fatalf("algorithms = %d", len(got))
+	}
+	for i, a := range got {
+		if a.Name() != names[i] {
+			t.Errorf("algorithm %d = %q, want %q", i, a.Name(), names[i])
+		}
+	}
+	if _, err := m.JoinByName("TOUCH"); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.JoinByName("hashjoin"); err == nil {
+		t.Error("unknown join accepted")
+	}
+}
+
+func TestExplore(t *testing.T) {
+	m := tinyModel(t, 8)
+	neuron, branch, _ := m.Circuit.LongestPath()
+	cfg := ExploreConfig{ThinkTime: 200 * time.Millisecond}
+	sc, err := m.PrefetcherByName("scout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := m.Explore(neuron, branch, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Steps) < 5 {
+		t.Fatalf("walkthrough too short: %d steps", len(run.Steps))
+	}
+	if run.Elements == 0 {
+		t.Error("walkthrough retrieved nothing")
+	}
+	// Bad branch.
+	if _, err := m.Explore(neuron, 1<<30, sc, cfg); err == nil {
+		t.Error("invalid branch accepted")
+	}
+}
+
+func TestSynapseInputsPartition(t *testing.T) {
+	m := tinyModel(t, 8)
+	axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
+	if len(axons) == 0 || len(dendrites) == 0 {
+		t.Fatal("empty join operands")
+	}
+	// No element appears in both sets; somas in neither.
+	seen := make(map[int32]byte)
+	for _, o := range axons {
+		seen[o.ID] |= 1
+	}
+	for _, o := range dendrites {
+		seen[o.ID] |= 2
+	}
+	for id, mask := range seen {
+		if mask == 3 {
+			t.Fatalf("element %d in both operands", id)
+		}
+		if m.Circuit.Elements[id].Branch < 0 {
+			t.Fatalf("soma %d in join input", id)
+		}
+	}
+	// Restricting the region shrinks the inputs.
+	smallA, smallD := m.SynapseInputs(geom.BoxAround(geom.V(125, 125, 125), 30))
+	if len(smallA) >= len(axons) || len(smallD) >= len(dendrites) {
+		t.Error("region restriction did not shrink operands")
+	}
+}
+
+func TestFindSynapsesConsistentAcrossAlgorithms(t *testing.T) {
+	m := tinyModel(t, 8)
+	region := geom.BoxAround(geom.V(125, 125, 125), 60)
+	eps := 2.0
+	var baseline []Synapse
+	for i, alg := range m.JoinAlgorithms() {
+		syn, st := m.FindSynapses(region, eps, alg)
+		if st.Results < int64(len(syn)) {
+			t.Fatalf("%s: fewer raw results than synapses", alg.Name())
+		}
+		if i == 0 {
+			baseline = syn
+			continue
+		}
+		if len(syn) != len(baseline) {
+			t.Fatalf("%s found %d synapses, baseline %d", alg.Name(), len(syn), len(baseline))
+		}
+		for k := range syn {
+			if syn[k].Axon != baseline[k].Axon || syn[k].Dendrite != baseline[k].Dendrite {
+				t.Fatalf("%s synapse %d differs from baseline", alg.Name(), k)
+			}
+		}
+	}
+	if len(baseline) == 0 {
+		t.Log("warning: no synapses in test region (workload may be too sparse)")
+	}
+	// Synapses never connect a neuron to itself.
+	for _, s := range baseline {
+		if m.Circuit.Elements[s.Axon].Neuron == m.Circuit.Elements[s.Dendrite].Neuron {
+			t.Fatal("self-synapse emitted")
+		}
+	}
+}
+
+func TestSegmentAccessor(t *testing.T) {
+	m := tinyModel(t, 6)
+	for _, id := range []int32{0, int32(len(m.Circuit.Elements) - 1)} {
+		if m.Segment(id) != m.Circuit.Elements[id].Shape {
+			t.Errorf("Segment(%d) mismatch", id)
+		}
+	}
+}

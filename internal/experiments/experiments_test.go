@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Small configurations keep the experiment unit tests quick while still
+// exercising the full code path of every runner.
+
+func smallE1() E1Config {
+	return E1Config{Densities: []int{8, 24}, Edge: 250, QueryRadius: 25, Queries: 4, Seed: 11}
+}
+
+func TestRunE1ShapesHold(t *testing.T) {
+	rows, err := RunE1(smallE1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lo, hi := rows[0], rows[1]
+	if hi.Density <= lo.Density {
+		t.Fatal("density did not grow with neuron count")
+	}
+	if hi.Results <= lo.Results {
+		t.Fatal("result size did not grow with density")
+	}
+	// The headline shape: FLAT's per-result cost must not grow with
+	// density as fast as the R-tree's. Allow slack on tiny models.
+	flatGrowth := hi.FlatPerResult / lo.FlatPerResult
+	dynGrowth := hi.RTreeDynPerResult / lo.RTreeDynPerResult
+	if flatGrowth > dynGrowth*1.5 {
+		t.Errorf("FLAT per-result cost grew faster than dynamic R-tree: %.2f vs %.2f",
+			flatGrowth, dynGrowth)
+	}
+	tb := E1Table(rows)
+	if tb.NumRows() != 2 || !strings.Contains(tb.String(), "FLAT") {
+		t.Error("E1 table malformed")
+	}
+}
+
+func TestRunE2CrawlScalesWithResults(t *testing.T) {
+	cfg := E2Config{Neurons: 32, Edge: 250, Radii: []float64{10, 30, 60}, Seed: 12}
+	rows, err := RunE2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Results < rows[i-1].Results {
+			t.Error("results did not grow with radius")
+		}
+		if rows[i].CrawlPages < rows[i-1].CrawlPages {
+			t.Error("crawl pages did not grow with results")
+		}
+	}
+	// Index work (seed descent + completeness probe over the page tree)
+	// stays below the data-page work for non-trivial queries, and dense
+	// data never needs a re-seed.
+	for _, r := range rows {
+		if r.CrawlPages > 8 && r.SeedReads > r.CrawlPages {
+			t.Errorf("seed reads exceed crawl pages: %+v", r)
+		}
+		if r.Reseeds != 0 {
+			t.Errorf("dense data needed %d reseeds", r.Reseeds)
+		}
+	}
+	if !strings.Contains(E2Table(rows).String(), "crawl pages") {
+		t.Error("E2 table malformed")
+	}
+}
+
+func TestRunE3PruningConverges(t *testing.T) {
+	cfg := E3Config{Neurons: 24, Edge: 250, Stride: 8, Radius: 15, Walkthroughs: 3, Seed: 13}
+	rows, err := RunE3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("too few steps: %d", len(rows))
+	}
+	// The followed structure must never be pruned.
+	for _, r := range rows {
+		if r.FollowedKept < 1 {
+			t.Errorf("step %d: followed structure pruned (%v kept)", r.Step, r.FollowedKept)
+		}
+	}
+	// Candidates after pruning never exceed the structures present.
+	for _, r := range rows {
+		if r.MeanCandidates > r.MeanStructures+1e-9 {
+			t.Errorf("step %d: candidates %.1f exceed structures %.1f",
+				r.Step, r.MeanCandidates, r.MeanStructures)
+		}
+	}
+	// By mid-sequence the candidate set is smaller than the raw structure
+	// count (pruning does something).
+	mid := rows[len(rows)/2]
+	if mid.MeanStructures > 1.5 && mid.MeanCandidates >= mid.MeanStructures {
+		t.Errorf("no pruning by mid-sequence: %.1f of %.1f",
+			mid.MeanCandidates, mid.MeanStructures)
+	}
+	if !strings.Contains(E3Table(rows).String(), "candidates") {
+		t.Error("E3 table malformed")
+	}
+}
+
+func TestRunE4SpeedupOrdering(t *testing.T) {
+	cfg := E4Config{
+		Neurons: 24, Edge: 250, Stride: 8, Radius: 15,
+		ThinkTime: 500 * time.Millisecond, Walkthroughs: 3, Seed: 14,
+	}
+	rows, err := RunE4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]E4Row{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	if byName["none"].Speedup != 1 {
+		t.Errorf("baseline speedup = %v", byName["none"].Speedup)
+	}
+	if byName["scout"].Speedup <= 1 {
+		t.Errorf("SCOUT speedup %.2f not above 1", byName["scout"].Speedup)
+	}
+	if byName["scout"].Speedup < byName["extrapolation"].Speedup {
+		t.Errorf("SCOUT (%.2fx) lost to extrapolation (%.2fx)",
+			byName["scout"].Speedup, byName["extrapolation"].Speedup)
+	}
+	if byName["scout"].Accuracy <= byName["hilbert"].Accuracy {
+		t.Errorf("SCOUT accuracy %.2f not above hilbert %.2f",
+			byName["scout"].Accuracy, byName["hilbert"].Accuracy)
+	}
+	if !strings.Contains(E4Table(rows).String(), "scout") {
+		t.Error("E4 table malformed")
+	}
+}
+
+func TestRunE5AgreementAndOrdering(t *testing.T) {
+	cfg := E5Config{Neurons: 24, Edge: 250, Eps: 2.0, IncludeNestedLoop: true, Seed: 15}
+	rows, err := RunE5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]E5Row{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	// TOUCH does fewer comparisons than the quadratic baseline.
+	if byName["TOUCH"].Comparisons >= byName["NestedLoop"].Comparisons {
+		t.Error("TOUCH did not reduce comparisons vs NestedLoop")
+	}
+	// TOUCH memory stays below PBSM's replicated partitions.
+	if byName["TOUCH"].ExtraBytes >= byName["PBSM"].ExtraBytes*4 {
+		t.Errorf("TOUCH memory (%d) not competitive with PBSM (%d)",
+			byName["TOUCH"].ExtraBytes, byName["PBSM"].ExtraBytes)
+	}
+	if !strings.Contains(E5Table(rows).String(), "TOUCH") {
+		t.Error("E5 table malformed")
+	}
+}
+
+func TestE5EpsSweepAgrees(t *testing.T) {
+	cfg := E5Config{Neurons: 16, Edge: 250, Seed: 16}
+	tb, err := E5EpsSweep(cfg, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("sweep rows = %d", tb.NumRows())
+	}
+}
+
+func TestRunE6ScalesSubquadratically(t *testing.T) {
+	cfg := E6Config{Sizes: []int{16, 64}, BaseEdge: 250, QueryRadius: 20, Queries: 4, Seed: 17}
+	rows, err := RunE6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lo, hi := rows[0], rows[1]
+	if hi.Elements <= lo.Elements*2 {
+		t.Fatal("dataset did not grow")
+	}
+	// Constant density: the fixed query's result stays in the same ballpark
+	// and so does FLAT's I/O (within 4x while data grew ~4x+).
+	if lo.QueryResults > 0 && hi.QueryReads > 4*lo.QueryReads+8 {
+		t.Errorf("query reads grew with dataset size: %.1f -> %.1f",
+			lo.QueryReads, hi.QueryReads)
+	}
+	if !strings.Contains(E6Table(rows).String(), "build") {
+		t.Error("E6 table malformed")
+	}
+}

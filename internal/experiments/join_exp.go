@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"neurospatial/internal/join"
+	"neurospatial/internal/stats"
+)
+
+// E5Config parameterizes the synapse-join experiment.
+type E5Config struct {
+	// Neurons is the model size.
+	Neurons int
+	// Edge is the volume edge.
+	Edge float64
+	// Eps is the synaptic gap distance.
+	Eps float64
+	// IncludeNestedLoop toggles the quadratic baseline (slow at scale).
+	IncludeNestedLoop bool
+	// Seed drives construction.
+	Seed int64
+}
+
+// DefaultE5 returns the configuration used in EXPERIMENTS.md. The circuit
+// uses the cortical layer profile: synapse placement runs on layered tissue,
+// and density skew is exactly where data-oriented partitioning differs from
+// space-oriented grids.
+func DefaultE5() E5Config {
+	return E5Config{Neurons: 128, Edge: 350, Eps: 2.0, IncludeNestedLoop: true, Seed: 5}
+}
+
+// E5Row is one join algorithm's record.
+type E5Row struct {
+	// Method is the algorithm name.
+	Method string
+	// Results is the emitted pair count (identical across methods).
+	Results int64
+	// Time is build + probe wall-clock time.
+	Time time.Duration
+	// Comparisons is the total pairwise test count (box filter tests plus
+	// exact predicate evaluations) — the "number of pairwise comparisons
+	// needed" of §4.2. Exact-predicate counts alone are nearly identical
+	// across correct filter-and-refine joins; the filter work is where the
+	// algorithms differ.
+	Comparisons int64
+	// ExtraBytes is the estimated auxiliary memory.
+	ExtraBytes int64
+	// SlowdownVsTouch is Time relative to TOUCH's.
+	SlowdownVsTouch float64
+}
+
+// RunE5 executes the join comparison on the axon×dendrite workload over a
+// cortically layered circuit. In addition to the five registered methods it
+// runs PBSM with a fine grid ("PBSM-fine"), which buys back speed at the cost
+// of the replication memory §4.1 criticizes.
+func RunE5(cfg E5Config) ([]E5Row, error) {
+	m, err := buildLayeredModel(cfg.Neurons, cfg.Edge, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E5: %w", err)
+	}
+	axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
+	algs := m.JoinAlgorithms()
+	algs = append(algs, namedAlgorithm{join.PBSM{PerCell: 4}, "PBSM-fine"})
+	var rows []E5Row
+	for _, alg := range algs {
+		if !cfg.IncludeNestedLoop && alg.Name() == "NestedLoop" {
+			continue
+		}
+		count := int64(0)
+		st := alg.Join(axons, dendrites, cfg.Eps, func(join.Pair) { count++ })
+		rows = append(rows, E5Row{
+			Method:      alg.Name(),
+			Results:     count,
+			Time:        st.TotalTime(),
+			Comparisons: st.BoxTests + st.Comparisons,
+			ExtraBytes:  st.ExtraBytes,
+		})
+	}
+	var touchTime time.Duration
+	for _, r := range rows {
+		if r.Method == "TOUCH" {
+			touchTime = r.Time
+		}
+	}
+	for i := range rows {
+		if touchTime > 0 {
+			rows[i].SlowdownVsTouch = float64(rows[i].Time) / float64(touchTime)
+		}
+	}
+	// Cross-check: all methods must agree.
+	for _, r := range rows[1:] {
+		if r.Results != rows[0].Results {
+			return nil, fmt.Errorf("experiments: E5: %s found %d pairs, %s found %d",
+				r.Method, r.Results, rows[0].Method, rows[0].Results)
+		}
+	}
+	return rows, nil
+}
+
+// E5Table renders the rows.
+func E5Table(rows []E5Row) *stats.Table {
+	tb := stats.NewTable("E5 (Fig. 7 / §4.1): synapse join — time, memory, comparisons",
+		"method", "pairs", "time", "vs TOUCH", "comparisons", "memory")
+	for _, r := range rows {
+		tb.AddRow(
+			r.Method,
+			r.Results,
+			stats.Dur(r.Time),
+			fmt.Sprintf("%.1fx", r.SlowdownVsTouch),
+			stats.Count(r.Comparisons),
+			stats.Bytes(r.ExtraBytes),
+		)
+	}
+	return tb
+}
+
+// E5EpsSweep runs TOUCH and PBSM across a sweep of eps values, showing the
+// robustness of the winner's margin to the join selectivity.
+func E5EpsSweep(cfg E5Config, epsValues []float64) (*stats.Table, error) {
+	m, err := buildLayeredModel(cfg.Neurons, cfg.Edge, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E5 eps sweep: %w", err)
+	}
+	axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
+	tb := stats.NewTable("E5 supplement: TOUCH vs PBSM across the synaptic gap ε",
+		"eps", "pairs", "TOUCH time", "PBSM time", "TOUCH cmps", "PBSM cmps")
+	touchAlg, err := m.JoinByName("TOUCH")
+	if err != nil {
+		return nil, err
+	}
+	pbsmAlg, err := m.JoinByName("PBSM")
+	if err != nil {
+		return nil, err
+	}
+	for _, eps := range epsValues {
+		tCount := int64(0)
+		tst := touchAlg.Join(axons, dendrites, eps, func(join.Pair) { tCount++ })
+		pCount := int64(0)
+		pst := pbsmAlg.Join(axons, dendrites, eps, func(join.Pair) { pCount++ })
+		if tCount != pCount {
+			return nil, fmt.Errorf("experiments: E5 sweep: eps=%v TOUCH %d vs PBSM %d pairs",
+				eps, tCount, pCount)
+		}
+		tb.AddRow(
+			eps,
+			tCount,
+			stats.Dur(tst.TotalTime()),
+			stats.Dur(pst.TotalTime()),
+			stats.Count(tst.BoxTests+tst.Comparisons),
+			stats.Count(pst.BoxTests+pst.Comparisons),
+		)
+	}
+	return tb, nil
+}
+
+// E6Config parameterizes the scaling experiment.
+type E6Config struct {
+	// Sizes lists the neuron counts; the volume grows with them so density
+	// stays constant (the "build bigger models" axis of §1, as opposed to
+	// E1's densification axis).
+	Sizes []int
+	// BaseEdge is the volume edge for the first size; volume scales
+	// linearly with neuron count.
+	BaseEdge float64
+	// QueryRadius is the fixed query half-extent.
+	QueryRadius float64
+	// Queries per size.
+	Queries int
+	// Seed drives construction.
+	Seed int64
+}
+
+// DefaultE6 returns the configuration used in EXPERIMENTS.md.
+func DefaultE6() E6Config {
+	return E6Config{
+		Sizes:       []int{32, 64, 128, 256, 512},
+		BaseEdge:    250,
+		QueryRadius: 20,
+		Queries:     12,
+		Seed:        6,
+	}
+}
+
+// E6Row is one size point.
+type E6Row struct {
+	// Neurons and Elements describe the dataset.
+	Neurons, Elements int
+	// BuildTime is the FLAT index construction time (STR + neighborhood +
+	// seed tree).
+	BuildTime time.Duration
+	// QueryReads is FLAT's mean reads for the fixed query.
+	QueryReads float64
+	// QueryResults is the mean result size.
+	QueryResults float64
+	// SeedHeight is the page-tree height (grows logarithmically).
+	SeedHeight int
+}
+
+// RunE6 executes the scaling sweep.
+func RunE6(cfg E6Config) ([]E6Row, error) {
+	var rows []E6Row
+	base := float64(cfg.Sizes[0])
+	for _, n := range cfg.Sizes {
+		edge := cfg.BaseEdge * cbrt(float64(n)/base)
+		start := time.Now()
+		m, err := buildModel(n, edge, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E6 size %d: %w", n, err)
+		}
+		build := time.Since(start)
+		queries := centerQueries(m.Circuit.Params.Volume, cfg.Queries, cfg.QueryRadius, cfg.Seed+int64(n))
+		row := E6Row{
+			Neurons:    n,
+			Elements:   len(m.Circuit.Elements),
+			BuildTime:  build,
+			SeedHeight: m.Flat.SeedTreeHeight(),
+		}
+		for _, q := range queries {
+			st := m.Flat.Query(q, nil, func(int32) {})
+			row.QueryReads += float64(st.TotalReads())
+			row.QueryResults += float64(st.Results)
+		}
+		row.QueryReads /= float64(len(queries))
+		row.QueryResults /= float64(len(queries))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// E6Table renders the rows.
+func E6Table(rows []E6Row) *stats.Table {
+	tb := stats.NewTable("E6 (§1 scaling): constant-density growth — fixed query stays result-bound",
+		"neurons", "elements", "build", "tree height", "query reads", "query results")
+	for _, r := range rows {
+		tb.AddRow(
+			r.Neurons,
+			r.Elements,
+			stats.Dur(r.BuildTime),
+			r.SeedHeight,
+			fmt.Sprintf("%.1f", r.QueryReads),
+			fmt.Sprintf("%.0f", r.QueryResults),
+		)
+	}
+	return tb
+}
+
+func cbrt(x float64) float64 { return math.Cbrt(x) }
+
+// namedAlgorithm renames a join algorithm for table display (used for the
+// fine-grid PBSM variant).
+type namedAlgorithm struct {
+	join.Algorithm
+	name string
+}
+
+// Name implements join.Algorithm.
+func (n namedAlgorithm) Name() string { return n.name }

@@ -1,0 +1,8 @@
+package experiments
+
+import "math/rand"
+
+// newRand returns a deterministic PRNG for workload placement; every
+// experiment derives its randomness from explicit seeds so runs are exactly
+// reproducible.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/core"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/prefetch"
+	"neurospatial/internal/query"
+	"neurospatial/internal/scout"
+	"neurospatial/internal/stats"
+)
+
+// E3Config parameterizes the candidate-pruning experiment.
+type E3Config struct {
+	// Neurons is the model size.
+	Neurons int
+	// Edge is the volume edge.
+	Edge float64
+	// Stride and Radius shape the walkthrough queries.
+	Stride, Radius float64
+	// Walkthroughs is how many distinct branch paths are followed.
+	Walkthroughs int
+	// Seed drives construction.
+	Seed int64
+}
+
+// DefaultE3 returns the configuration used in EXPERIMENTS.md.
+func DefaultE3() E3Config {
+	return E3Config{Neurons: 64, Edge: 300, Stride: 8, Radius: 15, Walkthroughs: 5, Seed: 3}
+}
+
+// E3Row is one walkthrough step, averaged over walkthroughs.
+type E3Row struct {
+	// Step is the query index within the sequence.
+	Step int
+	// MeanCandidates is the average surviving structure count after this
+	// step (the shrinking series of Figure 5).
+	MeanCandidates float64
+	// MeanStructures is the average structure count before pruning.
+	MeanStructures float64
+	// FollowedKept is the fraction of walkthroughs whose followed branch
+	// was still inside a candidate at this step (must stay 1.0).
+	FollowedKept float64
+	// Samples is the number of walkthroughs still running at this step.
+	Samples int
+}
+
+// RunE3 executes the pruning experiment: for several walkthroughs, record
+// the candidate count per step and whether the followed structure survived.
+func RunE3(cfg E3Config) ([]E3Row, error) {
+	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E3: %w", err)
+	}
+	paths := longestPaths(m, cfg.Walkthroughs)
+	type acc struct {
+		candidates, structures, kept float64
+		n                            int
+	}
+	var accs []acc
+
+	for _, wp := range paths {
+		seq, err := query.Walkthrough(wp.path, cfg.Stride, cfg.Radius)
+		if err != nil {
+			return nil, err
+		}
+		s := scout.New(scout.Options{})
+		ctx := &prefetch.Context{Index: m.Flat, Segment: m.Segment}
+		// Ground truth: elements of the followed stem-to-tip chain.
+		followed := make(map[int32]bool)
+		chain := make(map[int]bool)
+		for _, id := range m.Circuit.Morphologies[wp.neuron].PathToRoot(wp.branch) {
+			chain[id] = true
+		}
+		for i := range m.Circuit.Elements {
+			e := &m.Circuit.Elements[i]
+			if e.Neuron == wp.neuron && e.Branch >= 0 && chain[int(e.Branch)] {
+				followed[e.ID] = true
+			}
+		}
+		noPrune := scout.New(scout.Options{})
+		noPruneCtx := &prefetch.Context{Index: m.Flat, Segment: m.Segment}
+		for stepIdx, st := range seq.Steps {
+			ctx.History = append(ctx.History, st.Box)
+			var result []int32
+			m.Flat.Query(st.Box, nil, func(id int32) { result = append(result, id) })
+			s.Predict(ctx, st.Box, result, 64)
+			// The unpruned structure count: a fresh SCOUT each step keeps
+			// all structures (its Reset drops history).
+			noPrune.Reset()
+			noPruneCtx.History = ctx.History[len(ctx.History)-1:]
+			noPrune.Predict(noPruneCtx, st.Box, result, 64)
+
+			kept := 1.0
+			for _, id := range result {
+				if followed[id] && !s.LastCandidateContains(id) {
+					kept = 0
+					break
+				}
+			}
+			for len(accs) <= stepIdx {
+				accs = append(accs, acc{})
+			}
+			accs[stepIdx].candidates += float64(s.LastCandidateCount())
+			accs[stepIdx].structures += float64(noPrune.LastCandidateCount())
+			accs[stepIdx].kept += kept
+			accs[stepIdx].n++
+		}
+	}
+	rows := make([]E3Row, len(accs))
+	for i, a := range accs {
+		rows[i] = E3Row{
+			Step:           i,
+			MeanCandidates: a.candidates / float64(a.n),
+			MeanStructures: a.structures / float64(a.n),
+			FollowedKept:   a.kept / float64(a.n),
+			Samples:        a.n,
+		}
+	}
+	return rows, nil
+}
+
+// E3Table renders the rows (subsampled for long sequences).
+func E3Table(rows []E3Row) *stats.Table {
+	tb := stats.NewTable("E3 (Fig. 5): candidate-set pruning along walkthroughs",
+		"step", "structures in q", "candidates", "followed kept", "walkthroughs")
+	stepEvery := 1
+	if len(rows) > 16 {
+		stepEvery = len(rows) / 16
+	}
+	for i, r := range rows {
+		if i%stepEvery != 0 && i != len(rows)-1 {
+			continue
+		}
+		tb.AddRow(
+			r.Step,
+			fmt.Sprintf("%.1f", r.MeanStructures),
+			fmt.Sprintf("%.1f", r.MeanCandidates),
+			fmt.Sprintf("%.0f%%", 100*r.FollowedKept),
+			r.Samples,
+		)
+	}
+	return tb
+}
+
+// walkPath identifies one followed branch.
+type walkPath struct {
+	neuron int32
+	branch int
+	path   []geom.Vec
+}
+
+// longestPaths returns the k longest stem-to-tip paths across distinct
+// neurons, longest first.
+func longestPaths(m *core.Model, k int) []walkPath {
+	type cand struct {
+		wp  walkPath
+		len float64
+	}
+	var best []cand
+	for ni := range m.Circuit.Morphologies {
+		var top cand
+		for _, tip := range m.Circuit.Morphologies[ni].Terminals() {
+			p, err := m.Circuit.BranchPath(int32(ni), tip)
+			if err != nil {
+				continue
+			}
+			if l := query.PathLength(p); l > top.len {
+				top = cand{wp: walkPath{neuron: int32(ni), branch: tip, path: p}, len: l}
+			}
+		}
+		best = append(best, top)
+	}
+	// Selection sort of the top k by length (k is tiny).
+	for i := 0; i < len(best) && i < k; i++ {
+		for j := i + 1; j < len(best); j++ {
+			if best[j].len > best[i].len {
+				best[i], best[j] = best[j], best[i]
+			}
+		}
+	}
+	if len(best) > k {
+		best = best[:k]
+	}
+	out := make([]walkPath, len(best))
+	for i, c := range best {
+		out[i] = c.wp
+	}
+	return out
+}
+
+// E4Config parameterizes the prefetching speedup experiment.
+type E4Config struct {
+	// Neurons is the model size.
+	Neurons int
+	// Edge is the volume edge.
+	Edge float64
+	// AxonExtent overrides the morphology's axon length; long projection
+	// axons (cortical axons run millimeters) give the long walkthroughs
+	// where prefetching pays off — a method's one-time cold start
+	// amortizes over the sequence, which is how the paper's "up to 15×"
+	// arises. Zero keeps the morphology default (400 µm).
+	AxonExtent float64
+	// Stride and Radius shape the walkthrough queries.
+	Stride, Radius float64
+	// ThinkTime is the user pause per step.
+	ThinkTime time.Duration
+	// Walkthroughs is how many branch paths are averaged.
+	Walkthroughs int
+	// Seed drives construction.
+	Seed int64
+}
+
+// DefaultE4 returns the configuration used in EXPERIMENTS.md.
+func DefaultE4() E4Config {
+	return E4Config{
+		Neurons: 64, Edge: 300,
+		AxonExtent: 2500,
+		Stride:     8, Radius: 15,
+		ThinkTime:    250 * time.Millisecond,
+		Walkthroughs: 5,
+		Seed:         4,
+	}
+}
+
+// E4Row is one prefetching method's aggregate over all walkthroughs.
+type E4Row struct {
+	// Method is the prefetcher name.
+	Method string
+	// Queries is the total step count.
+	Queries int
+	// DemandReads, PrefetchReads, PrefetchHits aggregate I/O.
+	DemandReads, PrefetchReads, PrefetchHits int64
+	// Latency is the total simulated stall.
+	Latency time.Duration
+	// Speedup is baseline (none) latency over this method's.
+	Speedup float64
+	// Accuracy is PrefetchHits / PrefetchReads.
+	Accuracy float64
+}
+
+// RunE4 executes the prefetching comparison.
+func RunE4(cfg E4Config) ([]E4Row, error) {
+	p := circuit.DefaultParams()
+	p.Neurons = cfg.Neurons
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(cfg.Edge, cfg.Edge, cfg.Edge))
+	p.Seed = cfg.Seed
+	if cfg.AxonExtent > 0 {
+		p.Morphology.AxonExtent = cfg.AxonExtent
+	}
+	m, err := core.BuildModel(p, core.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E4: %w", err)
+	}
+	paths := longestPaths(m, cfg.Walkthroughs)
+	var rows []E4Row
+	for _, p := range m.Prefetchers() {
+		row := E4Row{Method: p.Name()}
+		for _, wp := range paths {
+			run, err := m.Explore(wp.neuron, wp.branch, p, core.ExploreConfig{
+				Stride: cfg.Stride, Radius: cfg.Radius, ThinkTime: cfg.ThinkTime,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Queries += len(run.Steps)
+			row.DemandReads += run.DemandReads
+			row.PrefetchReads += run.PrefetchReads
+			row.PrefetchHits += run.PrefetchHits
+			row.Latency += run.Latency
+		}
+		if row.PrefetchReads > 0 {
+			row.Accuracy = float64(row.PrefetchHits) / float64(row.PrefetchReads)
+		} else {
+			row.Accuracy = 1
+		}
+		rows = append(rows, row)
+	}
+	base := rows[0].Latency // "none" runs first
+	for i := range rows {
+		if rows[i].Latency > 0 {
+			rows[i].Speedup = float64(base) / float64(rows[i].Latency)
+		}
+	}
+	return rows, nil
+}
+
+// E4Table renders the rows.
+func E4Table(rows []E4Row) *stats.Table {
+	tb := stats.NewTable("E4 (Fig. 6): walkthrough speedup per prefetching method",
+		"method", "queries", "stall", "speedup", "prefetched", "correct", "accuracy")
+	for _, r := range rows {
+		tb.AddRow(
+			r.Method,
+			r.Queries,
+			stats.Dur(r.Latency),
+			fmt.Sprintf("%.1fx", r.Speedup),
+			r.PrefetchReads,
+			r.PrefetchHits,
+			fmt.Sprintf("%.1f%%", 100*r.Accuracy),
+		)
+	}
+	return tb
+}
+
+// E4LengthSweep reruns E4 across axon extents, producing the series behind
+// the paper's "up to 15×" phrasing: the cold start of a prefetching method is
+// paid once, so its speedup grows with the length of the followed structure.
+func E4LengthSweep(base E4Config, extents []float64) (*stats.Table, error) {
+	tb := stats.NewTable("E4 supplement: speedup vs walkthrough length (\"up to 15×\")",
+		"axon extent", "queries", "none stall", "hilbert", "extrapolation", "scout")
+	for _, ext := range extents {
+		cfg := base
+		cfg.AxonExtent = ext
+		rows, err := RunE4(cfg)
+		if err != nil {
+			return nil, err
+		}
+		byName := map[string]E4Row{}
+		for _, r := range rows {
+			byName[r.Method] = r
+		}
+		tb.AddRow(
+			fmt.Sprintf("%.0f µm", ext),
+			byName["none"].Queries,
+			stats.Dur(byName["none"].Latency),
+			fmt.Sprintf("%.1fx", byName["hilbert"].Speedup),
+			fmt.Sprintf("%.1fx", byName["extrapolation"].Speedup),
+			fmt.Sprintf("%.1fx", byName["scout"].Speedup),
+		)
+	}
+	return tb, nil
+}

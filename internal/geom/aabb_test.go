@@ -1,0 +1,225 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randBox(rng *rand.Rand, scale float64) AABB {
+	return Box(randVec(rng, scale), randVec(rng, scale))
+}
+
+func TestEmptyAABB(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyAABB not empty")
+	}
+	if e.Volume() != 0 || e.SurfaceArea() != 0 || e.Margin() != 0 {
+		t.Error("empty box has nonzero measures")
+	}
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	if got := e.Union(b); got != b {
+		t.Errorf("empty union = %v", got)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("union empty = %v", got)
+	}
+}
+
+func TestBoxConstructionSwapsCorners(t *testing.T) {
+	b := Box(V(1, -2, 3), V(-1, 2, -3))
+	if b.Min != V(-1, -2, -3) || b.Max != V(1, 2, 3) {
+		t.Errorf("Box = %v", b)
+	}
+	if b.IsEmpty() {
+		t.Error("valid box reported empty")
+	}
+}
+
+func TestBoxAround(t *testing.T) {
+	b := BoxAround(V(1, 2, 3), 2)
+	if b.Min != V(-1, 0, 1) || b.Max != V(3, 4, 5) {
+		t.Errorf("BoxAround = %v", b)
+	}
+	if b.Center() != V(1, 2, 3) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Volume() != 64 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	if b.SurfaceArea() != 96 {
+		t.Errorf("SurfaceArea = %v", b.SurfaceArea())
+	}
+	if b.Margin() != 12 {
+		t.Errorf("Margin = %v", b.Margin())
+	}
+}
+
+func TestIntersectsTouchingBoxes(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	b := Box(V(1, 0, 0), V(2, 1, 1)) // shares a face
+	if !a.Intersects(b) {
+		t.Error("face-touching boxes must intersect")
+	}
+	c := Box(V(1+1e-9, 0, 0), V(2, 1, 1))
+	if a.Intersects(c) {
+		t.Error("separated boxes must not intersect")
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 2, 2))
+	for _, p := range []Vec{V(0, 0, 0), V(2, 2, 2), V(1, 1, 1), V(0, 2, 1)} {
+		if !b.Contains(p) {
+			t.Errorf("Contains(%v) = false", p)
+		}
+	}
+	for _, p := range []Vec{V(-0.1, 1, 1), V(1, 2.1, 1), V(3, 3, 3)} {
+		if b.Contains(p) {
+			t.Errorf("Contains(%v) = true", p)
+		}
+	}
+	if !b.ContainsBox(Box(V(0.5, 0.5, 0.5), V(1.5, 1.5, 1.5))) {
+		t.Error("ContainsBox inner = false")
+	}
+	if b.ContainsBox(Box(V(0.5, 0.5, 0.5), V(2.5, 1.5, 1.5))) {
+		t.Error("ContainsBox overlapping = true")
+	}
+	if !b.ContainsBox(EmptyAABB()) {
+		t.Error("every box must contain the empty box")
+	}
+}
+
+func TestExpandShrink(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 2, 2))
+	e := b.Expand(1)
+	if e.Min != V(-1, -1, -1) || e.Max != V(3, 3, 3) {
+		t.Errorf("Expand = %v", e)
+	}
+	s := b.Expand(-1.5)
+	if !s.IsEmpty() {
+		t.Errorf("over-shrunk box should be empty: %v", s)
+	}
+}
+
+func TestDist2Point(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	if d := b.Dist2Point(V(0.5, 0.5, 0.5)); d != 0 {
+		t.Errorf("inside dist = %v", d)
+	}
+	if d := b.Dist2Point(V(2, 0.5, 0.5)); d != 1 {
+		t.Errorf("face dist = %v", d)
+	}
+	if d := b.Dist2Point(V(2, 2, 2)); !almostEq(d, 3, 1e-12) {
+		t.Errorf("corner dist = %v", d)
+	}
+}
+
+func TestDist2Box(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	b := Box(V(3, 0, 0), V(4, 1, 1))
+	if d := a.Dist2Box(b); d != 4 {
+		t.Errorf("axis dist = %v", d)
+	}
+	if d := a.Dist2Box(a); d != 0 {
+		t.Errorf("self dist = %v", d)
+	}
+	c := Box(V(2, 2, 2), V(3, 3, 3))
+	if d := a.Dist2Box(c); !almostEq(d, 3, 1e-12) {
+		t.Errorf("corner dist = %v", d)
+	}
+}
+
+func TestOctant(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 2, 2))
+	var total float64
+	for i := 0; i < 8; i++ {
+		o := b.Octant(i)
+		if o.Volume() != 1 {
+			t.Errorf("octant %d volume = %v", i, o.Volume())
+		}
+		if !b.ContainsBox(o) {
+			t.Errorf("octant %d escapes parent", i)
+		}
+		total += o.Volume()
+	}
+	if total != b.Volume() {
+		t.Errorf("octants cover %v of %v", total, b.Volume())
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	if e := a.Enlargement(a); e != 0 {
+		t.Errorf("self enlargement = %v", e)
+	}
+	b := Box(V(0, 0, 0), V(2, 1, 1))
+	if e := a.Enlargement(b); e != 1 {
+		t.Errorf("enlargement = %v", e)
+	}
+}
+
+// Property: union contains both operands, intersection is contained in both.
+func TestQuickUnionIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a, b := randBox(rng, 50), randBox(rng, 50)
+		u := a.Union(b)
+		if !u.ContainsBox(a) || !u.ContainsBox(b) {
+			t.Fatalf("union does not contain operands: %v %v -> %v", a, b, u)
+		}
+		x := a.Intersect(b)
+		if !x.IsEmpty() && (!a.ContainsBox(x) || !b.ContainsBox(x)) {
+			t.Fatalf("intersection escapes operands: %v %v -> %v", a, b, x)
+		}
+		if a.Intersects(b) != !x.IsEmpty() {
+			t.Fatalf("Intersects disagrees with Intersect: %v %v", a, b)
+		}
+	}
+}
+
+// Property: Dist2Box is zero iff boxes intersect, and symmetric.
+func TestQuickDist2BoxConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		a, b := randBox(rng, 20), randBox(rng, 20)
+		d := a.Dist2Box(b)
+		if (d == 0) != a.Intersects(b) {
+			t.Fatalf("Dist2Box=%v but Intersects=%v for %v %v", d, a.Intersects(b), a, b)
+		}
+		if d != b.Dist2Box(a) {
+			t.Fatalf("Dist2Box asymmetric for %v %v", a, b)
+		}
+	}
+}
+
+// Property: Dist2Point equals distance to Clamp(p).
+func TestQuickClampDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		b := randBox(rng, 30)
+		p := randVec(rng, 60)
+		got := b.Dist2Point(p)
+		want := p.Dist2(b.Clamp(p))
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("Dist2Point=%v Clamp-dist=%v for %v %v", got, want, b, p)
+		}
+	}
+}
+
+func TestTranslateAndExtendPoint(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	if got := b.Translate(V(2, -1, 3)); got != Box(V(2, -1, 3), V(3, 0, 4)) {
+		t.Errorf("Translate = %v", got)
+	}
+	if got := b.ExtendPoint(V(5, 0.5, 0.5)); got != Box(V(0, 0, 0), V(5, 1, 1)) {
+		t.Errorf("ExtendPoint = %v", got)
+	}
+	if got := EmptyAABB().ExtendPoint(V(1, 2, 3)); got != Box(V(1, 2, 3), V(1, 2, 3)) {
+		t.Errorf("ExtendPoint on empty = %v", got)
+	}
+	if got := b.Overlap(Box(V(0.5, 0, 0), V(1.5, 1, 1))); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("Overlap = %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasicOps(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, -5, 6)
+	if got := v.Add(w); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := V(1, 0, 0).Cross(V(0, 1, 0)); got != V(0, 0, 1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := V(3, 4, 0).Len(); got != 5 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := V(3, 4, 0).Len2(); got != 25 {
+		t.Errorf("Len2 = %v", got)
+	}
+	if got := V(1, 1, 1).Dist(V(1, 1, 3)); got != 2 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestVecNormalize(t *testing.T) {
+	n := V(0, 3, 4).Normalize()
+	if !almostEq(n.Len(), 1, 1e-12) {
+		t.Errorf("normalized length = %v", n.Len())
+	}
+	if z := (Vec{}).Normalize(); z != (Vec{}) {
+		t.Errorf("zero vector normalize = %v, want zero", z)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, -10, 4)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(5, -5, 2) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVecMinMax(t *testing.T) {
+	v, w := V(1, 5, -2), V(3, -4, 0)
+	if got := v.Min(w); got != V(1, -4, -2) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := v.Max(w); got != V(3, 5, 0) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestVecAxis(t *testing.T) {
+	v := V(7, 8, 9)
+	for i, want := range []float64{7, 8, 9} {
+		if got := v.Axis(i); got != want {
+			t.Errorf("Axis(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := v.WithAxis(1, -1); got != V(7, -1, 9) {
+		t.Errorf("WithAxis = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Axis(3) did not panic")
+		}
+	}()
+	v.Axis(3)
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+// Property: dot product is symmetric and bilinear in the first argument.
+func TestQuickDotSymmetric(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		// Component products that overflow produce Inf-Inf = NaN; that is a
+		// property of float64, not of Dot, so restrict to the safe range.
+		if a.Len2() > 1e150 || b.Len2() > 1e150 {
+			return true
+		}
+		return a.Dot(b) == b.Dot(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cross product is orthogonal to both operands.
+func TestQuickCrossOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		b := V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		c := a.Cross(b)
+		scale := a.Len() * b.Len() * c.Len()
+		if scale == 0 {
+			continue
+		}
+		if math.Abs(c.Dot(a))/scale > 1e-12 || math.Abs(c.Dot(b))/scale > 1e-12 {
+			t.Fatalf("cross not orthogonal: a=%v b=%v c=%v", a, b, c)
+		}
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestQuickTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a := randVec(rng, 100)
+		b := randVec(rng, 100)
+		c := randVec(rng, 100)
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, scale float64) Vec {
+	return V(
+		(rng.Float64()*2-1)*scale,
+		(rng.Float64()*2-1)*scale,
+		(rng.Float64()*2-1)*scale,
+	)
+}

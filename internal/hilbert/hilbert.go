@@ -1,0 +1,212 @@
+// Package hilbert implements a three-dimensional Hilbert space-filling curve.
+//
+// The curve maps points of a 2^order × 2^order × 2^order integer grid to a
+// one-dimensional index such that points close on the curve are close in
+// space. Two consumers rely on it:
+//
+//   - the storage layout: FLAT and the paged R-tree place spatially close
+//     elements on the same disk page by sorting elements in Hilbert order, the
+//     layout the FLAT paper uses for its sequential page numbering; and
+//   - the Hilbert prefetching baseline from Park & Kim (TKDE 2001), which
+//     prefetches the pages that follow the current page in curve order.
+//
+// The transpose-based algorithm is Skilling's ("Programming the Hilbert
+// curve", AIP 2004): coordinates are interleaved into a Hilbert "transpose"
+// form and converted with O(order) bit manipulation, with no lookup tables,
+// which keeps the package dependency-free and the encoding bijective for any
+// order up to 21 (63-bit indexes).
+package hilbert
+
+import (
+	"fmt"
+
+	"neurospatial/internal/geom"
+)
+
+// MaxOrder is the largest supported curve order; 21 bits per axis fills the
+// 63 usable bits of the uint64 index.
+const MaxOrder = 21
+
+// Curve is a 3-D Hilbert curve of a fixed order covering a fixed spatial
+// region. The zero value is not usable; construct curves with New.
+type Curve struct {
+	order int
+	box   geom.AABB
+	scale geom.Vec // grid cells per spatial unit on each axis
+}
+
+// New returns a curve of the given order (1..MaxOrder) covering box. Spatial
+// points are quantized onto the curve grid before encoding; degenerate boxes
+// (zero extent on an axis) quantize that axis to cell 0.
+func New(order int, box geom.AABB) (*Curve, error) {
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("hilbert: order %d out of range [1,%d]", order, MaxOrder)
+	}
+	if box.IsEmpty() {
+		return nil, fmt.Errorf("hilbert: empty box %v", box)
+	}
+	n := float64(uint64(1) << order)
+	size := box.Size()
+	scale := geom.Vec{}
+	if size.X > 0 {
+		scale.X = n / size.X
+	}
+	if size.Y > 0 {
+		scale.Y = n / size.Y
+	}
+	if size.Z > 0 {
+		scale.Z = n / size.Z
+	}
+	return &Curve{order: order, box: box, scale: scale}, nil
+}
+
+// MustNew is New for static configurations that cannot fail.
+func MustNew(order int, box geom.AABB) *Curve {
+	c, err := New(order, box)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Order returns the curve order.
+func (c *Curve) Order() int { return c.order }
+
+// Bits returns the total number of index bits (3 × order).
+func (c *Curve) Bits() int { return 3 * c.order }
+
+// MaxIndex returns the largest index on the curve (2^(3·order) − 1).
+func (c *Curve) MaxIndex() uint64 { return (uint64(1) << (3 * c.order)) - 1 }
+
+// Cell quantizes a spatial point to integer grid coordinates, clamping points
+// outside the curve's box onto its boundary cells.
+func (c *Curve) Cell(p geom.Vec) (x, y, z uint32) {
+	max := (uint64(1) << c.order) - 1
+	q := p.Sub(c.box.Min)
+	x = clampCell(q.X*c.scale.X, max)
+	y = clampCell(q.Y*c.scale.Y, max)
+	z = clampCell(q.Z*c.scale.Z, max)
+	return
+}
+
+// Index returns the Hilbert index of the spatial point p.
+func (c *Curve) Index(p geom.Vec) uint64 {
+	x, y, z := c.Cell(p)
+	return Encode(c.order, x, y, z)
+}
+
+// CellCenter returns the spatial center of the grid cell (x, y, z).
+func (c *Curve) CellCenter(x, y, z uint32) geom.Vec {
+	n := float64(uint64(1) << c.order)
+	size := c.box.Size()
+	return geom.Vec{
+		X: c.box.Min.X + (float64(x)+0.5)/n*size.X,
+		Y: c.box.Min.Y + (float64(y)+0.5)/n*size.Y,
+		Z: c.box.Min.Z + (float64(z)+0.5)/n*size.Z,
+	}
+}
+
+// Point returns the spatial center of the cell at Hilbert index i.
+func (c *Curve) Point(i uint64) geom.Vec {
+	x, y, z := Decode(c.order, i)
+	return c.CellCenter(x, y, z)
+}
+
+func clampCell(v float64, max uint64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	u := uint64(v)
+	if u > max {
+		u = max
+	}
+	return uint32(u)
+}
+
+// Encode maps grid coordinates to a Hilbert index for a curve of the given
+// order. Coordinates must fit in order bits; higher bits are ignored.
+func Encode(order int, x, y, z uint32) uint64 {
+	mask := uint32(1)<<order - 1
+	X := [3]uint32{x & mask, y & mask, z & mask}
+
+	// Inverse undo excess work (Skilling's transpose-to-axes inverse).
+	m := uint32(1) << (order - 1)
+	// Gray decode the axes into transpose form.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < 3; i++ {
+			if X[i]&q != 0 {
+				X[0] ^= p // invert
+			} else {
+				t := (X[0] ^ X[i]) & p
+				X[0] ^= t
+				X[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < 3; i++ {
+		X[i] ^= X[i-1]
+	}
+	t := uint32(0)
+	for q := m; q > 1; q >>= 1 {
+		if X[2]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < 3; i++ {
+		X[i] ^= t
+	}
+
+	return interleave(order, X)
+}
+
+// Decode maps a Hilbert index back to grid coordinates.
+func Decode(order int, h uint64) (x, y, z uint32) {
+	X := deinterleave(order, h)
+
+	// Gray decode by H ^ (H/2).
+	n := uint32(2) << (order - 1)
+	t := X[2] >> 1
+	for i := 2; i > 0; i-- {
+		X[i] ^= X[i-1]
+	}
+	X[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != n; q <<= 1 {
+		p := q - 1
+		for i := 2; i >= 0; i-- {
+			if X[i]&q != 0 {
+				X[0] ^= p
+			} else {
+				t := (X[0] ^ X[i]) & p
+				X[0] ^= t
+				X[i] ^= t
+			}
+		}
+	}
+	return X[0], X[1], X[2]
+}
+
+// interleave packs the transpose form into a single index: bit b of axis i
+// becomes bit 3*b + (2-i) of the result, most significant bits first.
+func interleave(order int, X [3]uint32) uint64 {
+	var h uint64
+	for b := order - 1; b >= 0; b-- {
+		for i := 0; i < 3; i++ {
+			h = h<<1 | uint64((X[i]>>b)&1)
+		}
+	}
+	return h
+}
+
+func deinterleave(order int, h uint64) [3]uint32 {
+	var X [3]uint32
+	for b := 0; b < order; b++ {
+		for i := 2; i >= 0; i-- {
+			X[i] |= uint32(h&1) << b
+			h >>= 1
+		}
+	}
+	return X
+}

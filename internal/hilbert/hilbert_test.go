@@ -1,0 +1,179 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neurospatial/internal/geom"
+)
+
+func TestEncodeDecodeRoundTripSmall(t *testing.T) {
+	for order := 1; order <= 4; order++ {
+		n := uint32(1) << order
+		seen := make(map[uint64]bool, int(n)*int(n)*int(n))
+		for x := uint32(0); x < n; x++ {
+			for y := uint32(0); y < n; y++ {
+				for z := uint32(0); z < n; z++ {
+					h := Encode(order, x, y, z)
+					if h > (uint64(1)<<(3*order))-1 {
+						t.Fatalf("order %d: index %d out of range", order, h)
+					}
+					if seen[h] {
+						t.Fatalf("order %d: duplicate index %d", order, h)
+					}
+					seen[h] = true
+					gx, gy, gz := Decode(order, h)
+					if gx != x || gy != y || gz != z {
+						t.Fatalf("order %d: roundtrip (%d,%d,%d) -> %d -> (%d,%d,%d)",
+							order, x, y, z, h, gx, gy, gz)
+					}
+				}
+			}
+		}
+		if len(seen) != int(n)*int(n)*int(n) {
+			t.Fatalf("order %d: not a bijection, %d cells", order, len(seen))
+		}
+	}
+}
+
+// Property: consecutive indexes map to grid-adjacent cells (the defining
+// continuity property of the Hilbert curve).
+func TestCurveContinuity(t *testing.T) {
+	for order := 1; order <= 3; order++ {
+		total := uint64(1) << (3 * order)
+		px, py, pz := Decode(order, 0)
+		for h := uint64(1); h < total; h++ {
+			x, y, z := Decode(order, h)
+			d := absDiff(x, px) + absDiff(y, py) + absDiff(z, pz)
+			if d != 1 {
+				t.Fatalf("order %d: step %d jumps %d cells: (%d,%d,%d)->(%d,%d,%d)",
+					order, h, d, px, py, pz, x, y, z)
+			}
+			px, py, pz = x, y, z
+		}
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Property: roundtrip holds for random coordinates at high order.
+func TestQuickRoundTripOrder21(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		mask := uint32(1)<<MaxOrder - 1
+		x, y, z = x&mask, y&mask, z&mask
+		gx, gy, gz := Decode(MaxOrder, Encode(MaxOrder, x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	box := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	if _, err := New(0, box); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := New(MaxOrder+1, box); err == nil {
+		t.Error("order 22 accepted")
+	}
+	if _, err := New(4, geom.EmptyAABB()); err == nil {
+		t.Error("empty box accepted")
+	}
+	c, err := New(4, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Order() != 4 || c.Bits() != 12 || c.MaxIndex() != 4095 {
+		t.Errorf("curve metadata wrong: order=%d bits=%d max=%d", c.Order(), c.Bits(), c.MaxIndex())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)))
+}
+
+func TestCurveIndexClampsOutside(t *testing.T) {
+	c := MustNew(5, geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10)))
+	inside := c.Index(geom.V(5, 5, 5))
+	_ = inside
+	lo := c.Index(geom.V(-100, -100, -100))
+	hi := c.Index(geom.V(100, 100, 100))
+	if x, y, z := c.Cell(geom.V(-100, 0, 0)); x != 0 {
+		t.Errorf("below-range cell = (%d,%d,%d)", x, y, z)
+	}
+	if x, _, _ := c.Cell(geom.V(100, 0, 0)); x != 31 {
+		t.Errorf("above-range x cell = %d", x)
+	}
+	if lo > c.MaxIndex() || hi > c.MaxIndex() {
+		t.Error("clamped index out of range")
+	}
+}
+
+func TestCurvePointInverse(t *testing.T) {
+	c := MustNew(6, geom.Box(geom.V(-5, -5, -5), geom.V(5, 5, 5)))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		p := geom.V(rng.Float64()*10-5, rng.Float64()*10-5, rng.Float64()*10-5)
+		h := c.Index(p)
+		q := c.Point(h)
+		// q is the center of p's cell: same cell, so same index.
+		if c.Index(q) != h {
+			t.Fatalf("Point/Index not inverse at %v: %d vs %d", p, h, c.Index(q))
+		}
+		// Cell size is 10/64; center is within half a cell diagonal.
+		if p.Dist(q) > 10.0/64*0.87+1e-9 {
+			t.Fatalf("cell center too far: %v vs %v", p, q)
+		}
+	}
+}
+
+// Locality: points that are close in space should on average be close on the
+// curve compared to random pairs. This is a statistical property, checked
+// with a generous margin so it never flakes.
+func TestCurveLocality(t *testing.T) {
+	c := MustNew(8, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)))
+	rng := rand.New(rand.NewSource(12))
+	var nearSum, farSum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		p := geom.V(rng.Float64(), rng.Float64(), rng.Float64())
+		q := p.Add(geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalize().Scale(0.01))
+		r := geom.V(rng.Float64(), rng.Float64(), rng.Float64())
+		nearSum += absU64(c.Index(p), c.Index(q))
+		farSum += absU64(c.Index(p), c.Index(r))
+	}
+	if nearSum*10 > farSum {
+		t.Errorf("curve locality weak: near avg %.3g vs far avg %.3g", nearSum/float64(n), farSum/float64(n))
+	}
+}
+
+func absU64(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func BenchmarkEncodeOrder21(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(21, uint32(i)*2654435761, uint32(i)*40503, uint32(i)*9973)
+	}
+}
+
+func BenchmarkDecodeOrder21(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Decode(21, uint64(i)*0x9E3779B97F4A7C15>>1)
+	}
+}

@@ -1,0 +1,99 @@
+// Package join defines the spatial distance-join framework of §4 of the
+// paper and implements every baseline algorithm the demo lets the audience
+// run against TOUCH:
+//
+//   - NestedLoop — the O(n·m) in-memory join the paper attributes to Mishra &
+//     Eich's survey; the approach the neuroscientists started from.
+//   - SweepLine — a scalable sweep join in the style of Edelsbrunner's plane
+//     sweep: sort both sets on X, sweep once, keep active lists. Degrades
+//     when many elements overlap on the sweep axis (dense data), the failure
+//     mode §4 calls out.
+//   - PBSM — Partition Based Spatial-Merge (Patel & DeWitt): partition both
+//     datasets into a uniform grid, join cell-by-cell, deduplicate replicated
+//     results with the reference-point method. Fast, but replication costs
+//     memory — the drawback §4 cites.
+//   - S3 — synchronized R-tree traversal (à la Brinkhoff et al.): build an
+//     R-tree on each dataset and descend matching node pairs. Small memory
+//     footprint but excessive node-pair expansion under overlap.
+//
+// TOUCH itself lives in the touch package and satisfies the same Algorithm
+// interface. The workload is the synapse-placement join: find all pairs of
+// capsules from two datasets whose surfaces come within eps of each other
+// ("close enough for electrical impulses to leap over", §4).
+//
+// Every algorithm reports Stats with the three quantities the demo's runtime
+// charts display: time spent, memory footprint, and the number of pairwise
+// (exact geometric) comparisons.
+package join
+
+import (
+	"time"
+
+	"neurospatial/internal/geom"
+)
+
+// Object is one join operand: a capsule with its cached bounding box.
+type Object struct {
+	// ID is the caller's identifier, reported in result pairs.
+	ID int32
+	// Seg is the capsule geometry used by the exact predicate.
+	Seg geom.Segment
+	// Box caches Seg.Bounds(); Make fills it.
+	Box geom.AABB
+}
+
+// Make builds an Object with its box cached.
+func Make(id int32, s geom.Segment) Object {
+	return Object{ID: id, Seg: s, Box: s.Bounds()}
+}
+
+// Pair is one join result: the IDs of an object from A and an object from B
+// whose capsule surfaces are within eps.
+type Pair struct {
+	A, B int32
+}
+
+// Stats describes the work one join performed. The demo updates charts with
+// exactly these quantities at runtime (§4.2: "time spent on the join, memory
+// footprint as well as the number of pairwise comparisons needed").
+type Stats struct {
+	// BuildTime is the time spent building auxiliary structures (indexes,
+	// partitions, sort orders).
+	BuildTime time.Duration
+	// ProbeTime is the time spent matching.
+	ProbeTime time.Duration
+	// Comparisons counts exact capsule-distance evaluations (the expensive
+	// refinement predicate).
+	Comparisons int64
+	// BoxTests counts box-overlap filter tests.
+	BoxTests int64
+	// NodePairs counts tree node-pair visits (S3/TOUCH style algorithms).
+	NodePairs int64
+	// Results counts emitted pairs.
+	Results int64
+	// ExtraBytes estimates the peak auxiliary memory of the algorithm
+	// beyond the input arrays, in bytes (replication shows up here).
+	ExtraBytes int64
+}
+
+// TotalTime returns build plus probe time.
+func (s Stats) TotalTime() time.Duration { return s.BuildTime + s.ProbeTime }
+
+// Algorithm is a two-way spatial distance join.
+type Algorithm interface {
+	// Name returns the display name used in experiment tables.
+	Name() string
+	// Join emits every pair (a ∈ A, b ∈ B) with a.Seg within eps of b.Seg.
+	// Pairs are emitted exactly once, in unspecified order.
+	Join(a, b []Object, eps float64, emit func(Pair)) Stats
+}
+
+// objectBytes is the in-memory size of one Object for ExtraBytes accounting:
+// ID + 7 float64 + box (6 float64) rounded to what the Go runtime lays out.
+const objectBytes = 8 + 7*8 + 6*8
+
+// within is the exact join predicate, shared by all algorithms so their
+// comparison counts are directly comparable.
+func within(a, b *Object, eps float64) bool {
+	return a.Seg.WithinDist(b.Seg, eps)
+}

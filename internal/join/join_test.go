@@ -1,0 +1,206 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurospatial/internal/geom"
+)
+
+// randObjects builds n random capsules in a cube.
+func randObjects(rng *rand.Rand, n int, extent float64) []Object {
+	out := make([]Object, n)
+	for i := range out {
+		a := geom.V(rng.Float64()*extent, rng.Float64()*extent, rng.Float64()*extent)
+		dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).
+			Normalize().Scale(rng.Float64()*extent/20 + 0.1)
+		out[i] = Make(int32(i), geom.Seg(a, a.Add(dir), rng.Float64()*0.3+0.05))
+	}
+	return out
+}
+
+// oracle computes the exact join result by brute force.
+func oracle(a, b []Object, eps float64) map[Pair]bool {
+	out := make(map[Pair]bool)
+	for i := range a {
+		for j := range b {
+			if a[i].Seg.WithinDist(b[j].Seg, eps) {
+				out[Pair{A: a[i].ID, B: b[j].ID}] = true
+			}
+		}
+	}
+	return out
+}
+
+// runAndCheck runs alg and verifies the emitted pairs against the oracle.
+func runAndCheck(t *testing.T, alg Algorithm, a, b []Object, eps float64) Stats {
+	t.Helper()
+	want := oracle(a, b, eps)
+	got := make(map[Pair]int)
+	st := alg.Join(a, b, eps, func(p Pair) { got[p]++ })
+	for p, n := range got {
+		if n != 1 {
+			t.Fatalf("%s: pair %v emitted %d times", alg.Name(), p, n)
+		}
+		if !want[p] {
+			t.Fatalf("%s: spurious pair %v", alg.Name(), p)
+		}
+	}
+	for p := range want {
+		if got[p] == 0 {
+			t.Fatalf("%s: missed pair %v", alg.Name(), p)
+		}
+	}
+	if st.Results != int64(len(want)) {
+		t.Fatalf("%s: Results=%d, oracle=%d", alg.Name(), st.Results, len(want))
+	}
+	return st
+}
+
+func algorithms() []Algorithm {
+	return []Algorithm{NestedLoop{}, SweepLine{}, PBSM{}, S3{}}
+}
+
+func TestAllAlgorithmsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := randObjects(rng, 300, 20)
+	b := randObjects(rng, 280, 20)
+	for _, eps := range []float64{0, 0.1, 0.5, 2} {
+		for _, alg := range algorithms() {
+			runAndCheck(t, alg, a, b, eps)
+		}
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := randObjects(rng, 200, 15)
+	for _, alg := range algorithms() {
+		runAndCheck(t, alg, a, a, 0.3)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	a := randObjects(rng, 50, 10)
+	for _, alg := range algorithms() {
+		st := alg.Join(nil, a, 1, func(Pair) { t.Fatalf("%s emitted on empty A", alg.Name()) })
+		if st.Results != 0 {
+			t.Fatalf("%s: results on empty A", alg.Name())
+		}
+		st = alg.Join(a, nil, 1, func(Pair) { t.Fatalf("%s emitted on empty B", alg.Name()) })
+		if st.Results != 0 {
+			t.Fatalf("%s: results on empty B", alg.Name())
+		}
+	}
+}
+
+func TestDisjointClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := randObjects(rng, 150, 10)
+	b := randObjects(rng, 150, 10)
+	// Shift B far away: zero results, and smart algorithms should do few
+	// comparisons.
+	for i := range b {
+		b[i].Seg.A = b[i].Seg.A.Add(geom.V(1000, 0, 0))
+		b[i].Seg.B = b[i].Seg.B.Add(geom.V(1000, 0, 0))
+		b[i].Box = b[i].Seg.Bounds()
+	}
+	for _, alg := range algorithms() {
+		st := runAndCheck(t, alg, a, b, 1)
+		if st.Results != 0 {
+			t.Fatalf("%s: found pairs across 1000-unit gap", alg.Name())
+		}
+	}
+	// S3 prunes at the root: almost no comparisons.
+	st := S3{}.Join(a, b, 1, func(Pair) {})
+	if st.Comparisons != 0 {
+		t.Errorf("S3 did %d comparisons on disjoint data", st.Comparisons)
+	}
+}
+
+func TestTouchingAtExactEps(t *testing.T) {
+	// Two parallel unit segments exactly eps apart (surface to surface).
+	a := []Object{Make(0, geom.Seg(geom.V(0, 0, 0), geom.V(1, 0, 0), 0.5))}
+	b := []Object{Make(0, geom.Seg(geom.V(0, 2, 0), geom.V(1, 2, 0), 0.5))}
+	// Surfaces are 2 - 0.5 - 0.5 = 1 apart.
+	for _, alg := range algorithms() {
+		got := 0
+		alg.Join(a, b, 1.0, func(Pair) { got++ })
+		if got != 1 {
+			t.Errorf("%s: boundary pair at exact eps not found", alg.Name())
+		}
+		got = 0
+		alg.Join(a, b, 0.999, func(Pair) { got++ })
+		if got != 0 {
+			t.Errorf("%s: pair found below eps", alg.Name())
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	a := randObjects(rng, 400, 15)
+	b := randObjects(rng, 400, 15)
+	eps := 0.4
+
+	nl := NestedLoop{}.Join(a, b, eps, func(Pair) {})
+	if nl.BoxTests != int64(len(a))*int64(len(b)) {
+		t.Errorf("NestedLoop box tests = %d, want %d", nl.BoxTests, len(a)*len(b))
+	}
+	if nl.ExtraBytes != 0 {
+		t.Errorf("NestedLoop reported %d extra bytes", nl.ExtraBytes)
+	}
+
+	sw := SweepLine{}.Join(a, b, eps, func(Pair) {})
+	if sw.BoxTests >= nl.BoxTests {
+		t.Errorf("sweep did not reduce box tests: %d vs %d", sw.BoxTests, nl.BoxTests)
+	}
+	if sw.ExtraBytes <= 0 || sw.ExtraBytes >= nl.BoxTests {
+		t.Errorf("sweep extra bytes implausible: %d", sw.ExtraBytes)
+	}
+
+	pb := PBSM{}.Join(a, b, eps, func(Pair) {})
+	if pb.Comparisons >= nl.Comparisons*4 {
+		t.Errorf("PBSM comparisons exploded: %d vs NL %d", pb.Comparisons, nl.Comparisons)
+	}
+	if pb.ExtraBytes <= 0 {
+		t.Error("PBSM reported no partition memory")
+	}
+
+	s3 := S3{}.Join(a, b, eps, func(Pair) {})
+	if s3.NodePairs == 0 {
+		t.Error("S3 reported no node pairs")
+	}
+	// All algorithms agree on result count.
+	if sw.Results != nl.Results || pb.Results != nl.Results || s3.Results != nl.Results {
+		t.Errorf("result counts disagree: nl=%d sw=%d pb=%d s3=%d",
+			nl.Results, sw.Results, pb.Results, s3.Results)
+	}
+}
+
+func TestPBSMPerCellParameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	a := randObjects(rng, 500, 15)
+	b := randObjects(rng, 500, 15)
+	coarse := PBSM{PerCell: 250}.Join(a, b, 0.3, func(Pair) {})
+	fine := PBSM{PerCell: 4}.Join(a, b, 0.3, func(Pair) {})
+	if coarse.Results != fine.Results {
+		t.Fatalf("grid resolution changed results: %d vs %d", coarse.Results, fine.Results)
+	}
+	// Finer grids replicate more.
+	if fine.ExtraBytes <= coarse.ExtraBytes {
+		t.Errorf("finer grid should use more memory: %d vs %d", fine.ExtraBytes, coarse.ExtraBytes)
+	}
+}
+
+func TestMakeCachesBox(t *testing.T) {
+	s := geom.Seg(geom.V(0, 0, 0), geom.V(1, 2, 3), 0.5)
+	o := Make(7, s)
+	if o.ID != 7 || o.Box != s.Bounds() {
+		t.Errorf("Make = %+v", o)
+	}
+	if (Stats{BuildTime: 2, ProbeTime: 3}).TotalTime() != 5 {
+		t.Error("TotalTime wrong")
+	}
+}

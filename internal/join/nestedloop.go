@@ -1,0 +1,36 @@
+package join
+
+import "time"
+
+// NestedLoop is the quadratic baseline: every object of A is compared with
+// every object of B, with only the box filter between them and the exact
+// predicate. §4 of the paper cites its O(n²) complexity as the reason the
+// neuroscientists needed better tools.
+type NestedLoop struct{}
+
+// Name implements Algorithm.
+func (NestedLoop) Name() string { return "NestedLoop" }
+
+// Join implements Algorithm.
+func (NestedLoop) Join(a, b []Object, eps float64, emit func(Pair)) Stats {
+	var st Stats
+	start := time.Now()
+	for i := range a {
+		// Expanding A's box by eps makes the box test a correct filter for
+		// the distance predicate.
+		abox := a[i].Box.Expand(eps)
+		for j := range b {
+			st.BoxTests++
+			if !abox.Intersects(b[j].Box) {
+				continue
+			}
+			st.Comparisons++
+			if within(&a[i], &b[j], eps) {
+				st.Results++
+				emit(Pair{A: a[i].ID, B: b[j].ID})
+			}
+		}
+	}
+	st.ProbeTime = time.Since(start)
+	return st
+}

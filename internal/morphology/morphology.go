@@ -1,0 +1,360 @@
+// Package morphology generates synthetic neuron morphologies.
+//
+// The Blue Brain Project datasets the paper demonstrates on are proprietary,
+// so this package is the substitution substrate called out in DESIGN.md: it
+// produces branching capsule-chain morphologies whose geometric statistics
+// (elongated, tortuous, bifurcating branches of tapering thickness densely
+// interleaved in tissue) match the properties the three demonstrated
+// techniques depend on:
+//
+//   - dense, overlapping elongated elements defeat R-tree MBRs (what FLAT
+//     addresses),
+//   - jagged irregular paths defeat straight-line query-location
+//     extrapolation (what SCOUT addresses), and
+//   - branches of different cells passing within a synaptic gap of each other
+//     create the distance-join workload (what TOUCH addresses).
+//
+// Every morphology carries its ground-truth branch topology, which the SCOUT
+// experiments use to script walkthroughs along real branches and to verify
+// structure identification.
+package morphology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neurospatial/internal/geom"
+)
+
+// BranchKind distinguishes the neurite types of a morphology.
+type BranchKind uint8
+
+// Branch kinds. Axons are long and thin and project far from the soma;
+// dendrites are shorter, thicker and bushier — the generator follows the same
+// convention.
+const (
+	KindSoma BranchKind = iota
+	KindDendrite
+	KindAxon
+)
+
+// String returns the lowercase kind name.
+func (k BranchKind) String() string {
+	switch k {
+	case KindSoma:
+		return "soma"
+	case KindDendrite:
+		return "dendrite"
+	case KindAxon:
+		return "axon"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Branch is one unbranched neurite section: a chain of sample points between
+// two topological events (soma→bifurcation, bifurcation→bifurcation, or
+// bifurcation→terminal).
+type Branch struct {
+	// ID is the branch's index within its morphology.
+	ID int
+	// Parent is the ID of the branch this one bifurcated from, or -1 for
+	// branches rooted at the soma.
+	Parent int
+	// Kind is the neurite type.
+	Kind BranchKind
+	// Order is the centrifugal branch order: 0 for stems, parent.Order+1
+	// otherwise.
+	Order int
+	// Points are the sample points along the branch. The first point joins
+	// the parent branch (or the soma surface).
+	Points []geom.Vec
+	// Radii holds the branch thickness at each point; len(Radii) ==
+	// len(Points).
+	Radii []float64
+}
+
+// NumSegments returns the number of capsule segments of the branch.
+func (b *Branch) NumSegments() int {
+	if len(b.Points) < 2 {
+		return 0
+	}
+	return len(b.Points) - 1
+}
+
+// Segment returns the i-th capsule of the branch. The capsule radius is the
+// mean of the two endpoint radii.
+func (b *Branch) Segment(i int) geom.Segment {
+	return geom.Seg(b.Points[i], b.Points[i+1], (b.Radii[i]+b.Radii[i+1])/2)
+}
+
+// Length returns the total path length of the branch.
+func (b *Branch) Length() float64 {
+	var l float64
+	for i := 0; i+1 < len(b.Points); i++ {
+		l += b.Points[i].Dist(b.Points[i+1])
+	}
+	return l
+}
+
+// Morphology is one synthetic neuron: a soma sphere plus a tree of branches.
+type Morphology struct {
+	// Soma is the cell body, a degenerate capsule (sphere).
+	Soma geom.Segment
+	// Branches holds all neurite sections, indexed by Branch.ID. Parents
+	// always precede children.
+	Branches []*Branch
+}
+
+// NumSegments returns the total number of capsule segments including the soma.
+func (m *Morphology) NumSegments() int {
+	n := 1
+	for _, b := range m.Branches {
+		n += b.NumSegments()
+	}
+	return n
+}
+
+// Bounds returns the bounding box of the whole morphology.
+func (m *Morphology) Bounds() geom.AABB {
+	box := m.Soma.Bounds()
+	for _, b := range m.Branches {
+		for i := 0; i < b.NumSegments(); i++ {
+			box = box.Union(b.Segment(i).Bounds())
+		}
+	}
+	return box
+}
+
+// Children returns the IDs of the branches whose Parent is id (-1 for stems).
+func (m *Morphology) Children(id int) []int {
+	var out []int
+	for _, b := range m.Branches {
+		if b.Parent == id {
+			out = append(out, b.ID)
+		}
+	}
+	return out
+}
+
+// Terminals returns the IDs of branches with no children (the branch tips a
+// walkthrough can start or end at).
+func (m *Morphology) Terminals() []int {
+	hasChild := make([]bool, len(m.Branches))
+	for _, b := range m.Branches {
+		if b.Parent >= 0 {
+			hasChild[b.Parent] = true
+		}
+	}
+	var out []int
+	for _, b := range m.Branches {
+		if !hasChild[b.ID] {
+			out = append(out, b.ID)
+		}
+	}
+	return out
+}
+
+// PathToRoot returns the branch IDs from branch id up to (and including) its
+// stem branch.
+func (m *Morphology) PathToRoot(id int) []int {
+	var out []int
+	for id >= 0 {
+		out = append(out, id)
+		id = m.Branches[id].Parent
+	}
+	return out
+}
+
+// Params controls the generator. All lengths are in micrometers, matching the
+// scale of cortical neurons, so densities derived from these defaults land in
+// a biologically plausible regime.
+type Params struct {
+	// SomaRadius is the cell-body radius. Default 8.
+	SomaRadius float64
+	// NumDendrites is the number of dendrite stems leaving the soma.
+	// Default 5.
+	NumDendrites int
+	// IncludeAxon adds one axon stem. Default true (set via DefaultParams).
+	IncludeAxon bool
+	// StepLength is the sample-point spacing along branches. Default 4.
+	StepLength float64
+	// DendriteExtent is the mean total path length from soma to a dendrite
+	// tip. Default 150.
+	DendriteExtent float64
+	// AxonExtent is the mean total path length from soma to an axon tip.
+	// Default 400.
+	AxonExtent float64
+	// Tortuosity in [0,1) controls how jagged branches are: the direction at
+	// each step is a blend of the previous direction and a random unit
+	// vector with weight Tortuosity. Default 0.35.
+	Tortuosity float64
+	// BifurcationProb is the per-step probability that a branch splits.
+	// Default 0.045.
+	BifurcationProb float64
+	// MaxBranchOrder caps the bifurcation depth. Default 5.
+	MaxBranchOrder int
+	// StemRadius is the neurite thickness at the soma. Default 1.2.
+	StemRadius float64
+	// TaperPerStep multiplies the radius each step (<1 tapers). Default
+	// 0.985, floored at MinRadius.
+	TaperPerStep float64
+	// MinRadius floors the taper. Default 0.2.
+	MinRadius float64
+}
+
+// DefaultParams returns the parameter set used throughout the experiments.
+func DefaultParams() Params {
+	return Params{
+		SomaRadius:      8,
+		NumDendrites:    5,
+		IncludeAxon:     true,
+		StepLength:      4,
+		DendriteExtent:  150,
+		AxonExtent:      400,
+		Tortuosity:      0.35,
+		BifurcationProb: 0.045,
+		MaxBranchOrder:  5,
+		StemRadius:      1.2,
+		TaperPerStep:    0.985,
+		MinRadius:       0.2,
+	}
+}
+
+// sanitize fills zero values with defaults so a partially specified Params is
+// usable.
+func (p Params) sanitize() Params {
+	d := DefaultParams()
+	if p.SomaRadius <= 0 {
+		p.SomaRadius = d.SomaRadius
+	}
+	if p.NumDendrites <= 0 {
+		p.NumDendrites = d.NumDendrites
+	}
+	if p.StepLength <= 0 {
+		p.StepLength = d.StepLength
+	}
+	if p.DendriteExtent <= 0 {
+		p.DendriteExtent = d.DendriteExtent
+	}
+	if p.AxonExtent <= 0 {
+		p.AxonExtent = d.AxonExtent
+	}
+	if p.Tortuosity < 0 || p.Tortuosity >= 1 {
+		p.Tortuosity = d.Tortuosity
+	}
+	if p.BifurcationProb <= 0 {
+		p.BifurcationProb = d.BifurcationProb
+	}
+	if p.MaxBranchOrder <= 0 {
+		p.MaxBranchOrder = d.MaxBranchOrder
+	}
+	if p.StemRadius <= 0 {
+		p.StemRadius = d.StemRadius
+	}
+	if p.TaperPerStep <= 0 || p.TaperPerStep > 1 {
+		p.TaperPerStep = d.TaperPerStep
+	}
+	if p.MinRadius <= 0 {
+		p.MinRadius = d.MinRadius
+	}
+	return p
+}
+
+// Generate builds one morphology with its soma at center, deterministically
+// from the given seed.
+func Generate(center geom.Vec, params Params, seed int64) *Morphology {
+	p := params.sanitize()
+	rng := rand.New(rand.NewSource(seed))
+	m := &Morphology{Soma: geom.Sphere(center, p.SomaRadius)}
+
+	type stem struct {
+		kind   BranchKind
+		extent float64
+	}
+	stems := make([]stem, 0, p.NumDendrites+1)
+	for i := 0; i < p.NumDendrites; i++ {
+		stems = append(stems, stem{KindDendrite, p.DendriteExtent})
+	}
+	includeAxon := p.IncludeAxon
+	if params == (Params{}) {
+		// A fully zero Params means "all defaults", which include the axon.
+		includeAxon = DefaultParams().IncludeAxon
+	}
+	if includeAxon {
+		stems = append(stems, stem{KindAxon, p.AxonExtent})
+	}
+
+	for _, st := range stems {
+		dir := randUnit(rng)
+		start := center.Add(dir.Scale(p.SomaRadius))
+		budget := st.extent * (0.75 + rng.Float64()*0.5)
+		growBranch(m, rng, p, st.kind, -1, 0, start, dir, p.StemRadius, budget)
+	}
+	return m
+}
+
+// growBranch extrudes one branch and recursively grows children at
+// bifurcations. budget is the remaining path length to the tips.
+func growBranch(m *Morphology, rng *rand.Rand, p Params, kind BranchKind,
+	parent, order int, start, dir geom.Vec, radius, budget float64) {
+
+	b := &Branch{
+		ID:     len(m.Branches),
+		Parent: parent,
+		Kind:   kind,
+		Order:  order,
+		Points: []geom.Vec{start},
+		Radii:  []float64{radius},
+	}
+	m.Branches = append(m.Branches, b)
+
+	pos := start
+	for budget > 0 {
+		// Blend the previous direction with a random perturbation: momentum
+		// keeps branches extended, the perturbation makes them jagged.
+		dir = dir.Scale(1 - p.Tortuosity).Add(randUnit(rng).Scale(p.Tortuosity)).Normalize()
+		step := p.StepLength
+		if step > budget {
+			step = budget
+		}
+		pos = pos.Add(dir.Scale(step))
+		radius = math.Max(p.MinRadius, radius*p.TaperPerStep)
+		b.Points = append(b.Points, pos)
+		b.Radii = append(b.Radii, radius)
+		budget -= step
+
+		if budget > p.StepLength*2 && order < p.MaxBranchOrder &&
+			rng.Float64() < p.BifurcationProb {
+			// Bifurcate: split the remaining budget between two children
+			// leaving at ±ang around the current direction.
+			axis := randUnit(rng)
+			perp := dir.Cross(axis).Normalize()
+			if perp.Len2() == 0 { // axis parallel to dir; pick any other
+				perp = dir.Cross(geom.V(1, 0, 0)).Normalize()
+				if perp.Len2() == 0 {
+					perp = dir.Cross(geom.V(0, 1, 0)).Normalize()
+				}
+			}
+			ang := 0.4 + rng.Float64()*0.5 // 23°..52° half-angle
+			d1 := dir.Scale(math.Cos(ang)).Add(perp.Scale(math.Sin(ang))).Normalize()
+			d2 := dir.Scale(math.Cos(ang)).Add(perp.Scale(-math.Sin(ang))).Normalize()
+			split := 0.35 + rng.Float64()*0.3
+			// Rall's power rule thins children relative to the parent.
+			childR := math.Max(p.MinRadius, radius*0.8)
+			growBranch(m, rng, p, kind, b.ID, order+1, pos, d1, childR, budget*split)
+			growBranch(m, rng, p, kind, b.ID, order+1, pos, d2, childR, budget*(1-split))
+			return
+		}
+	}
+}
+
+// randUnit returns a uniformly distributed unit vector.
+func randUnit(rng *rand.Rand) geom.Vec {
+	for {
+		v := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		if l := v.Len(); l > 1e-9 {
+			return v.Scale(1 / l)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package morphology
+
+import (
+	"math"
+	"testing"
+
+	"neurospatial/internal/geom"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(geom.V(0, 0, 0), DefaultParams(), 42)
+	b := Generate(geom.V(0, 0, 0), DefaultParams(), 42)
+	if len(a.Branches) != len(b.Branches) {
+		t.Fatalf("branch counts differ: %d vs %d", len(a.Branches), len(b.Branches))
+	}
+	for i := range a.Branches {
+		ba, bb := a.Branches[i], b.Branches[i]
+		if len(ba.Points) != len(bb.Points) {
+			t.Fatalf("branch %d point counts differ", i)
+		}
+		for j := range ba.Points {
+			if ba.Points[j] != bb.Points[j] || ba.Radii[j] != bb.Radii[j] {
+				t.Fatalf("branch %d point %d differs", i, j)
+			}
+		}
+	}
+	c := Generate(geom.V(0, 0, 0), DefaultParams(), 43)
+	if len(c.Branches) == len(a.Branches) && samePoints(a, c) {
+		t.Error("different seeds produced identical morphologies")
+	}
+}
+
+func samePoints(a, c *Morphology) bool {
+	for i := range a.Branches {
+		if len(a.Branches[i].Points) != len(c.Branches[i].Points) {
+			return false
+		}
+		for j := range a.Branches[i].Points {
+			if a.Branches[i].Points[j] != c.Branches[i].Points[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTopologyInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := Generate(geom.V(0, 0, 0), DefaultParams(), seed)
+		if len(m.Branches) < 6 {
+			t.Fatalf("seed %d: only %d branches (want >= stems)", seed, len(m.Branches))
+		}
+		stems := 0
+		for i, b := range m.Branches {
+			if b.ID != i {
+				t.Fatalf("seed %d: branch %d has ID %d", seed, i, b.ID)
+			}
+			if b.Parent >= b.ID {
+				t.Fatalf("seed %d: branch %d has non-preceding parent %d", seed, i, b.Parent)
+			}
+			if b.Parent == -1 {
+				stems++
+				if b.Order != 0 {
+					t.Fatalf("seed %d: stem %d has order %d", seed, i, b.Order)
+				}
+			} else {
+				p := m.Branches[b.Parent]
+				if b.Order != p.Order+1 {
+					t.Fatalf("seed %d: branch %d order %d but parent order %d", seed, i, b.Order, p.Order)
+				}
+				// Child starts where a parent point is.
+				last := p.Points[len(p.Points)-1]
+				if b.Points[0] != last {
+					// bifurcations occur mid-extension: child root must equal
+					// the parent's final point because growth stops at splits.
+					t.Fatalf("seed %d: branch %d does not start at parent tip", seed, i)
+				}
+			}
+			if len(b.Points) != len(b.Radii) {
+				t.Fatalf("seed %d: branch %d points/radii mismatch", seed, i)
+			}
+			if len(b.Points) < 2 {
+				t.Fatalf("seed %d: branch %d has %d points", seed, i, len(b.Points))
+			}
+			for _, r := range b.Radii {
+				if r <= 0 {
+					t.Fatalf("seed %d: nonpositive radius", seed)
+				}
+			}
+		}
+		if stems != DefaultParams().NumDendrites+1 {
+			t.Fatalf("seed %d: %d stems, want %d", seed, stems, DefaultParams().NumDendrites+1)
+		}
+	}
+}
+
+func TestBranchKinds(t *testing.T) {
+	m := Generate(geom.V(0, 0, 0), DefaultParams(), 5)
+	var hasAxon, hasDendrite bool
+	for _, b := range m.Branches {
+		switch b.Kind {
+		case KindAxon:
+			hasAxon = true
+		case KindDendrite:
+			hasDendrite = true
+		case KindSoma:
+			t.Error("branch with soma kind")
+		}
+	}
+	if !hasAxon || !hasDendrite {
+		t.Errorf("axon=%v dendrite=%v", hasAxon, hasDendrite)
+	}
+	if KindSoma.String() != "soma" || KindAxon.String() != "axon" || KindDendrite.String() != "dendrite" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestNoAxonParam(t *testing.T) {
+	p := DefaultParams()
+	p.IncludeAxon = false
+	m := Generate(geom.V(0, 0, 0), p, 1)
+	for _, b := range m.Branches {
+		if b.Kind == KindAxon {
+			t.Fatal("axon generated despite IncludeAxon=false")
+		}
+	}
+}
+
+func TestGeometryPlausible(t *testing.T) {
+	p := DefaultParams()
+	m := Generate(geom.V(10, 20, 30), p, 7)
+	if m.Soma.A != geom.V(10, 20, 30) || m.Soma.Radius != p.SomaRadius {
+		t.Errorf("soma = %v", m.Soma)
+	}
+	bounds := m.Bounds()
+	// The morphology must extend well beyond the soma but stay within the
+	// total budget (max extent * 1.25 + soma).
+	if bounds.Size().Len() < p.SomaRadius*4 {
+		t.Errorf("morphology implausibly small: %v", bounds)
+	}
+	maxReach := p.AxonExtent*1.25 + p.SomaRadius + p.StemRadius
+	for _, b := range m.Branches {
+		for _, pt := range b.Points {
+			if pt.Dist(m.Soma.A) > maxReach {
+				t.Fatalf("point %v exceeds max reach %v", pt, maxReach)
+			}
+			if !pt.IsFinite() {
+				t.Fatal("non-finite point")
+			}
+		}
+	}
+	// Steps are at most StepLength (plus float slack).
+	for _, b := range m.Branches {
+		for i := 0; i+1 < len(b.Points); i++ {
+			if d := b.Points[i].Dist(b.Points[i+1]); d > p.StepLength+1e-9 {
+				t.Fatalf("step length %v exceeds %v", d, p.StepLength)
+			}
+		}
+	}
+}
+
+func TestSegmentsAndLength(t *testing.T) {
+	m := Generate(geom.V(0, 0, 0), DefaultParams(), 3)
+	total := 1 // soma
+	for _, b := range m.Branches {
+		if b.NumSegments() != len(b.Points)-1 {
+			t.Fatalf("NumSegments = %d for %d points", b.NumSegments(), len(b.Points))
+		}
+		total += b.NumSegments()
+		var l float64
+		for i := 0; i < b.NumSegments(); i++ {
+			s := b.Segment(i)
+			l += s.Length()
+			if s.Radius <= 0 {
+				t.Fatal("segment with nonpositive radius")
+			}
+		}
+		if math.Abs(l-b.Length()) > 1e-9 {
+			t.Fatalf("Length() = %v, segment sum = %v", b.Length(), l)
+		}
+	}
+	if m.NumSegments() != total {
+		t.Errorf("NumSegments = %d, want %d", m.NumSegments(), total)
+	}
+}
+
+func TestChildrenTerminalsPath(t *testing.T) {
+	m := Generate(geom.V(0, 0, 0), DefaultParams(), 11)
+	stems := m.Children(-1)
+	if len(stems) != DefaultParams().NumDendrites+1 {
+		t.Fatalf("Children(-1) = %d", len(stems))
+	}
+	terms := m.Terminals()
+	if len(terms) == 0 {
+		t.Fatal("no terminals")
+	}
+	for _, id := range terms {
+		if len(m.Children(id)) != 0 {
+			t.Fatalf("terminal %d has children", id)
+		}
+		path := m.PathToRoot(id)
+		if path[0] != id {
+			t.Fatal("path does not start at the branch")
+		}
+		last := path[len(path)-1]
+		if m.Branches[last].Parent != -1 {
+			t.Fatal("path does not end at a stem")
+		}
+		// Path is strictly decreasing in ID (parents precede children).
+		for i := 0; i+1 < len(path); i++ {
+			if path[i] <= path[i+1] {
+				t.Fatal("path not strictly decreasing")
+			}
+		}
+	}
+	// Bifurcating branches have exactly 2 children in this generator.
+	for _, b := range m.Branches {
+		if n := len(m.Children(b.ID)); n != 0 && n != 2 {
+			t.Fatalf("branch %d has %d children", b.ID, n)
+		}
+	}
+}
+
+func TestSanitizeDefaults(t *testing.T) {
+	m := Generate(geom.V(0, 0, 0), Params{}, 1)
+	// Zero params behave like DefaultParams (including the axon).
+	var hasAxon bool
+	for _, b := range m.Branches {
+		if b.Kind == KindAxon {
+			hasAxon = true
+		}
+	}
+	if !hasAxon {
+		t.Error("zero Params did not default to including an axon")
+	}
+	if m.Soma.Radius != DefaultParams().SomaRadius {
+		t.Errorf("soma radius = %v", m.Soma.Radius)
+	}
+}
+
+func TestTortuosityControlsJaggedness(t *testing.T) {
+	straight := DefaultParams()
+	straight.Tortuosity = 0.05
+	straight.BifurcationProb = 1e-9
+	jagged := DefaultParams()
+	jagged.Tortuosity = 0.8
+	jagged.BifurcationProb = 1e-9
+
+	s := Generate(geom.V(0, 0, 0), straight, 9)
+	j := Generate(geom.V(0, 0, 0), jagged, 9)
+	// Straightness = end-to-end distance / path length, averaged over stems.
+	if ms, mj := meanStraightness(s), meanStraightness(j); ms <= mj {
+		t.Errorf("straightness: low-tortuosity %v <= high-tortuosity %v", ms, mj)
+	}
+}
+
+func meanStraightness(m *Morphology) float64 {
+	var sum float64
+	var n int
+	for _, b := range m.Branches {
+		l := b.Length()
+		if l == 0 {
+			continue
+		}
+		sum += b.Points[0].Dist(b.Points[len(b.Points)-1]) / l
+		n++
+	}
+	return sum / float64(n)
+}

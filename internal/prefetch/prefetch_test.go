@@ -1,0 +1,224 @@
+package prefetch
+
+import (
+	"testing"
+	"time"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/query"
+	"neurospatial/internal/rtree"
+)
+
+type fixture struct {
+	circ  *circuit.Circuit
+	index *flat.Index
+	boxes []geom.AABB
+}
+
+func buildFixture(t testing.TB, neurons int) *fixture {
+	t.Helper()
+	p := circuit.DefaultParams()
+	p.Neurons = neurons
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(300, 300, 300))
+	c, err := circuit.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]rtree.Item, len(c.Elements))
+	for i := range c.Elements {
+		items[i] = rtree.Item{Box: c.Elements[i].Bounds(), ID: c.Elements[i].ID}
+	}
+	idx, err := flat.Build(items, flat.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, path := c.LongestPath()
+	seq, err := query.Walkthrough(path, 8, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := make([]geom.AABB, seq.Len())
+	for i, s := range seq.Steps {
+		boxes[i] = s.Box
+	}
+	return &fixture{circ: c, index: idx, boxes: boxes}
+}
+
+func (f *fixture) simulator() *Simulator {
+	return &Simulator{
+		Index:     f.index,
+		Segment:   func(id int32) geom.Segment { return f.circ.Elements[id].Shape },
+		Cost:      pager.DefaultCostModel(),
+		ThinkTime: 500 * time.Millisecond,
+		PoolPages: f.index.NumPages(),
+	}
+}
+
+func TestBudget(t *testing.T) {
+	s := &Simulator{Cost: pager.CostModel{PageRead: 5 * time.Millisecond}, ThinkTime: 500 * time.Millisecond}
+	if got := s.Budget(); got != 100 {
+		t.Errorf("Budget = %d, want 100", got)
+	}
+	s.Cost.PageRead = 0
+	if got := s.Budget(); got != 0 {
+		t.Errorf("zero-cost Budget = %d", got)
+	}
+}
+
+func TestNonePrefetcher(t *testing.T) {
+	f := buildFixture(t, 8)
+	sim := f.simulator()
+	run, err := sim.Run(None{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Method != "none" {
+		t.Errorf("method = %q", run.Method)
+	}
+	if run.PrefetchReads != 0 || run.PrefetchHits != 0 {
+		t.Errorf("none prefetched: %+v", run)
+	}
+	if run.DemandReads == 0 || run.Latency == 0 {
+		t.Error("walkthrough did no I/O")
+	}
+	if run.Accuracy() != 1 {
+		t.Errorf("vacuous accuracy = %v", run.Accuracy())
+	}
+	if len(run.Steps) != len(f.boxes) {
+		t.Errorf("steps = %d, want %d", len(run.Steps), len(f.boxes))
+	}
+	// Latency equals cost model on demand reads.
+	want := time.Duration(run.DemandReads) * sim.Cost.PageRead
+	if run.Latency != want {
+		t.Errorf("latency %v, want %v", run.Latency, want)
+	}
+}
+
+func TestHilbertPrefetcherFetchesLayoutNeighbors(t *testing.T) {
+	f := buildFixture(t, 8)
+	sim := f.simulator()
+	run, err := sim.Run(Hilbert{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.PrefetchReads == 0 {
+		t.Fatal("hilbert prefetched nothing")
+	}
+	// Walking a branch through an STR layout yields some locality hits.
+	if run.PrefetchHits == 0 {
+		t.Error("hilbert had zero hits on a locality-friendly layout")
+	}
+	// Latency is never worse than no prefetching (prefetch I/O is free
+	// during think time and the pool is large enough not to evict).
+	none, err := sim.Run(None{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Latency > none.Latency {
+		t.Errorf("hilbert latency %v worse than none %v", run.Latency, none.Latency)
+	}
+}
+
+func TestExtrapolationPrefetcher(t *testing.T) {
+	f := buildFixture(t, 8)
+	sim := f.simulator()
+	run, err := sim.Run(Extrapolation{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No prediction on step one (needs two history points).
+	if run.Steps[0].PrefetchReads != 0 {
+		t.Error("extrapolation predicted with one history point")
+	}
+	if run.PrefetchReads == 0 {
+		t.Fatal("extrapolation prefetched nothing")
+	}
+	none, err := sim.Run(None{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Latency > none.Latency {
+		t.Errorf("extrapolation latency %v worse than none %v", run.Latency, none.Latency)
+	}
+	if run.Elements != none.Elements {
+		t.Error("prefetching changed query results")
+	}
+}
+
+func TestExtrapolationOnStraightPathIsAccurate(t *testing.T) {
+	// On a perfectly straight trajectory, dead reckoning is the right
+	// model: verify the baseline is not artificially crippled.
+	f := buildFixture(t, 8)
+	sim := f.simulator()
+	var boxes []geom.AABB
+	for i := 0; i < 12; i++ {
+		boxes = append(boxes, geom.BoxAround(geom.V(20+float64(i)*15, 150, 150), 15))
+	}
+	run, err := sim.Run(Extrapolation{}, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.PrefetchHits == 0 {
+		t.Error("extrapolation missed on a straight line")
+	}
+}
+
+func TestRunStatsAccounting(t *testing.T) {
+	f := buildFixture(t, 8)
+	sim := f.simulator()
+	run, err := sim.Run(Hilbert{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demand, pref, hits, elems int64
+	var lat time.Duration
+	for _, s := range run.Steps {
+		demand += s.DemandReads
+		pref += s.PrefetchReads
+		hits += s.PrefetchHits
+		elems += s.Results
+		lat += s.Latency
+	}
+	if demand != run.DemandReads || pref != run.PrefetchReads ||
+		hits != run.PrefetchHits || elems != run.Elements || lat != run.Latency {
+		t.Error("per-step records do not sum to totals")
+	}
+	if run.PrefetchHits > run.PrefetchReads {
+		t.Error("more hits than prefetches")
+	}
+}
+
+func TestBudgetCapsPrefetching(t *testing.T) {
+	f := buildFixture(t, 8)
+	sim := f.simulator()
+	sim.ThinkTime = 15 * time.Millisecond // budget of 3 pages
+	run, err := sim.Run(Hilbert{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range run.Steps {
+		if s.PrefetchReads > 3 {
+			t.Fatalf("step %d prefetched %d pages over budget 3", i, s.PrefetchReads)
+		}
+	}
+}
+
+func TestSmallPoolStillCorrect(t *testing.T) {
+	f := buildFixture(t, 8)
+	sim := f.simulator()
+	sim.PoolPages = 4 // pathological thrashing
+	run, err := sim.Run(Hilbert{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := sim.Run(None{}, f.boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Elements != none.Elements {
+		t.Error("thrashing pool changed results")
+	}
+}

@@ -1,0 +1,121 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"neurospatial/internal/geom"
+)
+
+func TestWalkthroughValidation(t *testing.T) {
+	path := []geom.Vec{geom.V(0, 0, 0), geom.V(10, 0, 0)}
+	if _, err := Walkthrough(path[:1], 1, 1); err == nil {
+		t.Error("single-point path accepted")
+	}
+	if _, err := Walkthrough(path, 0, 1); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := Walkthrough(path, 1, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestWalkthroughStraightLine(t *testing.T) {
+	path := []geom.Vec{geom.V(0, 0, 0), geom.V(10, 0, 0)}
+	seq, err := Walkthrough(path, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at 0,2,4,6,8,10.
+	if seq.Len() != 6 {
+		t.Fatalf("steps = %d, want 6", seq.Len())
+	}
+	for i, st := range seq.Steps {
+		want := geom.V(float64(i)*2, 0, 0)
+		if st.Center.Dist(want) > 1e-9 {
+			t.Errorf("step %d center %v, want %v", i, st.Center, want)
+		}
+		if st.Box != geom.BoxAround(want, 3) {
+			t.Errorf("step %d box wrong", i)
+		}
+	}
+	if seq.Radius != 3 {
+		t.Errorf("radius = %v", seq.Radius)
+	}
+}
+
+func TestWalkthroughMultiSegment(t *testing.T) {
+	// L-shaped path, total length 20.
+	path := []geom.Vec{geom.V(0, 0, 0), geom.V(10, 0, 0), geom.V(10, 10, 0)}
+	seq, err := Walkthrough(path, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strides at arc lengths 0,3,6,9,12,15,18 plus the tip at 20.
+	if seq.Len() != 8 {
+		t.Fatalf("steps = %d, want 8", seq.Len())
+	}
+	// Consecutive samples are exactly stride apart in arc length, which for
+	// straight runs bounds the chord distance by the stride.
+	for i := 0; i+1 < seq.Len()-1; i++ {
+		d := seq.Steps[i].Center.Dist(seq.Steps[i+1].Center)
+		if d > 3+1e-9 {
+			t.Errorf("step %d->%d chord %v exceeds stride", i, i+1, d)
+		}
+	}
+	// Last step is the path tip.
+	if seq.Steps[seq.Len()-1].Center != geom.V(10, 10, 0) {
+		t.Error("walkthrough does not reach the tip")
+	}
+	// All centers lie on the path.
+	for i, st := range seq.Steps {
+		if distToPath(st.Center, path) > 1e-9 {
+			t.Errorf("step %d center %v off path", i, st.Center)
+		}
+	}
+}
+
+func distToPath(p geom.Vec, path []geom.Vec) float64 {
+	best := math.Inf(1)
+	for i := 0; i+1 < len(path); i++ {
+		s := geom.Seg(path[i], path[i+1], 0)
+		t := s.ClosestPointParam(p)
+		if d := s.PointAt(t).Dist(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestWalkthroughZeroLengthSegments(t *testing.T) {
+	path := []geom.Vec{geom.V(0, 0, 0), geom.V(0, 0, 0), geom.V(4, 0, 0)}
+	seq, err := Walkthrough(path, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != 5 {
+		t.Fatalf("steps = %d, want 5", seq.Len())
+	}
+}
+
+func TestWalkthroughStrideLongerThanPath(t *testing.T) {
+	path := []geom.Vec{geom.V(0, 0, 0), geom.V(1, 0, 0)}
+	seq, err := Walkthrough(path, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start plus tip.
+	if seq.Len() != 2 {
+		t.Fatalf("steps = %d, want 2", seq.Len())
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	path := []geom.Vec{geom.V(0, 0, 0), geom.V(3, 0, 0), geom.V(3, 4, 0)}
+	if got := PathLength(path); got != 7 {
+		t.Errorf("PathLength = %v", got)
+	}
+	if PathLength(nil) != 0 || PathLength(path[:1]) != 0 {
+		t.Error("degenerate path lengths wrong")
+	}
+}

@@ -1,0 +1,121 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+)
+
+func TestNewPagedValidation(t *testing.T) {
+	empty, _ := New(8)
+	if _, err := NewPaged(empty); err == nil {
+		t.Error("paging an empty tree accepted")
+	}
+}
+
+func TestPagedQueryMatchesUnpaged(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	items := randItems(rng, 2000, 80)
+	tr, err := STR(items, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := NewPaged(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := pager.NewBufferPool(pt.Store(), pt.NumPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := geom.BoxAround(
+			geom.V(rng.Float64()*80, rng.Float64()*80, rng.Float64()*80),
+			rng.Float64()*12+1)
+		plain := collectIDs(tr, q)
+		paged := make(map[int32]bool)
+		stats := pt.Query(q, pool, func(it Item) { paged[it.ID] = true })
+		sameIDSet(t, paged, plain)
+		// Node accesses equal pool activity for this query.
+		if stats.NodeAccesses() == 0 && len(plain) > 0 {
+			t.Fatal("paged query reported no node accesses")
+		}
+	}
+}
+
+func TestPagedQueryChargesPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	items := randItems(rng, 1000, 50)
+	tr, _ := STR(items, 16)
+	pt, err := NewPaged(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, _ := pager.NewBufferPool(pt.Store(), pt.NumPages())
+	q := geom.BoxAround(geom.V(25, 25, 25), 15)
+	st := pt.Query(q, pool, func(Item) {})
+	poolStats := pool.Stats()
+	if poolStats.DemandReads != st.NodeAccesses() {
+		t.Fatalf("pool reads %d != node accesses %d", poolStats.DemandReads, st.NodeAccesses())
+	}
+	// Warm re-run: all hits, no new reads.
+	st2 := pt.Query(q, pool, func(Item) {})
+	delta := pool.Stats().Sub(poolStats)
+	if delta.DemandReads != 0 || delta.Hits != st2.NodeAccesses() {
+		t.Errorf("warm re-run: %+v", delta)
+	}
+}
+
+func TestPagedLayoutOneNodePerPage(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	items := randItems(rng, 500, 40)
+	tr, _ := STR(items, 8)
+	pt, err := NewPaged(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count nodes by walking the view.
+	root, _ := tr.Root()
+	nodes := 0
+	itemsSeen := 0
+	var walk func(v NodeView)
+	walk = func(v NodeView) {
+		nodes++
+		if v.IsLeaf() {
+			itemsSeen += len(v.Items())
+			// Leaf pages hold exactly the leaf's item IDs.
+			page := pt.Store().Page(pt.PageOf(v))
+			if len(page) != len(v.Items()) {
+				t.Fatalf("leaf page has %d IDs, leaf has %d items", len(page), len(v.Items()))
+			}
+			return
+		}
+		for i := 0; i < v.NumChildren(); i++ {
+			walk(v.Child(i))
+		}
+	}
+	walk(root)
+	if pt.NumPages() != nodes {
+		t.Fatalf("pages = %d, nodes = %d", pt.NumPages(), nodes)
+	}
+	if itemsSeen != 500 {
+		t.Fatalf("walk saw %d items", itemsSeen)
+	}
+}
+
+func TestPagedNilPoolFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	items := randItems(rng, 300, 30)
+	tr, _ := STR(items, 8)
+	pt, err := NewPaged(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.BoxAround(geom.V(15, 15, 15), 8)
+	a := make(map[int32]bool)
+	pt.Query(q, nil, func(it Item) { a[it.ID] = true })
+	b := collectIDs(tr, q)
+	sameIDSet(t, a, b)
+}

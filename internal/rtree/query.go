@@ -1,0 +1,316 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"neurospatial/internal/geom"
+)
+
+// QueryStats describes the work one query performed. The demo's statistics
+// panel (Figure 3 of the paper) shows exactly these numbers for the R-tree:
+// node accesses broken down by level, which exposes how MBR overlap forces an
+// R-tree to read several nodes per level in dense regions.
+type QueryStats struct {
+	// NodesPerLevel[l] counts node accesses at level l (0 = leaves).
+	NodesPerLevel []int64
+	// EntriesTested counts box comparisons against leaf entries.
+	EntriesTested int64
+	// Results counts items reported.
+	Results int64
+}
+
+// NodeAccesses returns the total node accesses across all levels. Under the
+// one-node-per-page layout this is the query's page-read count.
+func (s QueryStats) NodeAccesses() int64 {
+	var n int64
+	for _, c := range s.NodesPerLevel {
+		n += c
+	}
+	return n
+}
+
+func (s *QueryStats) visit(level int) {
+	for len(s.NodesPerLevel) <= level {
+		s.NodesPerLevel = append(s.NodesPerLevel, 0)
+	}
+	s.NodesPerLevel[level]++
+}
+
+// Query reports every item whose box intersects q to visit, in unspecified
+// order, and returns the access statistics.
+func (t *Tree) Query(q geom.AABB, visit func(Item)) QueryStats {
+	var stats QueryStats
+	if t.size == 0 {
+		return stats
+	}
+	t.query(t.root, q, visit, &stats)
+	return stats
+}
+
+func (t *Tree) query(n *node, q geom.AABB, visit func(Item), stats *QueryStats) {
+	stats.visit(n.level)
+	if n.isLeaf() {
+		for i := range n.items {
+			stats.EntriesTested++
+			if n.items[i].Box.Intersects(q) {
+				stats.Results++
+				visit(n.items[i])
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c.box.Intersects(q) {
+			t.query(c, q, visit, stats)
+		}
+	}
+}
+
+// Count returns the number of items intersecting q without materializing
+// them.
+func (t *Tree) Count(q geom.AABB) int {
+	n := 0
+	t.Query(q, func(Item) { n++ })
+	return n
+}
+
+// SeedInRange returns one arbitrary item whose box intersects q, preferring
+// items near the query center. It is the first phase of FLAT's execution
+// strategy: finding *any* element in the range needs only one root-to-leaf
+// descent in the common case (§2.1 of the paper: "typically only depends on
+// the height of the R-Tree"), after which FLAT's crawl takes over. The
+// returned stats record the nodes the descent touched.
+func (t *Tree) SeedInRange(q geom.AABB) (Item, QueryStats, bool) {
+	var stats QueryStats
+	if t.size == 0 {
+		return Item{}, stats, false
+	}
+	c := q.Center()
+	it, ok := t.seed(t.root, q, c, &stats)
+	return it, stats, ok
+}
+
+func (t *Tree) seed(n *node, q geom.AABB, center geom.Vec, stats *QueryStats) (Item, bool) {
+	stats.visit(n.level)
+	if n.isLeaf() {
+		bestIdx := -1
+		bestD := 0.0
+		for i := range n.items {
+			stats.EntriesTested++
+			if !n.items[i].Box.Intersects(q) {
+				continue
+			}
+			d := n.items[i].Box.Dist2Point(center)
+			if bestIdx < 0 || d < bestD {
+				bestIdx, bestD = i, d
+			}
+		}
+		if bestIdx >= 0 {
+			stats.Results++
+			return n.items[bestIdx], true
+		}
+		return Item{}, false
+	}
+	// Visit intersecting children closest to the query center first: in a
+	// dense region the first descent succeeds immediately.
+	order := make([]int, 0, len(n.children))
+	for i, c := range n.children {
+		if c.box.Intersects(q) {
+			order = append(order, i)
+		}
+	}
+	for k := 1; k < len(order); k++ {
+		for j := k; j > 0 && n.children[order[j]].box.Dist2Point(center) <
+			n.children[order[j-1]].box.Dist2Point(center); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, i := range order {
+		if it, ok := t.seed(n.children[i], q, center, stats); ok {
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+// knnEntry is a priority-queue element for best-first KNN search.
+type knnEntry struct {
+	dist2 float64
+	node  *node // nil when this entry is an item
+	item  Item
+}
+
+type knnHeap []knnEntry
+
+func (h knnHeap) Len() int            { return len(h) }
+func (h knnHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
+func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(knnEntry)) }
+func (h *knnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN returns the k items whose boxes are nearest to p (by box distance),
+// closest first, using best-first search (Hjaltason & Samet). Fewer than k
+// items are returned when the tree is smaller than k.
+func (t *Tree) KNN(p geom.Vec, k int) ([]Item, QueryStats) {
+	var stats QueryStats
+	if t.size == 0 || k <= 0 {
+		return nil, stats
+	}
+	h := &knnHeap{{dist2: t.root.box.Dist2Point(p), node: t.root}}
+	var out []Item
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(knnEntry)
+		if e.node == nil {
+			out = append(out, e.item)
+			stats.Results++
+			continue
+		}
+		n := e.node
+		stats.visit(n.level)
+		if n.isLeaf() {
+			for i := range n.items {
+				stats.EntriesTested++
+				heap.Push(h, knnEntry{dist2: n.items[i].Box.Dist2Point(p), item: n.items[i]})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(h, knnEntry{dist2: c.box.Dist2Point(p), node: c})
+			}
+		}
+	}
+	return out, stats
+}
+
+// NodeView is a read-only handle on a tree node, exposed so other packages
+// (the S3 synchronized traversal, TOUCH's hierarchy walk, the paged layout)
+// can traverse the structure without mutating it.
+type NodeView struct{ n *node }
+
+// Root returns a view of the root node; ok is false for an empty tree.
+func (t *Tree) Root() (NodeView, bool) {
+	if t.size == 0 {
+		return NodeView{}, false
+	}
+	return NodeView{t.root}, true
+}
+
+// Box returns the node's MBR.
+func (v NodeView) Box() geom.AABB { return v.n.box }
+
+// Level returns the node's level (0 = leaf).
+func (v NodeView) Level() int { return v.n.level }
+
+// IsLeaf reports whether the node is a leaf.
+func (v NodeView) IsLeaf() bool { return v.n.isLeaf() }
+
+// NumChildren returns the child count of an internal node (0 for leaves).
+func (v NodeView) NumChildren() int { return len(v.n.children) }
+
+// Child returns the i-th child of an internal node.
+func (v NodeView) Child(i int) NodeView { return NodeView{v.n.children[i]} }
+
+// Items returns the leaf's items. The slice is shared and must not be
+// modified.
+func (v NodeView) Items() []Item { return v.n.items }
+
+// WalkLeaves calls fn for every leaf in left-to-right order. For STR-built
+// trees this order follows the packing order and is spatially coherent.
+func (t *Tree) WalkLeaves(fn func(box geom.AABB, items []Item)) {
+	if t.size == 0 {
+		return
+	}
+	walkLeaves(t.root, fn)
+}
+
+func walkLeaves(n *node, fn func(geom.AABB, []Item)) {
+	if n.isLeaf() {
+		fn(n.box, n.items)
+		return
+	}
+	for _, c := range n.children {
+		walkLeaves(c, fn)
+	}
+}
+
+// PackSTR partitions items into STR tiles of at most fanout entries and
+// returns the tiles in packing order. FLAT uses it to lay elements out on
+// disk pages; TOUCH uses it to data-orient its partitions. The input slice is
+// not modified.
+func PackSTR(items []Item, fanout int) [][]Item {
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	own := make([]Item, len(items))
+	copy(own, items)
+	leaves := strPackItems(own, fanout)
+	out := make([][]Item, len(leaves))
+	for i, l := range leaves {
+		out[i] = l.items
+	}
+	return out
+}
+
+// CheckInvariants verifies structural invariants (MBR containment, level
+// monotonicity, fill bounds) and returns the number of items found. Tests
+// call it after mutation sequences.
+func (t *Tree) CheckInvariants() (int, error) {
+	if t.size == 0 {
+		return 0, nil
+	}
+	return checkNode(t.root, t.fanout, true)
+}
+
+func checkNode(n *node, fanout int, isRoot bool) (int, error) {
+	if n.isLeaf() {
+		if len(n.items) > fanout {
+			return 0, errOverfull(n.level, len(n.items), fanout)
+		}
+		for i := range n.items {
+			if !n.box.ContainsBox(n.items[i].Box) {
+				return 0, errEscape(n.level)
+			}
+		}
+		return len(n.items), nil
+	}
+	if len(n.children) > fanout {
+		return 0, errOverfull(n.level, len(n.children), fanout)
+	}
+	if !isRoot && len(n.children) == 0 {
+		return 0, errEmptyInternal(n.level)
+	}
+	total := 0
+	for _, c := range n.children {
+		if c.level != n.level-1 {
+			return 0, errLevel(n.level, c.level)
+		}
+		if !n.box.ContainsBox(c.box) {
+			return 0, errEscape(n.level)
+		}
+		k, err := checkNode(c, fanout, false)
+		if err != nil {
+			return 0, err
+		}
+		total += k
+	}
+	return total, nil
+}
+
+type invariantError string
+
+func (e invariantError) Error() string { return string(e) }
+
+func errOverfull(level, n, fanout int) error {
+	return invariantError("rtree: overfull node")
+}
+func errEscape(level int) error        { return invariantError("rtree: child escapes parent MBR") }
+func errLevel(p, c int) error          { return invariantError("rtree: level mismatch") }
+func errEmptyInternal(level int) error { return invariantError("rtree: empty internal node") }

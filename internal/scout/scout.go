@@ -1,0 +1,335 @@
+// Package scout implements SCOUT (Tauheed et al., VLDB'12), the
+// content-aware prefetcher §3 of the demonstrated paper presents.
+//
+// Location-only prefetchers extrapolate where the user will look next from
+// where they looked before; on jagged neuron branches that straight line is
+// wrong at every bend. SCOUT instead looks at *what the user is looking at*:
+//
+//  1. Skeleton reconstruction: while the result of query q is loaded, the
+//     capsule segments in q are stitched into a graph by shared endpoints —
+//     "SCOUT already starts to reconstruct the dominating structures/the
+//     topological skeleton in q and approximates them with a graph" (§3.1).
+//     The connected components of this graph are the structures in q.
+//  2. Candidate pruning: the structure the user follows must appear in every
+//     query of the sequence, so SCOUT intersects the structures present in
+//     consecutive queries: "it thus only considers the intersection between
+//     the structures leaving the (n−1)th query and the set of structures
+//     entering the nth query" (§3.1, Figure 5). After a few steps a single
+//     candidate remains.
+//  3. Exit extrapolation: the graph is traversed "to find the locations
+//     where its edges exit q. At the exit locations, the edges exiting are
+//     extrapolated linearly to predict the next query locations", and the
+//     pages of those predicted ranges are prefetched.
+package scout
+
+import (
+	"math"
+	"sort"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/prefetch"
+)
+
+// Options tunes SCOUT; the zero value selects defaults.
+type Options struct {
+	// Tolerance is the endpoint-matching distance for skeleton
+	// reconstruction: segment endpoints within it are considered the same
+	// skeleton joint. Zero matches endpoints exactly (bit-equal), which is
+	// lossless on this repository's datasets; positive values make the
+	// reconstruction robust to resampled or noisy data.
+	Tolerance float64
+	// MaxPredictions caps how many exit extrapolations are converted into
+	// prefetch ranges per step. Default 8 (each exit contributes two
+	// lookahead boxes).
+	MaxPredictions int
+	// PredictRadiusFactor inflates the predicted range relative to the
+	// query's half-extent, absorbing the bend deviation of jagged branches
+	// between the exit point and the user's actual next position. Default
+	// 1.3.
+	PredictRadiusFactor float64
+}
+
+// Scout is the SCOUT prefetcher. It satisfies prefetch.Prefetcher and keeps
+// the candidate set between the steps of one walkthrough; Reset clears it.
+type Scout struct {
+	opts Options
+	// prevCandidates holds the element sets of the structures that were
+	// candidates after the previous query.
+	prevCandidates []map[int32]struct{}
+	// lastCandidates is the candidate count after the latest Predict call,
+	// exposed for the E3 pruning experiment.
+	lastCandidates int
+	// lastCandidateElems unions the elements of the current candidates.
+	lastCandidateElems map[int32]struct{}
+}
+
+// New returns a Scout with the given options.
+func New(opts Options) *Scout {
+	if opts.MaxPredictions <= 0 {
+		opts.MaxPredictions = 8
+	}
+	if opts.Tolerance < 0 {
+		opts.Tolerance = 0
+	}
+	if opts.PredictRadiusFactor <= 0 {
+		opts.PredictRadiusFactor = 1.3
+	}
+	return &Scout{opts: opts}
+}
+
+// Name implements prefetch.Prefetcher.
+func (s *Scout) Name() string { return "scout" }
+
+// Reset implements prefetch.Prefetcher.
+func (s *Scout) Reset() {
+	s.prevCandidates = nil
+	s.lastCandidates = 0
+	s.lastCandidateElems = nil
+}
+
+// LastCandidateCount returns the number of structures that remained
+// candidates after the latest step — the series Figure 5 of the paper
+// visualizes shrinking.
+func (s *Scout) LastCandidateCount() int { return s.lastCandidates }
+
+// LastCandidateContains reports whether the element id is part of any
+// current candidate structure. The E3 experiment uses it with morphology
+// ground truth to verify the followed branch is never pruned away.
+func (s *Scout) LastCandidateContains(id int32) bool {
+	_, ok := s.lastCandidateElems[id]
+	return ok
+}
+
+// structure is one reconstructed component of the skeleton graph.
+type structure struct {
+	elems map[int32]struct{}
+	exits []exitEdge
+}
+
+// exitEdge is a place where a structure's edge leaves the query box.
+type exitEdge struct {
+	point geom.Vec // boundary crossing
+	dir   geom.Vec // unit direction of travel out of the box
+}
+
+// Predict implements prefetch.Prefetcher.
+func (s *Scout) Predict(ctx *prefetch.Context, q geom.AABB, result []int32, budget int) []pager.PageID {
+	structures := s.reconstruct(ctx, q, result)
+
+	// Candidate pruning against the previous step.
+	candidates := structures
+	if len(s.prevCandidates) > 0 {
+		var kept []structure
+		for _, st := range structures {
+			if s.sharesElement(st.elems) {
+				kept = append(kept, st)
+			}
+		}
+		if len(kept) > 0 {
+			candidates = kept
+		}
+		// An empty intersection means the user jumped; fall back to all
+		// structures rather than prefetching nothing forever.
+	}
+	s.prevCandidates = s.prevCandidates[:0]
+	s.lastCandidateElems = make(map[int32]struct{})
+	for _, st := range candidates {
+		s.prevCandidates = append(s.prevCandidates, st.elems)
+		for id := range st.elems {
+			s.lastCandidateElems[id] = struct{}{}
+		}
+	}
+	s.lastCandidates = len(candidates)
+
+	// Exit extrapolation. The advance distance is the observed stride of
+	// the sequence (falling back to the query half-extent on step one).
+	radius := q.Size().X / 2
+	advance := radius
+	if n := len(ctx.History); n >= 2 {
+		advance = ctx.History[n-1].Center().Dist(ctx.History[n-2].Center())
+		if advance == 0 {
+			advance = radius
+		}
+	}
+	// Direction of recent travel, used to rank exits: the exit most aligned
+	// with how the user has been moving is the most likely continuation.
+	var travel geom.Vec
+	if n := len(ctx.History); n >= 2 {
+		travel = ctx.History[n-1].Center().Sub(ctx.History[n-2].Center()).Normalize()
+	}
+
+	type ranked struct {
+		box   geom.AABB
+		score float64
+	}
+	var preds []ranked
+	for _, st := range candidates {
+		for _, ex := range st.exits {
+			score := ex.dir.Dot(travel)
+			// Extrapolate one and two strides out: the second box covers
+			// the query after next, so by the time the user arrives its
+			// pages have had a full think time to load.
+			r := radius * s.opts.PredictRadiusFactor
+			one := ex.point.Add(ex.dir.Scale(advance))
+			preds = append(preds, ranked{box: geom.BoxAround(one, r), score: score})
+			two := ex.point.Add(ex.dir.Scale(2 * advance))
+			preds = append(preds, ranked{box: geom.BoxAround(two, r), score: score - 0.01})
+		}
+	}
+	sort.SliceStable(preds, func(i, j int) bool { return preds[i].score > preds[j].score })
+	if len(preds) > s.opts.MaxPredictions {
+		preds = preds[:s.opts.MaxPredictions]
+	}
+
+	// Convert predicted ranges to pages, best prediction first.
+	var out []pager.PageID
+	seen := make(map[pager.PageID]bool)
+	for _, pr := range preds {
+		for _, pg := range ctx.Index.PagesInRange(pr.box) {
+			if !seen[pg] {
+				seen[pg] = true
+				out = append(out, pg)
+			}
+			if len(out) >= budget {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// sharesElement reports whether elems intersects any previous candidate.
+func (s *Scout) sharesElement(elems map[int32]struct{}) bool {
+	for _, prev := range s.prevCandidates {
+		// Iterate over the smaller set.
+		small, large := prev, elems
+		if len(elems) < len(prev) {
+			small, large = elems, prev
+		}
+		for id := range small {
+			if _, ok := large[id]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reconstruct stitches the result segments into skeleton structures.
+func (s *Scout) reconstruct(ctx *prefetch.Context, q geom.AABB, result []int32) []structure {
+	if len(result) == 0 {
+		return nil
+	}
+	// Union-find over segments, keyed by quantized endpoints.
+	parent := make([]int, len(result))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	joints := make(map[[3]int64]int, len(result)*2)
+	register := func(i int, p geom.Vec) {
+		k := s.quantize(p)
+		if j, ok := joints[k]; ok {
+			union(i, j)
+		} else {
+			joints[k] = i
+		}
+	}
+	segs := make([]geom.Segment, len(result))
+	for i, id := range result {
+		seg := ctx.Segment(id)
+		segs[i] = seg
+		register(i, seg.A)
+		register(i, seg.B)
+	}
+
+	// Group components and find exits.
+	byRoot := make(map[int]*structure)
+	var order []int
+	for i, id := range result {
+		r := find(i)
+		st, ok := byRoot[r]
+		if !ok {
+			st = &structure{elems: make(map[int32]struct{})}
+			byRoot[r] = st
+			order = append(order, r)
+		}
+		st.elems[id] = struct{}{}
+		if ex, ok := exitOf(segs[i], q); ok {
+			st.exits = append(st.exits, ex)
+		}
+	}
+	out := make([]structure, 0, len(order))
+	for _, r := range order {
+		out = append(out, *byRoot[r])
+	}
+	return out
+}
+
+// quantize maps a point to its joint key. Tolerance zero keys on exact
+// coordinates.
+func (s *Scout) quantize(p geom.Vec) [3]int64 {
+	if s.opts.Tolerance == 0 {
+		return [3]int64{
+			int64(math.Float64bits(p.X)),
+			int64(math.Float64bits(p.Y)),
+			int64(math.Float64bits(p.Z)),
+		}
+	}
+	t := s.opts.Tolerance
+	return [3]int64{
+		int64(math.Round(p.X / t)),
+		int64(math.Round(p.Y / t)),
+		int64(math.Round(p.Z / t)),
+	}
+}
+
+// exitOf returns the boundary crossing of a segment leaving the box, if any:
+// the point where the segment's axis exits q and the unit direction of
+// travel at that point.
+func exitOf(seg geom.Segment, q geom.AABB) (exitEdge, bool) {
+	aIn := q.Contains(seg.A)
+	bIn := q.Contains(seg.B)
+	switch {
+	case aIn && bIn:
+		return exitEdge{}, false
+	case aIn && !bIn:
+		p := crossing(seg, q)
+		return exitEdge{point: p, dir: seg.B.Sub(seg.A).Normalize()}, true
+	case !aIn && bIn:
+		p := crossing(geom.Seg(seg.B, seg.A, seg.Radius), q)
+		return exitEdge{point: p, dir: seg.A.Sub(seg.B).Normalize()}, true
+	default:
+		// Both endpoints outside: the segment clips a corner or only its
+		// radius grazes the box — treat the far endpoint direction as the
+		// exit when the axis truly crosses.
+		if t0, t1, ok := seg.ClipParamRange(q); ok && t1 > t0 {
+			return exitEdge{point: seg.PointAt(t1), dir: seg.B.Sub(seg.A).Normalize()}, true
+		}
+		return exitEdge{}, false
+	}
+}
+
+// crossing returns the point where a segment whose A endpoint is inside q
+// first leaves the box.
+func crossing(seg geom.Segment, q geom.AABB) geom.Vec {
+	if _, t1, ok := seg.ClipParamRange(q); ok {
+		return seg.PointAt(t1)
+	}
+	return seg.A
+}

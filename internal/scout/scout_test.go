@@ -1,0 +1,308 @@
+package scout
+
+import (
+	"testing"
+	"time"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/prefetch"
+	"neurospatial/internal/query"
+	"neurospatial/internal/rtree"
+)
+
+// fixture builds a circuit, its FLAT index and a walkthrough along its
+// longest branch path.
+type fixture struct {
+	circ  *circuit.Circuit
+	index *flat.Index
+	seq   *query.Sequence
+	// followed maps element IDs on the followed branch path.
+	followed map[int32]bool
+}
+
+func buildFixture(t testing.TB, neurons int) *fixture {
+	t.Helper()
+	p := circuit.DefaultParams()
+	p.Neurons = neurons
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(300, 300, 300))
+	c, err := circuit.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]rtree.Item, len(c.Elements))
+	for i := range c.Elements {
+		items[i] = rtree.Item{Box: c.Elements[i].Bounds(), ID: c.Elements[i].ID}
+	}
+	idx, err := flat.Build(items, flat.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	neuron, branch, path := c.LongestPath()
+	seq, err := query.Walkthrough(path, 8, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: elements on the followed stem-to-tip branch chain.
+	followed := make(map[int32]bool)
+	chain := make(map[int]bool)
+	for _, id := range c.Morphologies[neuron].PathToRoot(branch) {
+		chain[id] = true
+	}
+	for _, e := range c.Elements {
+		if e.Neuron == neuron && e.Branch >= 0 && chain[int(e.Branch)] {
+			followed[e.ID] = true
+		}
+	}
+	return &fixture{circ: c, index: idx, seq: seq, followed: followed}
+}
+
+func (f *fixture) simulator() *prefetch.Simulator {
+	return &prefetch.Simulator{
+		Index:     f.index,
+		Segment:   func(id int32) geom.Segment { return f.circ.Elements[id].Shape },
+		Cost:      pager.DefaultCostModel(),
+		ThinkTime: 500 * time.Millisecond,
+		PoolPages: f.index.NumPages(),
+	}
+}
+
+func (f *fixture) boxes() []geom.AABB {
+	out := make([]geom.AABB, f.seq.Len())
+	for i, s := range f.seq.Steps {
+		out[i] = s.Box
+	}
+	return out
+}
+
+func TestSkeletonReconstructionFindsStructures(t *testing.T) {
+	f := buildFixture(t, 10)
+	s := New(Options{})
+	ctx := &prefetch.Context{
+		Index:   f.index,
+		Segment: func(id int32) geom.Segment { return f.circ.Elements[id].Shape },
+	}
+	q := f.seq.Steps[f.seq.Len()/2].Box
+	ctx.History = []geom.AABB{q}
+	var result []int32
+	f.index.Query(q, nil, func(id int32) { result = append(result, id) })
+	if len(result) == 0 {
+		t.Fatal("mid-walkthrough query empty")
+	}
+	structures := s.reconstruct(ctx, q, result)
+	if len(structures) == 0 {
+		t.Fatal("no structures reconstructed")
+	}
+	// Structures partition the result.
+	seen := make(map[int32]bool)
+	total := 0
+	for _, st := range structures {
+		total += len(st.elems)
+		for id := range st.elems {
+			if seen[id] {
+				t.Fatal("element in two structures")
+			}
+			seen[id] = true
+		}
+	}
+	if total != len(result) {
+		t.Fatalf("structures hold %d of %d elements", total, len(result))
+	}
+	// Elements of one branch never split across structures: every pair of
+	// consecutive segments shares an endpoint.
+	byBranch := make(map[[2]int32][]int32)
+	for _, id := range result {
+		e := f.circ.Elements[id]
+		if e.Branch >= 0 {
+			k := [2]int32{e.Neuron, e.Branch}
+			byBranch[k] = append(byBranch[k], id)
+		}
+	}
+	structOf := func(id int32) int {
+		for i, st := range structures {
+			if _, ok := st.elems[id]; ok {
+				return i
+			}
+		}
+		return -1
+	}
+	for k, ids := range byBranch {
+		// Only consecutive segments are guaranteed connected inside q.
+		for i := 0; i+1 < len(ids); i++ {
+			a, b := f.circ.Elements[ids[i]], f.circ.Elements[ids[i+1]]
+			if b.Seg == a.Seg+1 && structOf(ids[i]) != structOf(ids[i+1]) {
+				t.Fatalf("branch %v consecutive segments split across structures", k)
+			}
+		}
+	}
+}
+
+func TestExitDetection(t *testing.T) {
+	q := geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10))
+	// Leaves through the +X face.
+	ex, ok := exitOf(geom.Seg(geom.V(8, 5, 5), geom.V(14, 5, 5), 0.1), q)
+	if !ok {
+		t.Fatal("exit not detected")
+	}
+	if ex.point.Dist(geom.V(10, 5, 5)) > 1e-9 {
+		t.Errorf("exit point %v", ex.point)
+	}
+	if ex.dir.Dist(geom.V(1, 0, 0)) > 1e-9 {
+		t.Errorf("exit dir %v", ex.dir)
+	}
+	// Enters (A outside, B inside): the exit direction points outward.
+	ex, ok = exitOf(geom.Seg(geom.V(14, 5, 5), geom.V(8, 5, 5), 0.1), q)
+	if !ok {
+		t.Fatal("reverse exit not detected")
+	}
+	if ex.dir.Dist(geom.V(1, 0, 0)) > 1e-9 {
+		t.Errorf("reverse exit dir %v", ex.dir)
+	}
+	// Fully inside: no exit.
+	if _, ok := exitOf(geom.Seg(geom.V(2, 2, 2), geom.V(8, 8, 8), 0.1), q); ok {
+		t.Error("interior segment reported an exit")
+	}
+	// Crossing corner-to-corner (both endpoints outside).
+	ex, ok = exitOf(geom.Seg(geom.V(-5, 5, 5), geom.V(15, 5, 5), 0.1), q)
+	if !ok {
+		t.Fatal("through-segment exit not detected")
+	}
+	if ex.point.Dist(geom.V(10, 5, 5)) > 1e-9 {
+		t.Errorf("through-segment exit at %v", ex.point)
+	}
+}
+
+func TestCandidatePruningConverges(t *testing.T) {
+	f := buildFixture(t, 10)
+	sim := f.simulator()
+	s := New(Options{})
+	if _, err := sim.Run(s, f.boxes()); err != nil {
+		t.Fatal(err)
+	}
+	// After a full walkthrough the candidate set must have shrunk to a
+	// handful of structures (ideally 1; bifurcations can keep siblings).
+	if s.LastCandidateCount() == 0 {
+		t.Fatal("no candidates at walkthrough end")
+	}
+	if s.LastCandidateCount() > 4 {
+		t.Errorf("candidate set did not converge: %d structures", s.LastCandidateCount())
+	}
+}
+
+func TestFollowedBranchNeverPruned(t *testing.T) {
+	f := buildFixture(t, 10)
+	s := New(Options{})
+	ctx := &prefetch.Context{
+		Index:   f.index,
+		Segment: func(id int32) geom.Segment { return f.circ.Elements[id].Shape },
+	}
+	budget := 64
+	for _, step := range f.seq.Steps {
+		ctx.History = append(ctx.History, step.Box)
+		var result []int32
+		f.index.Query(step.Box, nil, func(id int32) { result = append(result, id) })
+		s.Predict(ctx, step.Box, result, budget)
+		// Any followed element in this result must be in a candidate.
+		for _, id := range result {
+			if f.followed[id] && !s.LastCandidateContains(id) {
+				t.Fatalf("followed element %d pruned from candidates", id)
+			}
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	f := buildFixture(t, 8)
+	sim := f.simulator()
+	s := New(Options{})
+	r1, err := sim.Run(s, f.boxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(s, f.boxes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reset makes runs reproducible.
+	if r1.DemandReads != r2.DemandReads || r1.PrefetchReads != r2.PrefetchReads {
+		t.Errorf("runs differ after Reset: %+v vs %+v",
+			r1.DemandReads, r2.DemandReads)
+	}
+	s.Reset()
+	if s.LastCandidateCount() != 0 || s.LastCandidateContains(0) {
+		t.Error("Reset did not clear candidates")
+	}
+}
+
+func TestEmptyResultPredictsNothing(t *testing.T) {
+	f := buildFixture(t, 8)
+	s := New(Options{})
+	ctx := &prefetch.Context{
+		Index:   f.index,
+		Segment: func(id int32) geom.Segment { return f.circ.Elements[id].Shape },
+		History: []geom.AABB{geom.BoxAround(geom.V(1e5, 1e5, 1e5), 10)},
+	}
+	if got := s.Predict(ctx, ctx.History[0], nil, 10); len(got) != 0 {
+		t.Errorf("empty result produced %d predictions", len(got))
+	}
+	if s.LastCandidateCount() != 0 {
+		t.Error("candidates from empty result")
+	}
+}
+
+func TestQuantizeTolerance(t *testing.T) {
+	exact := New(Options{})
+	a := geom.V(1.0000001, 2, 3)
+	b := geom.V(1.0000002, 2, 3)
+	if exact.quantize(a) == exact.quantize(b) {
+		t.Error("exact quantization merged distinct points")
+	}
+	loose := New(Options{Tolerance: 0.01})
+	if loose.quantize(a) != loose.quantize(b) {
+		t.Error("tolerant quantization split near-identical points")
+	}
+}
+
+// The headline comparison: SCOUT must beat the location-only baselines on
+// walkthrough latency and keep high accuracy (Figure 6's statistics).
+func TestScoutBeatsBaselines(t *testing.T) {
+	f := buildFixture(t, 12)
+	sim := f.simulator()
+	boxes := f.boxes()
+	if len(boxes) < 10 {
+		t.Fatal("walkthrough too short to be meaningful")
+	}
+
+	none, err := sim.Run(prefetch.None{}, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extrap, err := sim.Run(prefetch.Extrapolation{}, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sim.Run(New(Options{}), boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if none.PrefetchReads != 0 {
+		t.Error("baseline 'none' prefetched")
+	}
+	if sc.Latency >= none.Latency {
+		t.Errorf("SCOUT latency %v not below no-prefetch %v", sc.Latency, none.Latency)
+	}
+	if sc.Latency > extrap.Latency {
+		t.Errorf("SCOUT latency %v above extrapolation %v", sc.Latency, extrap.Latency)
+	}
+	if sc.PrefetchHits == 0 {
+		t.Error("SCOUT had no prefetch hits")
+	}
+	// All methods return identical results.
+	if sc.Elements != none.Elements || extrap.Elements != none.Elements {
+		t.Errorf("element counts differ: none=%d extrap=%d scout=%d",
+			none.Elements, extrap.Elements, sc.Elements)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Methods", "name", "time", "pages")
+	tb.AddRow("FLAT", "1.2ms", 17)
+	tb.AddRow("R-Tree", "9.8ms", 143)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Methods" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "pages") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns align: "time" column starts at the same offset in every row.
+	col := strings.Index(lines[1], "time")
+	if !strings.HasPrefix(lines[3][col:], "1.2ms") {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4][col:], "9.8ms") {
+		t.Errorf("misaligned row: %q", lines[4])
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2)
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title produced a blank line")
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		1234567:    "1,234,567",
+		-9876543:   "-9,876,543",
+		1000000000: "1,000,000,000",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512 B",
+		4096:            "4.0 KiB",
+		1536:            "1.5 KiB",
+		3 * 1024 * 1024: "3.0 MiB",
+		5 << 30:         "5.0 GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpeedupAndRatio(t *testing.T) {
+	if got := Speedup(10*time.Second, 1*time.Second); got != "10.0x" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := Speedup(time.Second, 0); got != "-" {
+		t.Errorf("Speedup zero = %q", got)
+	}
+	if got := Ratio(3, 4); got != "75.0%" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "-" {
+		t.Errorf("Ratio zero den = %q", got)
+	}
+}
+
+func TestDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		2500 * time.Millisecond: "2.50s",
+		3200 * time.Microsecond: "3.20ms",
+		1500 * time.Nanosecond:  "1.5µs",
+		800 * time.Nanosecond:   "800ns",
+	}
+	for in, want := range cases {
+		if got := Dur(in); got != want {
+			t.Errorf("Dur(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package touch implements TOUCH (Nobari et al., SIGMOD'13), the in-memory
+// spatial distance join §4 of the demonstrated paper presents for synapse
+// placement.
+//
+// TOUCH is designed "radically different than known approaches in that it
+// avoids space-oriented partitioning and thus also avoids element
+// replication" (§4.1). It proceeds in two phases:
+//
+//  1. Data-oriented partitioning: dataset A is STR-packed into an R-tree
+//     hierarchy. Packing the elements tightly "opens up empty space between
+//     partitions" — regions covered by no node MBR.
+//  2. Hierarchical assignment: each object of B descends from the root
+//     toward the single deepest node whose subtree could contain join
+//     partners. If, at some node, *no* child MBR (expanded by the join
+//     distance eps) intersects the object, the object falls into empty space
+//     and is filtered out entirely — by definition no A element can be close
+//     enough. If exactly one child matches, the object descends. If several
+//     match, it is assigned to the current node's bucket.
+//
+// The probe phase then joins each bucket against only the subtree below its
+// node, pruning with MBRs. Every B object lives in exactly one bucket, so no
+// result deduplication is needed and the memory footprint is one bucket entry
+// per surviving object plus the tree on A — the "equally small memory
+// footprint" the paper contrasts with PBSM's replication.
+//
+// Engineering note: like the original system (built for BlueGene/P memory
+// budgets), the hierarchy is flattened into contiguous arrays — node MBRs are
+// pre-expanded by eps once, children occupy index ranges, and both assignment
+// and probe run over plain slices. The constant factors matter: this join is
+// the inner loop of model building.
+package touch
+
+import (
+	"sync"
+	"time"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/join"
+	"neurospatial/internal/rtree"
+)
+
+// Options tunes the algorithm; the zero value selects the defaults used in
+// the experiments.
+type Options struct {
+	// Fanout is the node capacity of dataset A's hierarchy. Values <= 0
+	// select DefaultFanout, the sweet spot measured on the synapse
+	// workload: small nodes keep sibling MBR overlap low, which is what
+	// lets the assignment descend deep and the probe prune early.
+	Fanout int
+	// MaxAssignDepth caps how deep the assignment descends below the root;
+	// 0 means unlimited. The ablation bench uses it: depth-capped
+	// assignment degenerates TOUCH toward an indexed nested loop whose
+	// probes repeatedly search large subtrees, demonstrating why
+	// hierarchical assignment matters.
+	MaxAssignDepth int
+	// Workers parallelizes the probe phase across goroutines, mirroring the
+	// multicore deployment of the original system. 0 or 1 probes serially.
+	// Results are still emitted exactly once and in a deterministic order;
+	// the stats counters are summed across workers.
+	Workers int
+}
+
+// DefaultFanout is the node capacity used when Options.Fanout is zero.
+const DefaultFanout = 8
+
+// Touch is the TOUCH join algorithm. It satisfies join.Algorithm.
+type Touch struct {
+	Opts Options
+}
+
+// New returns a Touch with default options.
+func New() *Touch { return &Touch{} }
+
+// Name implements join.Algorithm.
+func (t *Touch) Name() string { return "TOUCH" }
+
+// flatNode is one node of the flattened hierarchy. Children (or leaf items)
+// occupy the contiguous index range [first, first+count).
+type flatNode struct {
+	box    geom.AABB // MBR expanded by eps
+	first  int32
+	count  int32
+	isLeaf bool
+}
+
+// Join implements join.Algorithm.
+func (t *Touch) Join(a, b []join.Object, eps float64, emit func(join.Pair)) join.Stats {
+	var st join.Stats
+	if len(a) == 0 || len(b) == 0 {
+		return st
+	}
+	fanout := t.Opts.Fanout
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+
+	// Phase 1: data-oriented partitioning of A, flattened. STR-pack A into
+	// tiles, then build the hierarchy bottom-up in contiguous arrays with
+	// every MBR pre-expanded by eps (so the hot loops test plain overlap).
+	buildStart := time.Now()
+	items := make([]rtree.Item, len(a))
+	for i := range a {
+		items[i] = rtree.Item{Box: a[i].Box, ID: int32(i)}
+	}
+	tree, err := rtree.STR(items, fanout)
+	if err != nil {
+		panic(err) // unreachable: fanout validated above
+	}
+	root, ok := tree.Root()
+	if !ok {
+		st.BuildTime = time.Since(buildStart)
+		return st
+	}
+
+	var (
+		nodes []flatNode  // nodes[0] is the root
+		kids  []int32     // child-node indices, ranges per internal node
+		leafA []int32     // A indices, ranges per leaf
+		leafB []geom.AABB // A boxes expanded by eps, parallel to leafA
+	)
+	var flatten func(v rtree.NodeView) int32
+	flatten = func(v rtree.NodeView) int32 {
+		idx := int32(len(nodes))
+		nodes = append(nodes, flatNode{box: v.Box().Expand(eps), isLeaf: v.IsLeaf()})
+		if v.IsLeaf() {
+			first := int32(len(leafA))
+			for _, it := range v.Items() {
+				leafA = append(leafA, it.ID)
+				leafB = append(leafB, a[it.ID].Box.Expand(eps))
+			}
+			nodes[idx].first = first
+			nodes[idx].count = int32(len(leafA)) - first
+			return idx
+		}
+		// Reserve the child range after recursing: children are appended
+		// to kids contiguously per parent, so recurse first into a local
+		// buffer of indices.
+		childIdx := make([]int32, 0, v.NumChildren())
+		for i := 0; i < v.NumChildren(); i++ {
+			childIdx = append(childIdx, flatten(v.Child(i)))
+		}
+		first := int32(len(kids))
+		kids = append(kids, childIdx...)
+		nodes[idx].first = first
+		nodes[idx].count = int32(len(childIdx))
+		return idx
+	}
+	rootIdx := flatten(root)
+
+	// Phase 2: hierarchical assignment of B.
+	buckets := make([][]int32, len(nodes))
+	assigned := 0
+	maxDepth := t.Opts.MaxAssignDepth
+	for i := range b {
+		bbox := b[i].Box
+		cur := rootIdx
+		st.BoxTests++
+		if !nodes[cur].box.Intersects(bbox) {
+			continue // empty space at the root: filtered
+		}
+		depth := 0
+		dropped := false
+		for !nodes[cur].isLeaf && (maxDepth <= 0 || depth < maxDepth) {
+			n := &nodes[cur]
+			match := int32(-1)
+			matches := 0
+			for k := n.first; k < n.first+n.count; k++ {
+				c := kids[k]
+				st.BoxTests++
+				if nodes[c].box.Intersects(bbox) {
+					matches++
+					match = c
+					if matches > 1 {
+						break
+					}
+				}
+			}
+			if matches == 0 {
+				// Empty space between the children: filtered out.
+				dropped = true
+				break
+			}
+			if matches > 1 {
+				break // partners may live under several children: assign here
+			}
+			cur = match
+			depth++
+		}
+		if !dropped {
+			buckets[cur] = append(buckets[cur], int32(i))
+			assigned++
+		}
+	}
+	// Memory: flattened tree entries + one bucket slot per surviving object.
+	st.ExtraBytes = int64(len(nodes))*(6*8+9) + int64(len(leafA))*(4+6*8) +
+		int64(len(kids))*4 + int64(assigned)*4
+	st.BuildTime = time.Since(buildStart)
+
+	// Phase 3: probe each bucket against its subtree. probeOne is shared by
+	// the serial and parallel paths; it touches only read-only state plus
+	// the caller-owned stats and emit.
+	probeOne := func(nodeIdx int32, bi int32, st *join.Stats, stack []int32, emit func(join.Pair)) []int32 {
+		bObj := &b[bi]
+		bbox := bObj.Box
+		stack = append(stack[:0], nodeIdx)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n := &nodes[cur]
+			st.NodePairs++
+			if n.isLeaf {
+				for k := n.first; k < n.first+n.count; k++ {
+					st.BoxTests++
+					if !leafB[k].Intersects(bbox) {
+						continue
+					}
+					ai := leafA[k]
+					st.Comparisons++
+					if a[ai].Seg.WithinDist(bObj.Seg, eps) {
+						st.Results++
+						emit(join.Pair{A: a[ai].ID, B: bObj.ID})
+					}
+				}
+				continue
+			}
+			for k := n.first; k < n.first+n.count; k++ {
+				c := kids[k]
+				st.BoxTests++
+				if nodes[c].box.Intersects(bbox) {
+					stack = append(stack, c)
+				}
+			}
+		}
+		return stack
+	}
+
+	probeStart := time.Now()
+	if w := t.Opts.Workers; w > 1 {
+		t.probeParallel(w, buckets, probeOne, &st, emit)
+	} else {
+		stack := make([]int32, 0, 64)
+		for nodeIdx, ids := range buckets {
+			for _, bi := range ids {
+				stack = probeOne(int32(nodeIdx), bi, &st, stack, emit)
+			}
+		}
+	}
+	st.ProbeTime = time.Since(probeStart)
+	return st
+}
+
+// probeWork is the unit handed to probe workers: one bucket.
+type probeWork struct {
+	node int32
+	ids  []int32
+}
+
+// probeParallel fans the buckets out to workers round-robin, each worker
+// accumulating pairs and stats locally, then merges in worker order so the
+// emitted sequence is deterministic for a fixed worker count.
+func (t *Touch) probeParallel(workers int, buckets [][]int32,
+	probeOne func(int32, int32, *join.Stats, []int32, func(join.Pair)) []int32,
+	st *join.Stats, emit func(join.Pair)) {
+
+	var work []probeWork
+	for nodeIdx, ids := range buckets {
+		if len(ids) > 0 {
+			work = append(work, probeWork{node: int32(nodeIdx), ids: ids})
+		}
+	}
+	results := make([][]join.Pair, workers)
+	stats := make([]join.Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stack := make([]int32, 0, 64)
+			local := &stats[w]
+			for i := w; i < len(work); i += workers {
+				for _, bi := range work[i].ids {
+					stack = probeOne(work[i].node, bi, local, stack, func(p join.Pair) {
+						results[w] = append(results[w], p)
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		st.NodePairs += stats[w].NodePairs
+		st.BoxTests += stats[w].BoxTests
+		st.Comparisons += stats[w].Comparisons
+		st.Results += stats[w].Results
+		for _, p := range results[w] {
+			emit(p)
+		}
+	}
+}

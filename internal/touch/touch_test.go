@@ -1,0 +1,235 @@
+package touch
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/join"
+)
+
+func randObjects(rng *rand.Rand, n int, extent float64) []join.Object {
+	out := make([]join.Object, n)
+	for i := range out {
+		a := geom.V(rng.Float64()*extent, rng.Float64()*extent, rng.Float64()*extent)
+		dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).
+			Normalize().Scale(rng.Float64()*extent/20 + 0.1)
+		out[i] = join.Make(int32(i), geom.Seg(a, a.Add(dir), rng.Float64()*0.3+0.05))
+	}
+	return out
+}
+
+func oracle(a, b []join.Object, eps float64) map[join.Pair]bool {
+	out := make(map[join.Pair]bool)
+	for i := range a {
+		for j := range b {
+			if a[i].Seg.WithinDist(b[j].Seg, eps) {
+				out[join.Pair{A: a[i].ID, B: b[j].ID}] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkAgainstOracle(t *testing.T, alg join.Algorithm, a, b []join.Object, eps float64) join.Stats {
+	t.Helper()
+	want := oracle(a, b, eps)
+	got := make(map[join.Pair]int)
+	st := alg.Join(a, b, eps, func(p join.Pair) { got[p]++ })
+	for p, n := range got {
+		if n != 1 {
+			t.Fatalf("pair %v emitted %d times", p, n)
+		}
+		if !want[p] {
+			t.Fatalf("spurious pair %v", p)
+		}
+	}
+	for p := range want {
+		if got[p] == 0 {
+			t.Fatalf("missed pair %v", p)
+		}
+	}
+	return st
+}
+
+func TestMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	a := randObjects(rng, 350, 20)
+	b := randObjects(rng, 320, 20)
+	for _, eps := range []float64{0, 0.2, 1, 3} {
+		checkAgainstOracle(t, New(), a, b, eps)
+	}
+}
+
+func TestMatchesOracleOnNeuronData(t *testing.T) {
+	// The real workload: synapse candidates between two half-circuits.
+	p := circuit.DefaultParams()
+	p.Neurons = 6
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(150, 150, 150))
+	c := circuit.MustBuild(p)
+	var a, b []join.Object
+	for _, e := range c.Elements {
+		o := join.Make(e.ID, e.Shape)
+		if e.Neuron%2 == 0 {
+			a = append(a, o)
+		} else {
+			b = append(b, o)
+		}
+	}
+	// Cap sizes to keep the O(n²) oracle fast.
+	if len(a) > 800 {
+		a = a[:800]
+	}
+	if len(b) > 800 {
+		b = b[:800]
+	}
+	st := checkAgainstOracle(t, New(), a, b, 1.0)
+	if st.Results == 0 {
+		t.Fatal("no synapse candidates found — workload degenerate")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	a := randObjects(rng, 20, 5)
+	st := New().Join(nil, a, 1, func(join.Pair) { t.Fatal("emitted on empty A") })
+	if st.Results != 0 {
+		t.Fatal("results on empty A")
+	}
+	st = New().Join(a, nil, 1, func(join.Pair) { t.Fatal("emitted on empty B") })
+	if st.Results != 0 {
+		t.Fatal("results on empty B")
+	}
+}
+
+func TestFilteringDropsFarObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	a := randObjects(rng, 200, 10)
+	// B objects in a distant shell: all fall into empty space.
+	b := randObjects(rng, 200, 10)
+	for i := range b {
+		b[i].Seg.A = b[i].Seg.A.Add(geom.V(500, 500, 500))
+		b[i].Seg.B = b[i].Seg.B.Add(geom.V(500, 500, 500))
+		b[i].Box = b[i].Seg.Bounds()
+	}
+	st := New().Join(a, b, 1, func(join.Pair) { t.Fatal("pair across gap") })
+	if st.Comparisons != 0 {
+		t.Errorf("filtering failed: %d comparisons", st.Comparisons)
+	}
+	// Filtered objects never reach a bucket, so probing does no node work
+	// beyond the root tests.
+	if st.NodePairs != 0 {
+		t.Errorf("probe ran for filtered objects: %d node visits", st.NodePairs)
+	}
+}
+
+func TestFewerComparisonsThanNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	a := randObjects(rng, 600, 25)
+	b := randObjects(rng, 600, 25)
+	eps := 0.3
+	nl := join.NestedLoop{}.Join(a, b, eps, func(join.Pair) {})
+	tc := New().Join(a, b, eps, func(join.Pair) {})
+	if tc.Results != nl.Results {
+		t.Fatalf("TOUCH results %d != NL %d", tc.Results, nl.Results)
+	}
+	if tc.Comparisons*10 > nl.Comparisons && nl.Comparisons > 1000 {
+		t.Errorf("TOUCH comparisons not much lower: %d vs %d", tc.Comparisons, nl.Comparisons)
+	}
+	if tc.BoxTests >= nl.BoxTests {
+		t.Errorf("TOUCH box tests not lower: %d vs %d", tc.BoxTests, nl.BoxTests)
+	}
+}
+
+func TestNoReplicationMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	a := randObjects(rng, 1000, 20)
+	b := randObjects(rng, 1000, 20)
+	eps := 0.5
+	tc := New().Join(a, b, eps, func(join.Pair) {})
+	// Upper bound: tree entries (~1.5 per A object at ~52 bytes) plus one
+	// 4-byte bucket slot per B object.
+	bound := int64(len(a))*52*3/2 + int64(len(b))*4
+	if tc.ExtraBytes > bound {
+		t.Errorf("memory above no-replication bound: %d > %d", tc.ExtraBytes, bound)
+	}
+}
+
+func TestMaxAssignDepthAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	a := randObjects(rng, 500, 20)
+	b := randObjects(rng, 500, 20)
+	eps := 0.4
+	deep := New().Join(a, b, eps, func(join.Pair) {})
+	shallow := (&Touch{Opts: Options{MaxAssignDepth: 1}}).Join(a, b, eps, func(join.Pair) {})
+	if deep.Results != shallow.Results {
+		t.Fatalf("depth cap changed results: %d vs %d", deep.Results, shallow.Results)
+	}
+	// Shallow assignment probes bigger subtrees: more node visits.
+	if shallow.NodePairs < deep.NodePairs {
+		t.Errorf("expected shallow assignment to visit more nodes: %d vs %d",
+			shallow.NodePairs, deep.NodePairs)
+	}
+}
+
+func TestCustomFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	a := randObjects(rng, 300, 15)
+	b := randObjects(rng, 300, 15)
+	for _, fanout := range []int{4, 8, 64} {
+		alg := &Touch{Opts: Options{Fanout: fanout}}
+		checkAgainstOracle(t, alg, a, b, 0.4)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "TOUCH" {
+		t.Error("name wrong")
+	}
+}
+
+func TestParallelProbeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	a := randObjects(rng, 700, 25)
+	b := randObjects(rng, 700, 25)
+	eps := 0.4
+	serial := New()
+	want := make(map[join.Pair]int)
+	sst := serial.Join(a, b, eps, func(p join.Pair) { want[p]++ })
+	for _, workers := range []int{2, 4, 7} {
+		alg := &Touch{Opts: Options{Workers: workers}}
+		got := make(map[join.Pair]int)
+		pst := alg.Join(a, b, eps, func(p join.Pair) { got[p]++ })
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, serial %d", workers, len(got), len(want))
+		}
+		for p, n := range got {
+			if n != 1 || want[p] != 1 {
+				t.Fatalf("workers=%d: pair %v emitted %d times", workers, p, n)
+			}
+		}
+		// Counters are preserved across the parallel merge.
+		if pst.Results != sst.Results || pst.Comparisons != sst.Comparisons {
+			t.Fatalf("workers=%d: stats diverge: %+v vs %+v", workers, pst, sst)
+		}
+	}
+}
+
+func TestParallelDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	a := randObjects(rng, 400, 20)
+	b := randObjects(rng, 400, 20)
+	alg := &Touch{Opts: Options{Workers: 3}}
+	var run1, run2 []join.Pair
+	alg.Join(a, b, 0.4, func(p join.Pair) { run1 = append(run1, p) })
+	alg.Join(a, b, 0.4, func(p join.Pair) { run2 = append(run2, p) })
+	if len(run1) != len(run2) {
+		t.Fatal("run lengths differ")
+	}
+	for i := range run1 {
+		if run1[i] != run2[i] {
+			t.Fatalf("emission order differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"neurospatial/internal/geom"
+)
+
+func unit() geom.AABB { return geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10)) }
+
+func TestNewCanvasValidation(t *testing.T) {
+	if _, err := NewCanvas(0, 5, unit()); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewCanvas(5, -1, unit()); err == nil {
+		t.Error("negative height accepted")
+	}
+	if _, err := NewCanvas(5, 5, geom.EmptyAABB()); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestPlotAndString(t *testing.T) {
+	c, err := NewCanvas(10, 10, unit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Plot(geom.V(5, 5, 0), '#')
+	out := c.String()
+	if !strings.Contains(out, "#") {
+		t.Error("plotted point not rendered")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12 { // 10 rows + 2 borders
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 12 { // 10 cols + 2 borders
+			t.Fatalf("line width %d: %q", len(l), l)
+		}
+	}
+	// Off-canvas plots are ignored.
+	c.Plot(geom.V(-5, 5, 0), 'X')
+	c.Plot(geom.V(5, 50, 0), 'X')
+	if strings.Contains(c.String(), "X") {
+		t.Error("off-canvas plot rendered")
+	}
+}
+
+func TestYAxisOrientation(t *testing.T) {
+	c, _ := NewCanvas(10, 10, unit())
+	c.Plot(geom.V(1, 9, 0), 'T') // high Y -> top rows
+	c.Plot(geom.V(1, 1, 0), 'B') // low Y -> bottom rows
+	lines := strings.Split(c.String(), "\n")
+	var topRow, botRow int
+	for i, l := range lines {
+		if strings.Contains(l, "T") {
+			topRow = i
+		}
+		if strings.Contains(l, "B") {
+			botRow = i
+		}
+	}
+	if topRow >= botRow {
+		t.Errorf("Y axis inverted: T at %d, B at %d", topRow, botRow)
+	}
+}
+
+func TestLineIsConnected(t *testing.T) {
+	c, _ := NewCanvas(20, 20, unit())
+	c.Line(geom.V(0.5, 0.5, 0), geom.V(9.5, 9.5, 0), '*')
+	// Every raster row between the endpoints must contain the glyph (the
+	// diagonal leaves no gaps).
+	lines := strings.Split(c.String(), "\n")
+	count := 0
+	for _, l := range lines {
+		if strings.Contains(l, "*") {
+			count++
+		}
+	}
+	if count < 18 {
+		t.Errorf("diagonal covers only %d rows", count)
+	}
+}
+
+func TestBoxOutline(t *testing.T) {
+	c, _ := NewCanvas(20, 20, unit())
+	c.Box(geom.Box(geom.V(2, 2, 0), geom.V(8, 8, 5)), '+')
+	out := c.String()
+	if strings.Count(out, "+") < 20 { // outline plus 4 border corners
+		t.Errorf("box outline too sparse:\n%s", out)
+	}
+}
+
+func TestFillBox(t *testing.T) {
+	c, _ := NewCanvas(10, 10, unit())
+	c.FillBox(geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10)), '.')
+	if strings.Count(c.String(), ".") != 100 {
+		t.Errorf("full fill painted %d cells", strings.Count(c.String(), "."))
+	}
+}
+
+func TestCrawlGlyph(t *testing.T) {
+	if CrawlGlyph(0) != '0' || CrawlGlyph(9) != '9' || CrawlGlyph(10) != 'a' {
+		t.Error("glyph sequence wrong")
+	}
+	if CrawlGlyph(1000) != '*' {
+		t.Error("overflow glyph wrong")
+	}
+	if CrawlGlyph(-1) != '?' {
+		t.Error("negative glyph wrong")
+	}
+	// Distinct glyphs for the first 62 pages.
+	seen := make(map[byte]bool)
+	for i := 0; i < 62; i++ {
+		g := CrawlGlyph(i)
+		if seen[g] {
+			t.Fatalf("glyph %c repeats", g)
+		}
+		seen[g] = true
+	}
+}
