@@ -377,6 +377,121 @@ func BenchmarkTOUCHParallelWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkPBSMProbeWorkers measures the probe-phase scaling of the
+// parallel PBSM: the cell-by-cell join is embarrassingly parallel once the
+// reference-point dedup makes cells independent. probe-ms/op isolates the
+// parallelized phase; compare workers=1 against workers>=4 for the speedup
+// (≈linear on multicore hardware; a single-CPU container shows ≈1×).
+func BenchmarkPBSMProbeWorkers(b *testing.B) {
+	m := benchModel(b, modelKey{neurons: 128, edge: 350, layered: true, seed: 5})
+	axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(sub("workers", workers), func(b *testing.B) {
+			alg := join.PBSM{Workers: workers}
+			var st join.Stats
+			var probe time.Duration
+			for i := 0; i < b.N; i++ {
+				st = alg.Join(axons, dendrites, 2.0, func(join.Pair) {})
+				probe += st.ProbeTime
+			}
+			b.ReportMetric(float64(probe)/float64(b.N)/1e6, "probe-ms/op")
+			b.ReportMetric(float64(st.Results), "pairs")
+		})
+	}
+}
+
+// BenchmarkS3ProbeWorkers measures the probe-phase scaling of the parallel
+// S3: the frontier expansion hands each worker an independent subtree pair.
+func BenchmarkS3ProbeWorkers(b *testing.B) {
+	m := benchModel(b, modelKey{neurons: 128, edge: 350, layered: true, seed: 5})
+	axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(sub("workers", workers), func(b *testing.B) {
+			alg := join.S3{Workers: workers}
+			var st join.Stats
+			var probe time.Duration
+			for i := 0; i < b.N; i++ {
+				st = alg.Join(axons, dendrites, 2.0, func(join.Pair) {})
+				probe += st.ProbeTime
+			}
+			b.ReportMetric(float64(probe)/float64(b.N)/1e6, "probe-ms/op")
+			b.ReportMetric(float64(st.Results), "pairs")
+		})
+	}
+}
+
+// BenchmarkFLATBatchQueryWorkers measures batched concurrent range queries
+// against the FLAT index — the multi-user serving regime. ns/op is the time
+// to drain the whole batch; pages/op must be identical across worker counts
+// (the determinism guarantee).
+func BenchmarkFLATBatchQueryWorkers(b *testing.B) {
+	m := benchModel(b, modelKey{neurons: 256, edge: 300, seed: 1})
+	vol := m.Circuit.Params.Volume
+	c := vol.Center()
+	span := vol.Size().Scale(0.25)
+	queries := make([]geom.AABB, 64)
+	for i := range queries {
+		off := geom.V(
+			span.X*float64(i%4-2)*0.4,
+			span.Y*float64((i/4)%4-2)*0.4,
+			span.Z*float64((i/16)%4-2)*0.4,
+		)
+		queries[i] = geom.BoxAround(c.Add(off), 25)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(sub("workers", workers), func(b *testing.B) {
+			var pages, results int64
+			for i := 0; i < b.N; i++ {
+				sts := m.Flat.BatchQuery(queries, nil, workers, nil)
+				agg := flat.Aggregate(sts)
+				pages += agg.PagesRead
+				results += agg.Results
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/op")
+			b.ReportMetric(float64(results)/float64(b.N), "results/op")
+		})
+	}
+}
+
+// BenchmarkRTreeBatchQueryWorkers is the R-tree counterpart of the FLAT
+// batch bench, over the same query set shape.
+func BenchmarkRTreeBatchQueryWorkers(b *testing.B) {
+	m := benchModel(b, modelKey{neurons: 256, edge: 300, seed: 1})
+	queries := e1Queries(m)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(sub("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.RTree.BatchQuery(queries, workers, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkCircuitBuildWorkers measures parallel tissue generation: the
+// morphology phase dominates a build and every neuron is independently
+// seeded, so the phase scales with cores while staying bit-deterministic.
+func BenchmarkCircuitBuildWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(sub("workers", workers), func(b *testing.B) {
+			p := circuit.DefaultParams()
+			p.Neurons = 64
+			p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(300, 300, 300))
+			p.Seed = 12
+			p.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := circuit.Build(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRTreeOps measures the building-block index operations other
 // packages lean on.
 func BenchmarkRTreeOps(b *testing.B) {

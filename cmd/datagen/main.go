@@ -30,6 +30,7 @@ func main() {
 	edge := flag.Float64("edge", 350, "cubic volume edge (µm)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	layered := flag.Bool("layered", false, "use the cortical layer density profile")
+	workers := flag.Int("workers", -1, "morphology generation workers (0 or 1: serial; negative: one per CPU)")
 	flag.Parse()
 
 	switch {
@@ -38,7 +39,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *out != "":
-		if err := generate(*out, *neurons, *edge, *seed, *layered); err != nil {
+		if err := generate(*out, *neurons, *edge, *seed, *layered, *workers); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -47,11 +48,12 @@ func main() {
 	}
 }
 
-func generate(path string, neurons int, edge float64, seed int64, layered bool) error {
+func generate(path string, neurons int, edge float64, seed int64, layered bool, workers int) error {
 	p := circuit.DefaultParams()
 	p.Neurons = neurons
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(edge, edge, edge))
 	p.Seed = seed
+	p.Workers = workers
 	if layered {
 		p.Layers = circuit.CorticalLayers()
 	}

@@ -7,6 +7,7 @@
 //	go run ./cmd/flatbench            # E1: density sweep
 //	go run ./cmd/flatbench -crawl     # E2: crawl cost vs result size
 //	go run ./cmd/flatbench -scale     # E6: constant-density scaling
+//	go run ./cmd/flatbench -batch     # E7: batched concurrent-query worker sweep
 //	go run ./cmd/flatbench -all       # everything
 package main
 
@@ -24,10 +25,11 @@ func main() {
 	log.SetPrefix("flatbench: ")
 	crawl := flag.Bool("crawl", false, "run E2 (crawl cost)")
 	scale := flag.Bool("scale", false, "run E6 (scaling)")
+	batch := flag.Bool("batch", false, "run E7 (batched concurrent queries)")
 	all := flag.Bool("all", false, "run every FLAT experiment")
 	flag.Parse()
 
-	runDensity := *all || (!*crawl && !*scale)
+	runDensity := *all || (!*crawl && !*scale && !*batch)
 	if runDensity {
 		rows, err := experiments.RunE1(experiments.DefaultE1())
 		if err != nil {
@@ -54,6 +56,16 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := experiments.E6Table(rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *batch {
+		rows, err := experiments.RunE7(experiments.DefaultE7())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E7Table(rows).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -9,6 +9,7 @@
 //	go run ./cmd/touchbench -neurons 256    # bigger model
 //	go run ./cmd/touchbench -skip-nl        # skip the quadratic baseline
 //	go run ./cmd/touchbench -eps-sweep      # TOUCH vs PBSM across ε
+//	go run ./cmd/touchbench -workers -1     # add parallel PBSM/S3/TOUCH rows
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	neurons := flag.Int("neurons", 0, "override the model size")
 	skipNL := flag.Bool("skip-nl", false, "skip the quadratic NestedLoop baseline")
 	epsSweep := flag.Bool("eps-sweep", false, "also run the ε sensitivity sweep")
+	workers := flag.Int("workers", 0, "also run parallel PBSM/S3/TOUCH with this many workers (negative: one per CPU)")
 	flag.Parse()
 
 	cfg := experiments.DefaultE5()
@@ -35,6 +37,7 @@ func main() {
 	if *skipNL {
 		cfg.IncludeNestedLoop = false
 	}
+	cfg.Workers = *workers
 	rows, err := experiments.RunE5(cfg)
 	if err != nil {
 		log.Fatal(err)

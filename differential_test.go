@@ -1,0 +1,324 @@
+package bench
+
+// The differential harness: every join algorithm — serial and parallel —
+// must emit exactly the same pair set on the same inputs, and every parallel
+// execution path must reproduce its serial output. This is the guarantee the
+// parallel layer (internal/parallel) is built around: slot-ordered merges
+// make worker count unobservable. NestedLoop is the oracle; its only filter
+// is the box test, so any disagreement localizes a bug in the cleverer
+// algorithm.
+
+import (
+	"sort"
+	"testing"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/core"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/join"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/rtree"
+	"neurospatial/internal/touch"
+)
+
+// diffModel builds a small seeded tissue for differential runs. Uniform and
+// layered (cortically skewed) variants cover the density regimes that
+// separate space-oriented from data-oriented partitioning.
+func diffModel(t testing.TB, neurons int, layered bool, seed int64) *core.Model {
+	t.Helper()
+	p := circuit.DefaultParams()
+	p.Neurons = neurons
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(220, 220, 220))
+	p.Seed = seed
+	p.Workers = -1
+	if layered {
+		p.Layers = circuit.CorticalLayers()
+	}
+	m, err := core.BuildModel(p, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func collectPairs(alg join.Algorithm, a, b []join.Object, eps float64) []join.Pair {
+	var out []join.Pair
+	alg.Join(a, b, eps, func(p join.Pair) { out = append(out, p) })
+	return out
+}
+
+func sortPairs(ps []join.Pair) []join.Pair {
+	out := make([]join.Pair, len(ps))
+	copy(out, ps)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func pairsEqual(a, b []join.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJoinAlgorithmsAgree asserts that NestedLoop, SweepLine, PBSM, S3 and
+// TOUCH — each in serial and, where supported, parallel form — emit
+// identical sorted pair sets across eps values on both uniform and skewed
+// tissues.
+func TestJoinAlgorithmsAgree(t *testing.T) {
+	const workers = 4
+	for _, tissue := range []struct {
+		name    string
+		layered bool
+		seed    int64
+	}{
+		{name: "uniform", layered: false, seed: 101},
+		{name: "layered", layered: true, seed: 202},
+	} {
+		t.Run(tissue.name, func(t *testing.T) {
+			m := diffModel(t, 10, tissue.layered, tissue.seed)
+			axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
+			if len(axons) == 0 || len(dendrites) == 0 {
+				t.Fatalf("degenerate tissue: %d axons, %d dendrites", len(axons), len(dendrites))
+			}
+			algs := []join.Algorithm{
+				join.NestedLoop{},
+				join.SweepLine{},
+				join.PBSM{},
+				join.PBSM{Workers: workers},
+				join.PBSM{PerCell: 4, Workers: workers},
+				join.S3{},
+				join.S3{Workers: workers},
+				&touch.Touch{},
+				&touch.Touch{Opts: touch.Options{Workers: workers}},
+			}
+			names := []string{
+				"NestedLoop", "SweepLine",
+				"PBSM", "PBSM-par", "PBSM-fine-par",
+				"S3", "S3-par",
+				"TOUCH", "TOUCH-par",
+			}
+			for _, eps := range []float64{0.5, 2.0, 5.0} {
+				oracle := sortPairs(collectPairs(algs[0], axons, dendrites, eps))
+				if eps >= 2.0 && len(oracle) == 0 {
+					t.Errorf("eps=%v: oracle found no pairs — workload degenerate", eps)
+				}
+				for i, alg := range algs[1:] {
+					got := sortPairs(collectPairs(alg, axons, dendrites, eps))
+					if !pairsEqual(got, oracle) {
+						t.Errorf("eps=%v: %s emitted %d pairs, oracle %d (or content differs)",
+							eps, names[i+1], len(got), len(oracle))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelJoinOrderMatchesSerial asserts the stronger property the
+// parallel layer promises: not just the same pair *set* but the same
+// emission *sequence* as the serial run, for several worker counts.
+func TestParallelJoinOrderMatchesSerial(t *testing.T) {
+	m := diffModel(t, 10, true, 303)
+	axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
+	const eps = 2.0
+	for _, tc := range []struct {
+		name     string
+		serial   join.Algorithm
+		parallel func(workers int) join.Algorithm
+	}{
+		{
+			name:   "PBSM",
+			serial: join.PBSM{},
+			parallel: func(w int) join.Algorithm {
+				return join.PBSM{Workers: w}
+			},
+		},
+		{
+			name:   "S3",
+			serial: join.S3{},
+			parallel: func(w int) join.Algorithm {
+				return join.S3{Workers: w}
+			},
+		},
+		{
+			name:   "TOUCH",
+			serial: &touch.Touch{},
+			parallel: func(w int) join.Algorithm {
+				return &touch.Touch{Opts: touch.Options{Workers: w}}
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := collectPairs(tc.serial, axons, dendrites, eps)
+			if len(want) == 0 {
+				t.Fatal("serial run found no pairs — workload degenerate")
+			}
+			for _, w := range []int{2, 3, 8} {
+				got := collectPairs(tc.parallel(w), axons, dendrites, eps)
+				if !pairsEqual(got, want) {
+					t.Errorf("workers=%d: emission sequence diverged from serial "+
+						"(%d pairs vs %d)", w, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestS3ParallelStatsMatchSerial pins down the S3 design point that the
+// frontier expansion performs exactly the recursion's pruning: all counters,
+// not just results, are worker-count independent.
+func TestS3ParallelStatsMatchSerial(t *testing.T) {
+	m := diffModel(t, 8, false, 404)
+	axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
+	serial := join.S3{}.Join(axons, dendrites, 2.0, func(join.Pair) {})
+	for _, w := range []int{2, 4} {
+		par := join.S3{Workers: w}.Join(axons, dendrites, 2.0, func(join.Pair) {})
+		if par.NodePairs != serial.NodePairs || par.BoxTests != serial.BoxTests ||
+			par.Comparisons != serial.Comparisons || par.Results != serial.Results {
+			t.Errorf("workers=%d: stats diverged: parallel {pairs %d tests %d cmps %d res %d} "+
+				"vs serial {%d %d %d %d}",
+				w, par.NodePairs, par.BoxTests, par.Comparisons, par.Results,
+				serial.NodePairs, serial.BoxTests, serial.Comparisons, serial.Results)
+		}
+	}
+}
+
+// TestBatchQueryMatchesSerial asserts that the FLAT and R-tree batch APIs
+// reproduce a serial query loop exactly — visit order, per-query stats, and
+// totals — for several worker counts, with and without a shared buffer pool.
+func TestBatchQueryMatchesSerial(t *testing.T) {
+	m := diffModel(t, 12, false, 505)
+	vol := m.Circuit.Params.Volume
+	var queries []geom.AABB
+	c := vol.Center()
+	span := vol.Size().Scale(0.3)
+	for i := 0; i < 24; i++ {
+		off := geom.V(
+			span.X*float64(i%3-1)*0.5,
+			span.Y*float64((i/3)%3-1)*0.5,
+			span.Z*float64((i/9)%3-1)*0.5,
+		)
+		queries = append(queries, geom.BoxAround(c.Add(off), 12+float64(i)))
+	}
+
+	type hit struct {
+		q  int
+		id int32
+	}
+	var want []hit
+	wantStats := m.Flat.BatchQuery(queries, nil, 1, func(q int, id int32) {
+		want = append(want, hit{q, id})
+	})
+	for _, w := range []int{2, 4, 7} {
+		var got []hit
+		gotStats := m.Flat.BatchQuery(queries, nil, w, func(q int, id int32) {
+			got = append(got, hit{q, id})
+		})
+		if len(got) != len(want) {
+			t.Fatalf("FLAT workers=%d: %d hits, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("FLAT workers=%d: hit %d is %+v, want %+v", w, i, got[i], want[i])
+			}
+		}
+		for qi := range wantStats {
+			g, s := gotStats[qi], wantStats[qi]
+			if g.SeedNodeAccesses != s.SeedNodeAccesses || g.PagesRead != s.PagesRead ||
+				g.Reseeds != s.Reseeds || g.EntriesTested != s.EntriesTested ||
+				g.Results != s.Results {
+				t.Errorf("FLAT workers=%d: query %d stats %+v, want %+v", w, qi, g, s)
+			}
+		}
+	}
+
+	// Through a shared pool the hit/miss split may differ per worker
+	// interleaving, but the result stream must not, and the pool accounting
+	// identity must hold.
+	poolStore := m.Flat.Store()
+	for _, w := range []int{1, 4} {
+		pool, err := pager.NewBufferPool(poolStore, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []hit
+		m.Flat.BatchQuery(queries, pool, w, func(q int, id int32) {
+			got = append(got, hit{q, id})
+		})
+		if len(got) != len(want) {
+			t.Fatalf("FLAT+pool workers=%d: %d hits, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("FLAT+pool workers=%d: hit %d diverged", w, i)
+			}
+		}
+		st := pool.Stats()
+		if st.Hits+st.DemandReads == 0 {
+			t.Errorf("FLAT+pool workers=%d: pool saw no traffic", w)
+		}
+	}
+
+	// R-tree batch against its own serial loop.
+	type rhit struct {
+		q  int
+		id int32
+	}
+	var rwant []rhit
+	m.RTree.BatchQuery(queries, 1, func(q int, it rtree.Item) {
+		rwant = append(rwant, rhit{q, it.ID})
+	})
+	for _, w := range []int{2, 5} {
+		var rgot []rhit
+		m.RTree.BatchQuery(queries, w, func(q int, it rtree.Item) {
+			rgot = append(rgot, rhit{q, it.ID})
+		})
+		if len(rgot) != len(rwant) {
+			t.Fatalf("RTree workers=%d: %d hits, want %d", w, len(rgot), len(rwant))
+		}
+		for i := range rgot {
+			if rgot[i] != rwant[i] {
+				t.Fatalf("RTree workers=%d: hit %d diverged", w, i)
+			}
+		}
+	}
+}
+
+// TestCircuitBuildWorkerCountInvariant asserts parallel tissue generation is
+// bit-identical to serial generation.
+func TestCircuitBuildWorkerCountInvariant(t *testing.T) {
+	base := circuit.DefaultParams()
+	base.Neurons = 8
+	base.Volume = geom.Box(geom.V(0, 0, 0), geom.V(150, 150, 150))
+	base.Seed = 77
+
+	serial := circuit.MustBuild(base)
+	for _, w := range []int{2, 5, -1} {
+		p := base
+		p.Workers = w
+		par := circuit.MustBuild(p)
+		if len(par.Elements) != len(serial.Elements) {
+			t.Fatalf("workers=%d: %d elements, serial %d", w, len(par.Elements), len(serial.Elements))
+		}
+		for i := range par.Elements {
+			if par.Elements[i] != serial.Elements[i] {
+				t.Fatalf("workers=%d: element %d differs: %+v vs %+v",
+					w, i, par.Elements[i], serial.Elements[i])
+			}
+		}
+		if par.Bounds != serial.Bounds {
+			t.Errorf("workers=%d: bounds differ", w)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module neurospatial
+
+go 1.21

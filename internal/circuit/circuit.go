@@ -17,6 +17,7 @@ import (
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/morphology"
+	"neurospatial/internal/parallel"
 )
 
 // Element is one indexable spatial object: a single capsule segment of a
@@ -80,6 +81,12 @@ type Params struct {
 	// Seed makes the build deterministic; neuron i uses sub-seed
 	// Seed*1e9 + i.
 	Seed int64
+	// Workers parallelizes morphology generation across neurons. Every
+	// neuron draws from its own sub-seeded generator, so the built circuit
+	// is bit-identical for any worker count. 0 or 1 generates serially;
+	// values > 1 use that many workers; negative values use one worker per
+	// CPU.
+	Workers int
 }
 
 // DefaultParams returns a small but non-trivial circuit: 64 neurons in a
@@ -123,10 +130,18 @@ func Build(p Params) (*Circuit, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.Morphologies = make([]*morphology.Morphology, p.Neurons)
-	for i, pos := range positions {
-		m := morphology.Generate(pos, p.Morphology, p.Seed*1_000_000_007+int64(i))
-		c.Morphologies[i] = m
+	// Morphology generation is the expensive part of a build and every
+	// neuron is independently sub-seeded, so it parallelizes cleanly; the
+	// flattening below stays serial because element IDs encode the append
+	// order.
+	workers := 1
+	if p.Workers != 0 && p.Workers != 1 {
+		workers = parallel.Workers(p.Workers)
+	}
+	c.Morphologies = parallel.Map(workers, p.Neurons, func(_, i int) *morphology.Morphology {
+		return morphology.Generate(positions[i], p.Morphology, p.Seed*1_000_000_007+int64(i))
+	})
+	for i, m := range c.Morphologies {
 		c.appendElements(int32(i), m)
 	}
 	return c, nil

@@ -70,7 +70,15 @@ func ReadElements(r io.Reader) ([]Element, error) {
 		return nil, fmt.Errorf("circuit: bad magic %#x", got)
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:])
-	elems := make([]Element, 0, n)
+	// The count is untrusted input: cap the pre-allocation so a corrupt
+	// header cannot demand gigabytes up front. The slice still grows to the
+	// real element count; a short file fails with an honest read error on
+	// the first missing element.
+	prealloc := n
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	elems := make([]Element, 0, prealloc)
 	var buf [12 + 7*8]byte
 	for i := uint32(0); i < n; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {

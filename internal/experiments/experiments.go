@@ -34,6 +34,7 @@ func buildModel(neurons int, edge float64, seed int64) (*core.Model, error) {
 	p.Neurons = neurons
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(edge, edge, edge))
 	p.Seed = seed
+	p.Workers = -1 // one worker per CPU; builds are seed-deterministic anyway
 	return core.BuildModel(p, core.DefaultOptions())
 }
 
@@ -45,6 +46,7 @@ func buildLayeredModel(neurons int, edge float64, seed int64) (*core.Model, erro
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(edge, edge, edge))
 	p.Layers = circuit.CorticalLayers()
 	p.Seed = seed
+	p.Workers = -1
 	return core.BuildModel(p, core.DefaultOptions())
 }
 

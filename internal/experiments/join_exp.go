@@ -7,6 +7,7 @@ import (
 
 	"neurospatial/internal/join"
 	"neurospatial/internal/stats"
+	"neurospatial/internal/touch"
 )
 
 // E5Config parameterizes the synapse-join experiment.
@@ -19,6 +20,11 @@ type E5Config struct {
 	Eps float64
 	// IncludeNestedLoop toggles the quadratic baseline (slow at scale).
 	IncludeNestedLoop bool
+	// Workers, when not 0 or 1, additionally runs the parallel variants of
+	// PBSM, S3 and TOUCH with that many workers (negative: one per CPU).
+	// The cross-check below verifies they emit exactly as many pairs as the
+	// serial methods.
+	Workers int
 	// Seed drives construction.
 	Seed int64
 }
@@ -63,6 +69,13 @@ func RunE5(cfg E5Config) ([]E5Row, error) {
 	axons, dendrites := m.SynapseInputs(m.Circuit.Bounds)
 	algs := m.JoinAlgorithms()
 	algs = append(algs, namedAlgorithm{join.PBSM{PerCell: 4}, "PBSM-fine"})
+	if w := cfg.Workers; w != 0 && w != 1 {
+		algs = append(algs,
+			namedAlgorithm{join.PBSM{Workers: w}, "PBSM-par"},
+			namedAlgorithm{join.S3{Workers: w}, "S3-par"},
+			namedAlgorithm{&touch.Touch{Opts: touch.Options{Workers: w}}, "TOUCH-par"},
+		)
+	}
 	var rows []E5Row
 	for _, alg := range algs {
 		if !cfg.IncludeNestedLoop && alg.Name() == "NestedLoop" {

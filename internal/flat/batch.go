@@ -1,0 +1,74 @@
+package flat
+
+import (
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/parallel"
+)
+
+// BatchQuery executes many range queries concurrently over the shared worker
+// pool and returns the per-query statistics, indexed like qs. The index is
+// immutable after Build, so queries share it freely; when pool is non-nil
+// all workers read data pages through it (the pool is concurrency-safe and
+// its counters aggregate every worker's reads — snapshot pool.Stats() around
+// the call for batch totals).
+//
+// Determinism: visit receives exactly the (query, id) pairs a serial loop of
+// Query calls would produce, in the same order — each query's hits are
+// buffered and delivered in query order after the pool drains. visit runs on
+// the calling goroutine only; a nil visit skips result buffering entirely
+// (stats only). Like every Workers knob in the repository, workers 0 or 1
+// executes serially on the calling goroutine, values > 1 use that many
+// workers, and negative values use one worker per CPU.
+func (idx *Index) BatchQuery(qs []geom.AABB, pool *pager.BufferPool, workers int,
+	visit func(q int, id int32)) []QueryStats {
+
+	stats := make([]QueryStats, len(qs))
+	w := 1
+	if workers != 0 && workers != 1 {
+		w = parallel.Workers(workers)
+	}
+	if w <= 1 || len(qs) <= 1 {
+		for qi := range qs {
+			qi := qi
+			stats[qi] = idx.query(qs[qi], pool, func(id int32) {
+				if visit != nil {
+					visit(qi, id)
+				}
+			}, false)
+		}
+		return stats
+	}
+	if visit == nil {
+		parallel.ForEach(w, len(qs), func(_, qi int) {
+			stats[qi] = idx.query(qs[qi], pool, func(int32) {}, false)
+		})
+		return stats
+	}
+	ids := make([][]int32, len(qs))
+	parallel.ForEach(w, len(qs), func(_, qi int) {
+		stats[qi] = idx.query(qs[qi], pool, func(id int32) {
+			ids[qi] = append(ids[qi], id)
+		}, false)
+	})
+	for qi := range ids {
+		for _, id := range ids[qi] {
+			visit(qi, id)
+		}
+	}
+	return stats
+}
+
+// Aggregate sums per-query statistics into batch totals. CrawlOrder is not
+// aggregated (it only exists on traced queries).
+func Aggregate(sts []QueryStats) QueryStats {
+	var out QueryStats
+	for i := range sts {
+		out.SeedNodeAccesses += sts[i].SeedNodeAccesses
+		out.PagesRead += sts[i].PagesRead
+		out.Reseeds += sts[i].Reseeds
+		out.EntriesTested += sts[i].EntriesTested
+		out.Results += sts[i].Results
+	}
+	return out
+}

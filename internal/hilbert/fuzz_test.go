@@ -1,0 +1,51 @@
+package hilbert
+
+import "testing"
+
+// FuzzEncodeDecodeRoundTrip drives Encode with arbitrary coordinates at
+// arbitrary orders and asserts Decode inverts it exactly, and that the index
+// stays inside the curve's range. Seed corpus: testdata/fuzz.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint32(0), uint32(0), uint32(0))
+	f.Add(uint8(1), uint32(1), uint32(0), uint32(1))
+	f.Add(uint8(5), uint32(17), uint32(31), uint32(4))
+	f.Add(uint8(20), uint32(1)<<20, uint32(0xfffff), uint32(12345))
+	f.Add(uint8(255), ^uint32(0), ^uint32(0), ^uint32(0))
+	f.Fuzz(func(t *testing.T, orderRaw uint8, x, y, z uint32) {
+		order := int(orderRaw)%MaxOrder + 1
+		mask := uint32(1)<<order - 1
+		x, y, z = x&mask, y&mask, z&mask
+		h := Encode(order, x, y, z)
+		if maxIdx := (uint64(1) << (3 * order)) - 1; h > maxIdx {
+			t.Fatalf("order %d: Encode(%d,%d,%d) = %d exceeds max index %d",
+				order, x, y, z, h, maxIdx)
+		}
+		gx, gy, gz := Decode(order, h)
+		if gx != x || gy != y || gz != z {
+			t.Fatalf("order %d: Decode(Encode(%d,%d,%d)) = (%d,%d,%d)",
+				order, x, y, z, gx, gy, gz)
+		}
+	})
+}
+
+// FuzzDecodeEncodeRoundTrip drives Decode with arbitrary indexes and asserts
+// Encode inverts it — together with the forward fuzz this proves the mapping
+// is a bijection on every order's full domain.
+func FuzzDecodeEncodeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(0))
+	f.Add(uint8(2), uint64(63))
+	f.Add(uint8(9), uint64(123456789))
+	f.Add(uint8(20), ^uint64(0)>>1)
+	f.Fuzz(func(t *testing.T, orderRaw uint8, h uint64) {
+		order := int(orderRaw)%MaxOrder + 1
+		h &= (uint64(1) << (3 * order)) - 1
+		x, y, z := Decode(order, h)
+		mask := uint32(1)<<order - 1
+		if x > mask || y > mask || z > mask {
+			t.Fatalf("order %d: Decode(%d) = (%d,%d,%d) escapes the grid", order, h, x, y, z)
+		}
+		if got := Encode(order, x, y, z); got != h {
+			t.Fatalf("order %d: Encode(Decode(%d)) = %d", order, h, got)
+		}
+	})
+}

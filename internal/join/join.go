@@ -79,6 +79,21 @@ type Stats struct {
 // TotalTime returns build plus probe time.
 func (s Stats) TotalTime() time.Duration { return s.BuildTime + s.ProbeTime }
 
+// Merge adds the counter fields of worker-local stats records into s. The
+// parallel execution paths give every worker its own Stats so the hot loops
+// stay lock-free, then merge once the pool drains. Times are deliberately
+// not merged: phase wall-clock times are measured by the caller around the
+// parallel section, and summing per-worker durations would double-count.
+func (s *Stats) Merge(workers []Stats) {
+	for i := range workers {
+		s.Comparisons += workers[i].Comparisons
+		s.BoxTests += workers[i].BoxTests
+		s.NodePairs += workers[i].NodePairs
+		s.Results += workers[i].Results
+		s.ExtraBytes += workers[i].ExtraBytes
+	}
+}
+
 // Algorithm is a two-way spatial distance join.
 type Algorithm interface {
 	// Name returns the display name used in experiment tables.

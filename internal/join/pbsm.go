@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"neurospatial/internal/geom"
+	"neurospatial/internal/parallel"
 )
 
 // PBSM implements Partition Based Spatial-Merge join (Patel & DeWitt,
@@ -21,6 +22,14 @@ type PBSM struct {
 	// PerCell targets the mean number of A-objects per grid cell; the grid
 	// resolution is derived from it. Values <= 0 default to 16.
 	PerCell float64
+	// Workers parallelizes both phases: the partitioning (each worker grids
+	// a contiguous block of the input into private cell lists, concatenated
+	// in block order) and the cell-by-cell probe (one slot per active cell,
+	// per-cell pair buffers merged in cell order). 0 or 1 runs serially;
+	// values > 1 use that many workers; negative values use one worker per
+	// CPU. The emitted pair sequence is identical to a serial run for any
+	// worker count.
+	Workers int
 }
 
 // Name implements Algorithm.
@@ -36,18 +45,15 @@ func (p PBSM) Join(a, b []Object, eps float64, emit func(Pair)) Stats {
 	if perCell <= 0 {
 		perCell = 16
 	}
+	workers := 1
+	if p.Workers != 0 && p.Workers != 1 {
+		workers = parallel.Workers(p.Workers)
+	}
 	buildStart := time.Now()
 
 	// Grid geometry over the union of both datasets. A-boxes are expanded
 	// by eps so that any qualifying pair shares at least one cell.
-	bounds := geom.EmptyAABB()
-	for i := range a {
-		bounds = bounds.Union(a[i].Box)
-	}
-	for i := range b {
-		bounds = bounds.Union(b[i].Box)
-	}
-	bounds = bounds.Expand(eps)
+	bounds := boundsOf(a, workers).Union(boundsOf(b, workers)).Expand(eps)
 	k := int(math.Max(1, math.Cbrt(float64(len(a))/perCell)))
 	g := newCellGeometry(bounds, k)
 
@@ -56,38 +62,25 @@ func (p PBSM) Join(a, b []Object, eps float64, emit func(Pair)) Stats {
 	// cell-local join runs over contiguous arrays — the very point of
 	// partitioning, and the memory cost §4 of the paper holds against
 	// space-oriented approaches.
-	type entry struct {
-		box geom.AABB
-		idx int32
-	}
-	cellsA := make([][]entry, g.numCells())
-	cellsB := make([][]entry, g.numCells())
-	var incidences int64
-	for i := range a {
-		box := a[i].Box.Expand(eps)
-		g.forEach(box, func(c int32) {
-			cellsA[c] = append(cellsA[c], entry{box: box, idx: int32(i)})
-			incidences++
-		})
-	}
-	for i := range b {
-		g.forEach(b[i].Box, func(c int32) {
-			cellsB[c] = append(cellsB[c], entry{box: b[i].Box, idx: int32(i)})
-			incidences++
-		})
-	}
+	cellsA, incA := partitionGrid(a, eps, g, workers)
+	cellsB, incB := partitionGrid(b, 0, g, workers)
 	const entryBytes = 6*8 + 4
-	st.ExtraBytes = incidences*entryBytes + int64(g.numCells())*2*24 // + slice headers
+	st.ExtraBytes = (incA+incB)*entryBytes + int64(g.numCells())*2*24 // + slice headers
 	st.BuildTime = time.Since(buildStart)
 
+	// Probe the active cells (those with entries from both datasets). The
+	// reference-point dedup makes every cell's sub-join independent, so the
+	// cells are natural parallel slots.
 	probeStart := time.Now()
+	var active []int32
 	for c := 0; c < g.numCells(); c++ {
-		la, lb := cellsA[c], cellsB[c]
-		if len(la) == 0 || len(lb) == 0 {
-			continue
+		if len(cellsA[c]) > 0 && len(cellsB[c]) > 0 {
+			active = append(active, int32(c))
 		}
-		for _, ea := range la {
-			for _, eb := range lb {
+	}
+	probeCell := func(c int32, st *Stats, emit func(Pair)) {
+		for _, ea := range cellsA[c] {
+			for _, eb := range cellsB[c] {
 				st.BoxTests++
 				if !ea.box.Intersects(eb.box) {
 					continue
@@ -95,7 +88,7 @@ func (p PBSM) Join(a, b []Object, eps float64, emit func(Pair)) Stats {
 				// Reference point: report only in the cell containing the
 				// intersection's min corner, so each replicated pair is
 				// emitted exactly once.
-				if g.cellOf(bounds.Clamp(ea.box.Intersect(eb.box).Min)) != int32(c) {
+				if g.cellOf(bounds.Clamp(ea.box.Intersect(eb.box).Min)) != c {
 					continue
 				}
 				st.Comparisons++
@@ -106,8 +99,107 @@ func (p PBSM) Join(a, b []Object, eps float64, emit func(Pair)) Stats {
 			}
 		}
 	}
+	if workers <= 1 {
+		for _, c := range active {
+			probeCell(c, &st, emit)
+		}
+	} else {
+		stats := make([]Stats, workers)
+		parallel.Collect(workers, len(active), func(w, slot int, emit func(Pair)) {
+			probeCell(active[slot], &stats[w], emit)
+		}, emit)
+		st.Merge(stats)
+	}
 	st.ProbeTime = time.Since(probeStart)
 	return st
+}
+
+// gridEntry is one (object, cell) incidence of the PBSM partitioning: the
+// object's filter box plus its index in the input slice.
+type gridEntry struct {
+	box geom.AABB
+	idx int32
+}
+
+// boundsOf returns the union of the objects' boxes, splitting the reduction
+// into per-worker partial unions for large inputs.
+func boundsOf(objs []Object, workers int) geom.AABB {
+	ranges := parallel.Split(len(objs), workers)
+	if len(ranges) <= 1 {
+		box := geom.EmptyAABB()
+		for i := range objs {
+			box = box.Union(objs[i].Box)
+		}
+		return box
+	}
+	partial := parallel.Map(workers, len(ranges), func(_, ri int) geom.AABB {
+		box := geom.EmptyAABB()
+		for i := ranges[ri].Lo; i < ranges[ri].Hi; i++ {
+			box = box.Union(objs[i].Box)
+		}
+		return box
+	})
+	box := geom.EmptyAABB()
+	for _, p := range partial {
+		box = box.Union(p)
+	}
+	return box
+}
+
+// partitionGrid replicates every object's box (expanded by expand) into the
+// grid cells it overlaps and returns the per-cell entry lists plus the
+// incidence count. With several workers each partitions one contiguous block
+// of the input into private cell lists, which are then concatenated per cell
+// in block order — so the per-cell entry order (ascending object index) is
+// identical to a serial partition.
+func partitionGrid(objs []Object, expand float64, g *cellGeometry, workers int) ([][]gridEntry, int64) {
+	ranges := parallel.Split(len(objs), workers)
+	fill := func(r parallel.Range, cells [][]gridEntry) int64 {
+		var inc int64
+		for i := r.Lo; i < r.Hi; i++ {
+			box := objs[i].Box.Expand(expand)
+			g.forEach(box, func(c int32) {
+				cells[c] = append(cells[c], gridEntry{box: box, idx: int32(i)})
+				inc++
+			})
+		}
+		return inc
+	}
+	if len(ranges) <= 1 {
+		cells := make([][]gridEntry, g.numCells())
+		var inc int64
+		if len(ranges) == 1 {
+			inc = fill(ranges[0], cells)
+		}
+		return cells, inc
+	}
+	parts := make([][][]gridEntry, len(ranges))
+	incs := make([]int64, len(ranges))
+	parallel.ForEach(workers, len(ranges), func(_, ri int) {
+		cells := make([][]gridEntry, g.numCells())
+		incs[ri] = fill(ranges[ri], cells)
+		parts[ri] = cells
+	})
+	cells := make([][]gridEntry, g.numCells())
+	var inc int64
+	for _, v := range incs {
+		inc += v
+	}
+	for c := range cells {
+		n := 0
+		for _, part := range parts {
+			n += len(part[c])
+		}
+		if n == 0 {
+			continue
+		}
+		merged := make([]gridEntry, 0, n)
+		for _, part := range parts {
+			merged = append(merged, part[c]...)
+		}
+		cells[c] = merged
+	}
+	return cells, inc
 }
 
 // cellGeometry is the minimal uniform-grid math PBSM needs; it holds no

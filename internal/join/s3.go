@@ -3,6 +3,7 @@ package join
 import (
 	"time"
 
+	"neurospatial/internal/parallel"
 	"neurospatial/internal/rtree"
 )
 
@@ -19,6 +20,16 @@ type S3 struct {
 	// Fanout is the R-tree node capacity. Values <= 0 select
 	// rtree.DefaultFanout.
 	Fanout int
+	// Workers parallelizes both phases: the two operand trees are built
+	// concurrently, and the traversal is parallelized by expanding the root
+	// pair breadth-first into independent node-pair tasks (one slot each,
+	// per-task pair buffers merged in task order). 0 or 1 runs serially;
+	// values > 1 use that many workers; negative values use one worker per
+	// CPU. The emitted pair sequence — and every stats counter — is
+	// identical to a serial run for any worker count, because the expansion
+	// applies exactly the recursion's pruning tests and the task order is
+	// the recursion's preorder.
+	Workers int
 }
 
 // Name implements Algorithm.
@@ -34,9 +45,21 @@ func (s S3) Join(a, b []Object, eps float64, emit func(Pair)) Stats {
 	if fanout <= 0 {
 		fanout = rtree.DefaultFanout
 	}
+	workers := 1
+	if s.Workers != 0 && s.Workers != 1 {
+		workers = parallel.Workers(s.Workers)
+	}
 	buildStart := time.Now()
-	ta := buildTree(a, fanout)
-	tb := buildTree(b, fanout)
+	var ta, tb *rtree.Tree
+	if workers > 1 {
+		parallel.Do(
+			func() { ta = buildTree(a, fanout) },
+			func() { tb = buildTree(b, fanout) },
+		)
+	} else {
+		ta = buildTree(a, fanout)
+		tb = buildTree(b, fanout)
+	}
 	// Tree memory: roughly one Item per object per level-0 slot plus
 	// internal nodes ~ n/fanout * nodeBytes; estimate entries dominate.
 	st.ExtraBytes = int64(len(a)+len(b)) * (6*8 + 4) * 3 / 2
@@ -46,10 +69,82 @@ func (s S3) Join(a, b []Object, eps float64, emit func(Pair)) Stats {
 	ra, okA := ta.Root()
 	rb, okB := tb.Root()
 	if okA && okB {
-		s.joinNodes(ra, rb, a, b, eps, emit, &st)
+		if workers > 1 {
+			s.joinParallel(workers, ra, rb, a, b, eps, emit, &st)
+		} else {
+			s.joinNodes(ra, rb, a, b, eps, emit, &st)
+		}
 	}
 	st.ProbeTime = time.Since(probeStart)
 	return st
+}
+
+// nodeTask is one independent unit of the parallel traversal: a pair of
+// nodes whose subtrees are joined by a recursive descent.
+type nodeTask struct {
+	a, b rtree.NodeView
+}
+
+// joinParallel splits the synchronized traversal into independent node-pair
+// tasks and runs them on the worker pool. The root pair is expanded
+// breadth-first — with exactly the pruning tests and side-selection of the
+// recursive descent — until there are a few tasks per worker; each surviving
+// task then descends recursively with worker-local stats, and the per-task
+// pair buffers merge in task order. Task order is the recursion's preorder,
+// so the emitted sequence and all counters equal the serial traversal's.
+func (s S3) joinParallel(workers int, ra, rb rtree.NodeView, a, b []Object,
+	eps float64, emit func(Pair), st *Stats) {
+
+	tasks := s.expandFrontier(ra, rb, eps, workers*4, st)
+	stats := make([]Stats, workers)
+	parallel.Collect(workers, len(tasks), func(w, slot int, emit func(Pair)) {
+		s.joinNodes(tasks[slot].a, tasks[slot].b, a, b, eps, emit, &stats[w])
+	}, emit)
+	st.Merge(stats)
+}
+
+// expandFrontier grows the root pair into at least target independent tasks,
+// one breadth-first level per round, stopping early when every remaining
+// pair is leaf-leaf. Expanded pairs are counted against st exactly as the
+// recursion would have counted them.
+func (s S3) expandFrontier(ra, rb rtree.NodeView, eps float64, target int, st *Stats) []nodeTask {
+	frontier := []nodeTask{{a: ra, b: rb}}
+	for len(frontier) < target {
+		next := make([]nodeTask, 0, 2*len(frontier))
+		expanded := false
+		for _, t := range frontier {
+			na, nb := t.a, t.b
+			if na.IsLeaf() && nb.IsLeaf() {
+				next = append(next, t)
+				continue
+			}
+			expanded = true
+			st.NodePairs++
+			descendA := !na.IsLeaf() && (nb.IsLeaf() || na.Level() >= nb.Level())
+			if descendA {
+				for i := 0; i < na.NumChildren(); i++ {
+					c := na.Child(i)
+					st.BoxTests++
+					if c.Box().Expand(eps).Intersects(nb.Box()) {
+						next = append(next, nodeTask{a: c, b: nb})
+					}
+				}
+			} else {
+				for i := 0; i < nb.NumChildren(); i++ {
+					c := nb.Child(i)
+					st.BoxTests++
+					if na.Box().Expand(eps).Intersects(c.Box()) {
+						next = append(next, nodeTask{a: na, b: c})
+					}
+				}
+			}
+		}
+		frontier = next
+		if !expanded {
+			break
+		}
+	}
+	return frontier
 }
 
 func buildTree(objs []Object, fanout int) *rtree.Tree {

@@ -13,6 +13,7 @@ package pager
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -140,10 +141,16 @@ type lruEntry struct {
 	prefetched bool // in pool due to prefetch, not yet demanded
 }
 
-// BufferPool is a fixed-capacity LRU cache of pages from one Store.
-// It is not safe for concurrent use; the simulation is single-threaded by
-// design so that page counts are deterministic.
+// BufferPool is a fixed-capacity LRU cache of pages from one Store. It is
+// safe for concurrent use: every operation holds the pool mutex, so each
+// Get/Prefetch is atomic and the counters stay consistent (the accounting
+// identity Hits + DemandReads == total Gets holds under any interleaving).
+// Single-threaded runs remain exactly as deterministic as before; under
+// concurrency the *totals* are reproducible for a fixed access multiset,
+// while the hit/miss split of an individual request depends on which worker
+// reached a shared page first.
 type BufferPool struct {
+	mu       sync.Mutex
 	store    *Store
 	capacity int
 	entries  map[PageID]*lruEntry
@@ -171,17 +178,31 @@ func (p *BufferPool) Store() *Store { return p.store }
 func (p *BufferPool) Capacity() int { return p.capacity }
 
 // Len returns the number of pages currently cached.
-func (p *BufferPool) Len() int { return len(p.entries) }
+func (p *BufferPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
 
 // Stats returns a snapshot of the cumulative counters.
-func (p *BufferPool) Stats() Stats { return p.stats }
+func (p *BufferPool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
 
 // ResetStats zeroes the counters without touching the cached pages.
-func (p *BufferPool) ResetStats() { p.stats = Stats{} }
+func (p *BufferPool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
 
 // Contains reports whether page id is cached, without touching LRU order or
 // counters.
 func (p *BufferPool) Contains(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, ok := p.entries[id]
 	return ok
 }
@@ -190,6 +211,8 @@ func (p *BufferPool) Contains(id PageID) bool {
 // miss. It is the demand-read path: misses count as DemandReads, hits as
 // Hits (and PrefetchHits when the page was prefetched and not yet demanded).
 func (p *BufferPool) Get(id PageID) []int32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if e, ok := p.entries[id]; ok {
 		p.stats.Hits++
 		if e.prefetched {
@@ -208,6 +231,8 @@ func (p *BufferPool) Get(id PageID) []int32 {
 // pages are left untouched (no counter changes, no LRU promotion — a
 // prefetcher re-requesting a hot page should not be able to pin it).
 func (p *BufferPool) Prefetch(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, ok := p.entries[id]; ok {
 		return
 	}
@@ -218,6 +243,8 @@ func (p *BufferPool) Prefetch(id PageID) {
 // Flush empties the pool (for experiment repetitions needing a cold cache).
 // Counters are preserved.
 func (p *BufferPool) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.entries = make(map[PageID]*lruEntry, p.capacity)
 	p.head, p.tail = nil, nil
 }

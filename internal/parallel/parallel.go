@@ -1,0 +1,198 @@
+// Package parallel is the shared work-scheduling layer under every
+// multi-core code path of the repository: the batched range-query APIs of
+// flat and rtree, the parallel build and probe phases of the PBSM, S3 and
+// TOUCH joins, and parallel tissue generation.
+//
+// The design goal is determinism: a parallel execution must produce exactly
+// the same observable output as the serial one, independent of the worker
+// count and of goroutine scheduling. The package achieves it with one
+// pattern, extracted from TOUCH's original probe-phase parallelism:
+//
+//   - work is split into indexed slots (one per query, grid cell, bucket,
+//     node pair, or neuron);
+//   - a bounded pool of workers pulls contiguous chunks of slot indexes off
+//     an atomic cursor, so load balances dynamically without per-item
+//     channel traffic;
+//   - anything a slot emits is buffered per slot, and the buffers are merged
+//     in slot order after the pool drains.
+//
+// Slot order equals serial iteration order, so the merged output is
+// byte-for-byte the order a single-threaded loop would have produced. The
+// differential tests in the repository root assert exactly that property for
+// every join algorithm and batch-query path.
+//
+// Mutable per-worker state (scratch stacks, stats accumulators) is indexed
+// by the worker id passed to every callback; workers never share mutable
+// state, so the hot loops run lock-free.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values > 0 are returned as-is;
+// zero and negative values select runtime.NumCPU(). The result is always at
+// least 1.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if c := runtime.NumCPU(); c > 1 {
+		return c
+	}
+	return 1
+}
+
+// Range is a half-open slot interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of slots in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions [0, n) into at most parts contiguous near-equal ranges,
+// larger ranges first. It returns fewer ranges when n < parts and nil when
+// n <= 0. Batch builders use it to give each worker one contiguous block
+// whose partial results can be concatenated in block order.
+func Split(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([]Range, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		size := (n - lo) / (parts - i)
+		if rem := (n - lo) % (parts - i); rem > 0 {
+			size++
+		}
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// ForEach runs fn(worker, slot) for every slot in [0, n) across a bounded
+// pool of workers. Slots are handed out in contiguous chunks via an atomic
+// cursor, so the scheduling is dynamic (a slow slot does not stall the
+// others) while each chunk still runs in ascending slot order. worker is in
+// [0, Workers(workers)) and identifies the goroutine, so callbacks can index
+// per-worker scratch state without locks.
+//
+// When the resolved worker count is 1 (or n <= 1), fn runs on the calling
+// goroutine with worker == 0 and no goroutines are spawned.
+func ForEach(workers, n int, fn func(worker, slot int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Aim for several chunks per worker so dynamic scheduling can balance
+	// skewed slot costs, but keep chunks coarse enough that the cursor is
+	// not contended.
+	chunk := n / (w * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(wk, i)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// Collect runs work for every slot in [0, n) across the pool and delivers
+// everything the slots emit to sink in slot order — the deterministic
+// ordered merge of per-slot result buffers. Within one slot, emissions keep
+// their emit order; across slots, slot order rules. The net effect: sink
+// observes exactly the sequence a serial loop `for i { work(0, i, sink) }`
+// would produce, for any worker count.
+//
+// work must not retain its emit function past its own return. sink runs on
+// the calling goroutine only.
+func Collect[T any](workers, n int, work func(worker, slot int, emit func(T)), sink func(T)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			work(0, i, sink)
+		}
+		return
+	}
+	bufs := make([][]T, n)
+	ForEach(w, n, func(worker, slot int) {
+		work(worker, slot, func(t T) { bufs[slot] = append(bufs[slot], t) })
+	})
+	for _, buf := range bufs {
+		for _, t := range buf {
+			sink(t)
+		}
+	}
+}
+
+// Map runs fn for every slot in [0, n) across the pool and returns the
+// results indexed by slot.
+func Map[T any](workers, n int, fn func(worker, slot int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	ForEach(workers, n, func(worker, slot int) {
+		out[slot] = fn(worker, slot)
+	})
+	return out
+}
+
+// Do runs the given functions concurrently, one goroutine each (bounded by
+// the number of functions), and returns when all have finished. Join builds
+// use it to construct the two operand indexes at the same time.
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}

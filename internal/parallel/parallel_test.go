@@ -1,0 +1,153 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	for _, n := range []int{0, -1, -100} {
+		got := Workers(n)
+		if got < 1 {
+			t.Errorf("Workers(%d) = %d, want >= 1", n, got)
+		}
+		if runtime.NumCPU() > 1 && got != runtime.NumCPU() {
+			t.Errorf("Workers(%d) = %d, want NumCPU = %d", n, got, runtime.NumCPU())
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	for _, tc := range []struct {
+		n, parts int
+		want     int // number of ranges
+	}{
+		{0, 4, 0},
+		{-3, 4, 0},
+		{1, 4, 1},
+		{4, 4, 4},
+		{10, 3, 3},
+		{10, 0, 1},
+		{100, 7, 7},
+	} {
+		rs := Split(tc.n, tc.parts)
+		if len(rs) != tc.want {
+			t.Errorf("Split(%d, %d) gave %d ranges, want %d", tc.n, tc.parts, len(rs), tc.want)
+			continue
+		}
+		// Ranges must tile [0, n) exactly, in order, with sizes differing by
+		// at most one.
+		next := 0
+		minLen, maxLen := tc.n+1, 0
+		for _, r := range rs {
+			if r.Lo != next {
+				t.Errorf("Split(%d, %d): range %v does not start at %d", tc.n, tc.parts, r, next)
+			}
+			if r.Len() <= 0 {
+				t.Errorf("Split(%d, %d): empty range %v", tc.n, tc.parts, r)
+			}
+			if r.Len() < minLen {
+				minLen = r.Len()
+			}
+			if r.Len() > maxLen {
+				maxLen = r.Len()
+			}
+			next = r.Hi
+		}
+		if tc.n > 0 && next != tc.n {
+			t.Errorf("Split(%d, %d): ranges end at %d", tc.n, tc.parts, next)
+		}
+		if tc.n > 0 && maxLen-minLen > 1 {
+			t.Errorf("Split(%d, %d): range sizes span [%d, %d]", tc.n, tc.parts, minLen, maxLen)
+		}
+	}
+}
+
+func TestForEachCoversEverySlotOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(worker, slot int) {
+			if worker < 0 || worker >= Workers(workers) {
+				t.Errorf("worker id %d out of range", worker)
+			}
+			hits[slot].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: slot %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int, int) { called = true })
+	if called {
+		t.Error("ForEach called fn for n=0")
+	}
+}
+
+func TestCollectIsOrderDeterministic(t *testing.T) {
+	const n = 500
+	// Each slot emits a variable number of values; the merged stream must be
+	// identical to the serial order for every worker count.
+	work := func(worker, slot int, emit func(int)) {
+		for k := 0; k <= slot%3; k++ {
+			emit(slot*10 + k)
+		}
+	}
+	var want []int
+	Collect(1, n, work, func(v int) { want = append(want, v) })
+	for _, workers := range []int{2, 3, 8} {
+		var got []int
+		Collect(workers, n, work, func(v int) { got = append(got, v) })
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d values, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: value %d is %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	got := Map(4, 100, func(worker, slot int) int { return slot * slot })
+	if len(got) != 100 {
+		t.Fatalf("Map returned %d results", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if Map(4, 0, func(int, int) int { return 0 }) != nil {
+		t.Error("Map with n=0 should return nil")
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Errorf("Do left %d %d %d", a.Load(), b.Load(), c.Load())
+	}
+	Do(func() { a.Store(9) }) // single-function fast path
+	if a.Load() != 9 {
+		t.Error("Do single-function path did not run")
+	}
+}

@@ -1,0 +1,72 @@
+package rtree
+
+import (
+	"neurospatial/internal/geom"
+	"neurospatial/internal/parallel"
+)
+
+// BatchQuery executes many range queries concurrently over the shared worker
+// pool and returns the per-query statistics, indexed like qs. The tree must
+// not be mutated while a batch runs; queries are read-only and share the
+// structure freely.
+//
+// Determinism: visit receives exactly the (query, item) pairs a serial loop
+// of Query calls would produce, in the same order — each query's hits are
+// buffered and delivered in query order after the pool drains. visit runs on
+// the calling goroutine only; a nil visit skips result buffering entirely
+// (stats only). Like every Workers knob in the repository, workers 0 or 1
+// executes serially on the calling goroutine, values > 1 use that many
+// workers, and negative values use one worker per CPU.
+func (t *Tree) BatchQuery(qs []geom.AABB, workers int, visit func(q int, it Item)) []QueryStats {
+	stats := make([]QueryStats, len(qs))
+	w := 1
+	if workers != 0 && workers != 1 {
+		w = parallel.Workers(workers)
+	}
+	if w <= 1 || len(qs) <= 1 {
+		for qi := range qs {
+			qi := qi
+			stats[qi] = t.Query(qs[qi], func(it Item) {
+				if visit != nil {
+					visit(qi, it)
+				}
+			})
+		}
+		return stats
+	}
+	if visit == nil {
+		parallel.ForEach(w, len(qs), func(_, qi int) {
+			stats[qi] = t.Query(qs[qi], func(Item) {})
+		})
+		return stats
+	}
+	hits := make([][]Item, len(qs))
+	parallel.ForEach(w, len(qs), func(_, qi int) {
+		stats[qi] = t.Query(qs[qi], func(it Item) {
+			hits[qi] = append(hits[qi], it)
+		})
+	})
+	for qi := range hits {
+		for _, it := range hits[qi] {
+			visit(qi, it)
+		}
+	}
+	return stats
+}
+
+// Aggregate sums per-query statistics into batch totals; NodesPerLevel is
+// summed element-wise.
+func Aggregate(sts []QueryStats) QueryStats {
+	var out QueryStats
+	for i := range sts {
+		for l, c := range sts[i].NodesPerLevel {
+			for len(out.NodesPerLevel) <= l {
+				out.NodesPerLevel = append(out.NodesPerLevel, 0)
+			}
+			out.NodesPerLevel[l] += c
+		}
+		out.EntriesTested += sts[i].EntriesTested
+		out.Results += sts[i].Results
+	}
+	return out
+}

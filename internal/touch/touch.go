@@ -31,11 +31,11 @@
 package touch
 
 import (
-	"sync"
 	"time"
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/join"
+	"neurospatial/internal/parallel"
 	"neurospatial/internal/rtree"
 )
 
@@ -54,9 +54,11 @@ type Options struct {
 	// hierarchical assignment matters.
 	MaxAssignDepth int
 	// Workers parallelizes the probe phase across goroutines, mirroring the
-	// multicore deployment of the original system. 0 or 1 probes serially.
-	// Results are still emitted exactly once and in a deterministic order;
-	// the stats counters are summed across workers.
+	// multicore deployment of the original system. 0 or 1 probes serially;
+	// values > 1 use that many workers; negative values use one worker per
+	// CPU. Results are emitted exactly once, in the same order as a serial
+	// probe regardless of the worker count (the per-bucket buffers are
+	// merged in bucket order); the stats counters are summed across workers.
 	Workers int
 }
 
@@ -235,8 +237,8 @@ func (t *Touch) Join(a, b []join.Object, eps float64, emit func(join.Pair)) join
 	}
 
 	probeStart := time.Now()
-	if w := t.Opts.Workers; w > 1 {
-		t.probeParallel(w, buckets, probeOne, &st, emit)
+	if w := t.Opts.Workers; w != 0 && w != 1 {
+		probeParallel(parallel.Workers(w), buckets, probeOne, &st, emit)
 	} else {
 		stack := make([]int32, 0, 64)
 		for nodeIdx, ids := range buckets {
@@ -255,10 +257,12 @@ type probeWork struct {
 	ids  []int32
 }
 
-// probeParallel fans the buckets out to workers round-robin, each worker
-// accumulating pairs and stats locally, then merges in worker order so the
-// emitted sequence is deterministic for a fixed worker count.
-func (t *Touch) probeParallel(workers int, buckets [][]int32,
+// probeParallel fans the non-empty buckets out to the shared worker pool:
+// one slot per bucket, per-worker stats and scratch stacks, per-bucket pair
+// buffers merged in bucket order. Bucket order is the serial probe's
+// iteration order, so the emitted sequence is identical to a serial probe
+// for any worker count.
+func probeParallel(workers int, buckets [][]int32,
 	probeOne func(int32, int32, *join.Stats, []int32, func(join.Pair)) []int32,
 	st *join.Stats, emit func(join.Pair)) {
 
@@ -268,32 +272,13 @@ func (t *Touch) probeParallel(workers int, buckets [][]int32,
 			work = append(work, probeWork{node: int32(nodeIdx), ids: ids})
 		}
 	}
-	results := make([][]join.Pair, workers)
 	stats := make([]join.Stats, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			stack := make([]int32, 0, 64)
-			local := &stats[w]
-			for i := w; i < len(work); i += workers {
-				for _, bi := range work[i].ids {
-					stack = probeOne(work[i].node, bi, local, stack, func(p join.Pair) {
-						results[w] = append(results[w], p)
-					})
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for w := 0; w < workers; w++ {
-		st.NodePairs += stats[w].NodePairs
-		st.BoxTests += stats[w].BoxTests
-		st.Comparisons += stats[w].Comparisons
-		st.Results += stats[w].Results
-		for _, p := range results[w] {
-			emit(p)
+	stacks := make([][]int32, workers)
+	parallel.Collect(workers, len(work), func(w, slot int, emitLocal func(join.Pair)) {
+		local := &stats[w]
+		for _, bi := range work[slot].ids {
+			stacks[w] = probeOne(work[slot].node, bi, local, stacks[w], emitLocal)
 		}
-	}
+	}, emit)
+	st.Merge(stats)
 }
