@@ -1,6 +1,7 @@
 // Command flatbench drives experiments E1, E2 and E6: the FLAT range-query
 // reproductions of Figures 2+3, Figure 4 and the §1 scaling narrative. It
-// prints the tables recorded in EXPERIMENTS.md.
+// prints the tables recorded in EXPERIMENTS.md. Every contender executes
+// through the unified engine layer (internal/engine).
 //
 // Usage:
 //
@@ -9,6 +10,15 @@
 //	go run ./cmd/flatbench -scale     # E6: constant-density scaling
 //	go run ./cmd/flatbench -batch     # E7: batched concurrent-query worker sweep
 //	go run ./cmd/flatbench -all       # everything
+//
+//	go run ./cmd/flatbench -json BENCH_engine.json [-quick]
+//	                                  # machine-readable E1/E4/E7 headline
+//	                                  # numbers (the CI artifact)
+//
+// The -workers flag follows the repository-wide convention (see README):
+// 0 or 1 run serially, values > 1 use that many workers, negative values
+// use one worker per CPU. It controls circuit construction; results are
+// worker-count-invariant.
 package main
 
 import (
@@ -27,11 +37,23 @@ func main() {
 	scale := flag.Bool("scale", false, "run E6 (scaling)")
 	batch := flag.Bool("batch", false, "run E7 (batched concurrent queries)")
 	all := flag.Bool("all", false, "run every FLAT experiment")
+	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
+	jsonOut := flag.String("json", "", "write E1/E4/E7 headline numbers as JSON to this path and exit")
+	quick := flag.Bool("quick", false, "with -json: use the reduced CI-scale configurations")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *quick, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	runDensity := *all || (!*crawl && !*scale && !*batch)
 	if runDensity {
-		rows, err := experiments.RunE1(experiments.DefaultE1())
+		cfg := experiments.DefaultE1()
+		cfg.Workers = *workers
+		rows, err := experiments.RunE1(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +63,9 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *crawl {
-		rows, err := experiments.RunE2(experiments.DefaultE2())
+		cfg := experiments.DefaultE2()
+		cfg.Workers = *workers
+		rows, err := experiments.RunE2(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,7 +75,9 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *scale {
-		rows, err := experiments.RunE6(experiments.DefaultE6())
+		cfg := experiments.DefaultE6()
+		cfg.Workers = *workers
+		rows, err := experiments.RunE6(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +87,9 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *batch {
-		rows, err := experiments.RunE7(experiments.DefaultE7())
+		cfg := experiments.DefaultE7()
+		cfg.Workers = *workers
+		rows, err := experiments.RunE7(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,4 +97,27 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+func writeBenchJSON(path string, quick bool, workers int) error {
+	cfgs := experiments.DefaultBenchConfigs()
+	if quick {
+		cfgs = experiments.QuickBenchConfigs()
+	}
+	cfgs.E1.Workers = workers
+	cfgs.E4.Workers = workers
+	cfgs.E7.Workers = workers
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.RunBenchJSON(f, cfgs); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -16,7 +16,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/neurodemo [-neurons N] [-station 1|2|3]
+//	go run ./cmd/neurodemo [-neurons N] [-station 1|2|3] [-workers W]
+//
+// The -workers flag follows the repository-wide convention (see README):
+// 0 or 1 run serially, values > 1 use that many workers, negative values
+// use one worker per CPU. It controls circuit construction; the model is
+// worker-count-invariant.
 package main
 
 import (
@@ -41,11 +46,13 @@ func main() {
 	log.SetPrefix("neurodemo: ")
 	neurons := flag.Int("neurons", 48, "neurons in the model")
 	station := flag.Int("station", 0, "run a single station (1, 2 or 3); 0 runs all")
+	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
 	flag.Parse()
 
 	p := circuit.DefaultParams()
 	p.Neurons = *neurons
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(300, 300, 300))
+	p.Workers = *workers
 	p.Layers = circuit.CorticalLayers()
 	model, err := core.BuildModel(p, core.DefaultOptions())
 	if err != nil {
@@ -91,10 +98,16 @@ func station1(model *core.Model) {
 	cmp := model.CompareRangeQuery(q)
 	tb := stats.NewTable("live statistics (Figure 3)", "method", "pages read", "per level (leaf..root)", "time")
 	tb.AddRow("FLAT", cmp.FlatStats.TotalReads(), "-", stats.Dur(cmp.FlatTime))
-	tb.AddRow("R-Tree", cmp.RTreeStats.NodeAccesses(),
+	tb.AddRow("R-Tree", cmp.RTreeStats.TotalReads(),
 		fmt.Sprintf("%v", cmp.RTreeStats.NodesPerLevel), stats.Dur(cmp.RTreeTime))
 	tb.Render(os.Stdout)
-	fmt.Printf("both retrieved %d elements\n\n", cmp.Results)
+	fmt.Printf("both retrieved %d elements\n", cmp.Results)
+
+	// The engine's planner routes a batch of such queries to the cheapest
+	// contender after calibrating each one on a small sample.
+	batch := []geom.AABB{q, q.Expand(-10), q.Expand(10)}
+	_, decision := model.Engine.Run(batch, 1, nil)
+	fmt.Printf("engine planner: %s\n\n", decision)
 
 	// Figure 4: the crawl order, each page labeled by retrieval order.
 	crawl := model.Flat.QueryTraced(q, nil, func(int32) {})

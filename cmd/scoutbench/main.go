@@ -7,6 +7,11 @@
 //	go run ./cmd/scoutbench            # E4: speedup comparison
 //	go run ./cmd/scoutbench -pruning   # E3: candidate pruning
 //	go run ./cmd/scoutbench -all       # both
+//
+// The -workers flag follows the repository-wide convention (see README):
+// 0 or 1 run serially, values > 1 use that many workers, negative values
+// use one worker per CPU. It controls circuit construction; results are
+// worker-count-invariant.
 package main
 
 import (
@@ -24,10 +29,13 @@ func main() {
 	pruning := flag.Bool("pruning", false, "run E3 (candidate pruning)")
 	sweep := flag.Bool("sweep", false, "run the walkthrough-length sweep (the 'up to 15x' series)")
 	all := flag.Bool("all", false, "run every SCOUT experiment")
+	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
 	flag.Parse()
 
 	if *all || (!*pruning && !*sweep) {
-		rows, err := experiments.RunE4(experiments.DefaultE4())
+		cfg := experiments.DefaultE4()
+		cfg.Workers = *workers
+		rows, err := experiments.RunE4(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,7 +45,9 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *pruning {
-		rows, err := experiments.RunE3(experiments.DefaultE3())
+		cfg := experiments.DefaultE3()
+		cfg.Workers = *workers
+		rows, err := experiments.RunE3(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +57,9 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *sweep {
-		tb, err := experiments.E4LengthSweep(experiments.DefaultE4(), []float64{400, 900, 2500, 6000})
+		cfg := experiments.DefaultE4()
+		cfg.Workers = *workers
+		tb, err := experiments.E4LengthSweep(cfg, []float64{400, 900, 2500, 6000})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -322,3 +322,85 @@ func TestCircuitBuildWorkerCountInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineRoutedMatchesDirect is the tentpole differential: on a real
+// tissue model, the engine layer's FLAT and R-tree contenders must emit
+// exactly the hits and stats of the direct index calls, and the planner's
+// routed batch must reproduce its chosen contender's serial run.
+func TestEngineRoutedMatchesDirect(t *testing.T) {
+	m := diffModel(t, 10, true, 606)
+	vol := m.Circuit.Params.Volume
+	c := vol.Center()
+	var queries []geom.AABB
+	for i := 0; i < 16; i++ {
+		off := geom.V(
+			vol.Size().X*0.25*float64(i%3-1)*0.5,
+			vol.Size().Y*0.25*float64((i/3)%3-1)*0.5,
+			vol.Size().Z*0.25*float64((i/9)%3-1)*0.5,
+		)
+		queries = append(queries, geom.BoxAround(c.Add(off), 12+float64(i)))
+	}
+
+	eflat, ertree := m.Engine.Index("flat"), m.Engine.Index("rtree")
+	for qi, q := range queries {
+		var direct []int32
+		ds := m.Flat.Query(q, nil, func(id int32) { direct = append(direct, id) })
+		var routed []int32
+		es := eflat.Query(q, func(id int32) { routed = append(routed, id) })
+		if len(direct) != len(routed) {
+			t.Fatalf("flat query %d: %d routed hits, %d direct", qi, len(routed), len(direct))
+		}
+		for i := range direct {
+			if direct[i] != routed[i] {
+				t.Fatalf("flat query %d: hit %d diverged", qi, i)
+			}
+		}
+		if es.PagesRead != ds.PagesRead || es.IndexReads != ds.SeedNodeAccesses ||
+			es.Results != ds.Results {
+			t.Errorf("flat query %d: engine stats %+v vs direct %+v", qi, es, ds)
+		}
+
+		var dtree []int32
+		ts := m.RTree.Query(q, func(it rtree.Item) { dtree = append(dtree, it.ID) })
+		var rtreeRouted []int32
+		rs := ertree.Query(q, func(id int32) { rtreeRouted = append(rtreeRouted, id) })
+		if len(dtree) != len(rtreeRouted) {
+			t.Fatalf("rtree query %d: %d routed hits, %d direct", qi, len(rtreeRouted), len(dtree))
+		}
+		for i := range dtree {
+			if dtree[i] != rtreeRouted[i] {
+				t.Fatalf("rtree query %d: hit %d diverged", qi, i)
+			}
+		}
+		if rs.PagesRead != ts.NodeAccesses() || rs.Results != ts.Results {
+			t.Errorf("rtree query %d: engine stats %+v vs direct %+v", qi, rs, ts)
+		}
+	}
+
+	// Planner-routed batch == chosen contender's serial loop, per worker count.
+	type hit struct {
+		q  int
+		id int32
+	}
+	_, decision := m.Engine.Run(queries, 1, nil)
+	var want []hit
+	for qi, q := range queries {
+		qi := qi
+		decision.Index.Query(q, func(id int32) { want = append(want, hit{qi, id}) })
+	}
+	for _, w := range []int{1, 3, 6} {
+		var got []hit
+		_, d := m.Engine.Run(queries, w, func(q int, id int32) { got = append(got, hit{q, id}) })
+		if d.Index != decision.Index {
+			t.Fatalf("workers=%d: plan flipped from %s to %s", w, decision.Index.Name(), d.Index.Name())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d hits, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: hit %d diverged", w, i)
+			}
+		}
+	}
+}

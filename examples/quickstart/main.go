@@ -40,7 +40,7 @@ func main() {
 	tb := stats.NewTable("range query, 80 µm cube at the model center",
 		"method", "pages read", "time")
 	tb.AddRow("FLAT", cmp.FlatStats.TotalReads(), stats.Dur(cmp.FlatTime))
-	tb.AddRow("R-Tree", cmp.RTreeStats.NodeAccesses(), stats.Dur(cmp.RTreeTime))
+	tb.AddRow("R-Tree", cmp.RTreeStats.TotalReads(), stats.Dur(cmp.RTreeTime))
 	if err := tb.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -61,7 +61,7 @@ func main() {
 				ts := model.AnalyzeRegion(region)
 				cmp := model.CompareRangeQuery(region)
 				flatTotal += cmp.FlatStats.TotalReads()
-				rtreeTotal += cmp.RTreeStats.NodeAccesses()
+				rtreeTotal += cmp.RTreeStats.TotalReads()
 				tb.AddRow(
 					fmt.Sprintf("(%d,%d,%d)", ix, iy, iz),
 					ts.Elements,
@@ -69,7 +69,7 @@ func main() {
 					fmt.Sprintf("%.0f", ts.TotalLength),
 					fmt.Sprintf("%.4f", ts.Density),
 					cmp.FlatStats.TotalReads(),
-					cmp.RTreeStats.NodeAccesses(),
+					cmp.RTreeStats.TotalReads(),
 				)
 			}
 		}

@@ -80,7 +80,7 @@ func FuzzElementsRoundTrip(f *testing.F) {
 // parser and printer agree on the format).
 func FuzzReadElementsArbitraryBytes(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0x31, 0x43, 0x53, 0x4e, 0, 0, 0, 0}) // magic + zero count
+	f.Add([]byte{0x31, 0x43, 0x53, 0x4e, 0, 0, 0, 0})             // magic + zero count
 	f.Add([]byte{0x31, 0x43, 0x53, 0x4e, 0xff, 0xff, 0xff, 0xff}) // huge count, no data
 	// One well-formed single-element file.
 	{

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"neurospatial/internal/circuit"
+	"neurospatial/internal/engine"
 	"neurospatial/internal/flat"
 	"neurospatial/internal/geom"
 	"neurospatial/internal/join"
@@ -57,7 +58,21 @@ type Model struct {
 	// RTree is the element-level R-tree baseline, with fanout equal to the
 	// FLAT page size so node reads and page reads are comparable.
 	RTree *rtree.Tree
-	opts  Options
+	// Engine is the unified query layer over the circuit: the FLAT, R-tree
+	// and grid contenders behind one engine.SpatialIndex interface, with the
+	// stats-driven planner routing batches between them. The experiment
+	// harnesses and cmd drivers query through it; Flat and RTree above
+	// remain as direct handles for construction-level tooling.
+	Engine *engine.Planner
+	opts   Options
+}
+
+// EngineIndex returns the named engine contender ("flat", "rtree", "grid").
+func (m *Model) EngineIndex(name string) (engine.SpatialIndex, error) {
+	if ix := m.Engine.Index(name); ix != nil {
+		return ix, nil
+	}
+	return nil, fmt.Errorf("core: unknown engine index %q (have flat, rtree, grid)", name)
 }
 
 // BuildModel constructs the circuit and both indexes.
@@ -89,7 +104,16 @@ func NewModel(c *circuit.Circuit, opts Options) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building R-tree: %w", err)
 	}
-	return &Model{Circuit: c, Flat: f, RTree: rt, opts: opts}, nil
+	ert, err := engine.WrapRTree(rt)
+	if err != nil {
+		return nil, fmt.Errorf("core: paging R-tree: %w", err)
+	}
+	eg := engine.NewGrid(engine.GridOptions{PageSize: opts.Flat.PageSize})
+	if err := eg.Build(items); err != nil {
+		return nil, fmt.Errorf("core: building grid index: %w", err)
+	}
+	planner := engine.NewPlanner(engine.WrapFlat(f), ert, eg)
+	return &Model{Circuit: c, Flat: f, RTree: rt, Engine: planner, opts: opts}, nil
 }
 
 // Segment returns the capsule geometry of an element.
@@ -109,33 +133,37 @@ func (m *Model) RangeQuery(q geom.AABB) ([]int32, flat.QueryStats) {
 }
 
 // QueryComparison contrasts FLAT and the R-tree on one query — the two
-// columns of the demo's Figure 3 statistics panel.
+// columns of the demo's Figure 3 statistics panel. Both profiles are the
+// engine layer's unified QueryStats: for FLAT, IndexReads are seed-tree
+// accesses and PagesRead the crawl; for the R-tree, PagesRead are node
+// accesses (one node per page) with the per-level breakdown attached.
 type QueryComparison struct {
 	// Results is the number of matching elements (identical for both).
 	Results int
 	// FlatStats is FLAT's execution record.
-	FlatStats flat.QueryStats
+	FlatStats engine.QueryStats
 	// FlatTime is FLAT's wall-clock execution time.
 	FlatTime time.Duration
 	// RTreeStats is the R-tree's execution record (per-level node reads).
-	RTreeStats rtree.QueryStats
+	RTreeStats engine.QueryStats
 	// RTreeTime is the R-tree's wall-clock execution time.
 	RTreeTime time.Duration
 }
 
-// CompareRangeQuery runs the same box-filter query on FLAT and the R-tree
-// and returns both cost profiles. It panics if the two indexes disagree on
-// the result — they never should.
+// CompareRangeQuery runs the same box-filter query on the engine's FLAT and
+// R-tree contenders and returns both cost profiles. It panics if the two
+// indexes disagree on the result — they never should.
 func (m *Model) CompareRangeQuery(q geom.AABB) QueryComparison {
 	var cmp QueryComparison
+	eflat, ertree := m.Engine.Index("flat"), m.Engine.Index("rtree")
 	start := time.Now()
 	flatCount := 0
-	cmp.FlatStats = m.Flat.Query(q, nil, func(int32) { flatCount++ })
+	cmp.FlatStats = eflat.Query(q, func(int32) { flatCount++ })
 	cmp.FlatTime = time.Since(start)
 
 	start = time.Now()
 	treeCount := 0
-	cmp.RTreeStats = m.RTree.Query(q, func(rtree.Item) { treeCount++ })
+	cmp.RTreeStats = ertree.Query(q, func(int32) { treeCount++ })
 	cmp.RTreeTime = time.Since(start)
 
 	if flatCount != treeCount {
@@ -221,9 +249,14 @@ type ExploreConfig struct {
 	PoolPages int
 	// Cost is the I/O cost model; the zero value selects the default.
 	Cost pager.CostModel
+	// Index names the engine contender serving the walkthrough ("flat",
+	// "rtree" or "grid"); empty selects "flat", the paper's configuration.
+	// Every contender sits on paged storage, so the same buffer-pool +
+	// prefetch stack applies to each.
+	Index string
 }
 
-func (c ExploreConfig) sanitize(m *Model) ExploreConfig {
+func (c ExploreConfig) sanitize(served prefetch.Served) ExploreConfig {
 	if c.Stride <= 0 {
 		c.Stride = 8
 	}
@@ -234,7 +267,7 @@ func (c ExploreConfig) sanitize(m *Model) ExploreConfig {
 		c.ThinkTime = 500 * time.Millisecond
 	}
 	if c.PoolPages <= 0 {
-		c.PoolPages = m.Flat.NumPages()
+		c.PoolPages = served.NumPages()
 	}
 	if c.Cost.PageRead <= 0 {
 		c.Cost = pager.DefaultCostModel()
@@ -243,10 +276,23 @@ func (c ExploreConfig) sanitize(m *Model) ExploreConfig {
 }
 
 // Explore simulates following the stem-to-tip path of the given branch with
-// the given prefetching method (§3.2's interactive walk-through).
+// the given prefetching method (§3.2's interactive walk-through), served by
+// the engine index cfg.Index names.
 func (m *Model) Explore(neuron int32, branch int, method prefetch.Prefetcher,
 	cfg ExploreConfig) (prefetch.RunStats, error) {
-	cfg = cfg.sanitize(m)
+	name := cfg.Index
+	if name == "" {
+		name = "flat"
+	}
+	ix, err := m.EngineIndex(name)
+	if err != nil {
+		return prefetch.RunStats{}, err
+	}
+	served, ok := ix.(prefetch.Served)
+	if !ok {
+		return prefetch.RunStats{}, fmt.Errorf("core: engine index %q cannot serve walkthroughs", name)
+	}
+	cfg = cfg.sanitize(served)
 	path, err := m.Circuit.BranchPath(neuron, branch)
 	if err != nil {
 		return prefetch.RunStats{}, err
@@ -260,7 +306,7 @@ func (m *Model) Explore(neuron int32, branch int, method prefetch.Prefetcher,
 		boxes[i] = s.Box
 	}
 	sim := &prefetch.Simulator{
-		Index:     m.Flat,
+		Index:     served,
 		Segment:   m.Segment,
 		Cost:      cfg.Cost,
 		ThinkTime: cfg.ThinkTime,

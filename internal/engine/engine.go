@@ -1,0 +1,143 @@
+// Package engine is the unified query-execution layer over the repository's
+// spatial indexes — the common face the paper's demo implies: FLAT, the
+// R-tree baseline and a thin grid index all serve the *same* interactive
+// range-query workload, so harnesses, drivers and the walkthrough simulator
+// talk to one SpatialIndex interface and treat the concrete index as a
+// configuration, not a call site.
+//
+// The layering (bottom to top):
+//
+//	index     flat.Index, rtree.Tree(+PagedTree), grid.Grid  — structures
+//	storage   pager.Store / pager.BufferPool via pager.PageSource — every
+//	          index reads data pages through a PageSource, so the buffer
+//	          pool + prefetch/SCOUT stack sits beneath any of them
+//	execution parallel.Batch — one generic deterministic batch executor
+//	          (slot-ordered visits, identical-to-serial guarantee)
+//	harness   experiments E1–E7, cmd drivers, prefetch.Simulator
+//
+// Every wrapper in this package also satisfies prefetch.Served, so a
+// walkthrough with prefetching can run over any index, and the Planner
+// routes batches or walkthrough sequences to an index using observed
+// per-index cost statistics (internal/stats.Running).
+package engine
+
+import (
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/parallel"
+	"neurospatial/internal/rtree"
+)
+
+// QueryStats is the unified per-query execution record reported by every
+// index behind SpatialIndex. The mapping from each index's native counters
+// is documented on the respective wrapper; the shared convention follows the
+// demo's statistics panel:
+//
+//   - IndexReads counts accesses to RAM-resident index structure (FLAT's
+//     page-level seed tree, the grid's cell directory). They are reported
+//     but are not disk I/O.
+//   - PagesRead counts data-page reads — the disk I/O of the query. For the
+//     R-tree every node is a disk page (the classic one-node-per-page
+//     layout), so its node accesses are page reads.
+type QueryStats struct {
+	// IndexReads counts RAM-resident index-structure reads.
+	IndexReads int64
+	// PagesRead counts data-page reads (disk I/O).
+	PagesRead int64
+	// EntriesTested counts element-box comparisons.
+	EntriesTested int64
+	// Results counts items reported.
+	Results int64
+	// Reseeds counts FLAT component re-seeds (0 for other indexes).
+	Reseeds int64
+	// NodesPerLevel is the R-tree's per-level node-access breakdown
+	// (leaves first; nil for other indexes).
+	NodesPerLevel []int64
+}
+
+// TotalReads returns index reads plus page reads — the total access count
+// under the demo's accounting.
+func (s QueryStats) TotalReads() int64 { return s.IndexReads + s.PagesRead }
+
+// Cost is the planner's I/O cost of the query: data-page reads dominate,
+// RAM-resident index reads are discounted to 1/8 of a page read.
+func (s QueryStats) Cost() float64 {
+	return float64(s.PagesRead) + float64(s.IndexReads)/8
+}
+
+// Aggregate sums per-query statistics into batch totals; NodesPerLevel is
+// summed element-wise.
+func Aggregate(sts []QueryStats) QueryStats {
+	var out QueryStats
+	for i := range sts {
+		out.IndexReads += sts[i].IndexReads
+		out.PagesRead += sts[i].PagesRead
+		out.EntriesTested += sts[i].EntriesTested
+		out.Results += sts[i].Results
+		out.Reseeds += sts[i].Reseeds
+		for l, c := range sts[i].NodesPerLevel {
+			for len(out.NodesPerLevel) <= l {
+				out.NodesPerLevel = append(out.NodesPerLevel, 0)
+			}
+			out.NodesPerLevel[l] += c
+		}
+	}
+	return out
+}
+
+// SpatialIndex is the uniform query interface of the engine layer. All
+// implementations are deterministic: Query emits hits in a fixed
+// per-index order, and BatchQuery emits exactly the (query, id) pairs a
+// serial loop of Query calls would produce, in the same order, for any
+// worker count (the parallel.Batch guarantee).
+//
+// Item IDs must be dense in [0, NumItems()); they are the IDs reported by
+// queries — the same contract flat.Build imposes.
+type SpatialIndex interface {
+	// Name identifies the index in tables and planner decisions.
+	Name() string
+	// Build (re)constructs the index over the items.
+	Build(items []rtree.Item) error
+	// Bounds returns the MBR of the indexed data (empty when empty).
+	Bounds() geom.AABB
+	// NumItems returns the number of indexed items.
+	NumItems() int
+	// Query reports the IDs of all items whose boxes intersect q.
+	Query(q geom.AABB, visit func(id int32)) QueryStats
+	// BatchQuery executes many queries with the usual Workers semantics
+	// (0 or 1 serial, > 1 that many workers, negative one per CPU).
+	BatchQuery(qs []geom.AABB, workers int, visit func(qi int, id int32)) []QueryStats
+}
+
+// Paged is the storage capability of the engine indexes: element data lives
+// on pager pages read through a swappable PageSource, and the page geometry
+// is exposed for prefetchers (all three methods prefetch.PageGeometry
+// needs). Every index in this package implements it.
+type Paged interface {
+	SpatialIndex
+	// Store returns the index's page store (wrap it in a pager.BufferPool
+	// and SetSource the pool to run cached).
+	Store() *pager.Store
+	// NumPages returns the number of data pages.
+	NumPages() int
+	// PageOf returns the page item id is laid out on.
+	PageOf(id int32) pager.PageID
+	// PagesInRange returns the pages a query of box q would touch.
+	PagesInRange(q geom.AABB) []pager.PageID
+	// SetSource routes subsequent Query/BatchQuery page reads through src
+	// (nil restores cold reads from the index's own store).
+	SetSource(src pager.PageSource)
+	// PagedQuery executes one query reading through the given pool — the
+	// prefetch.Served walkthrough path; the pool's counters are the record.
+	PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(id int32))
+}
+
+// batchQuery adapts a per-query runner onto the shared generic executor.
+func batchQuery(workers int, qs []geom.AABB,
+	run func(q geom.AABB, emit func(int32)) QueryStats,
+	visit func(qi int, id int32)) []QueryStats {
+
+	return parallel.Batch(workers, len(qs), func(qi int, emit func(int32)) QueryStats {
+		return run(qs[qi], emit)
+	}, visit)
+}

@@ -1,0 +1,356 @@
+package engine_test
+
+// The engine differential harness: for every index behind
+// engine.SpatialIndex, the engine-routed Query and BatchQuery (at any worker
+// count) must emit exactly the hits, in the same order, with the same
+// per-query stats, as a direct serial call — and all contenders must agree
+// on the result set, with the direct flat/rtree implementations as oracles.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"neurospatial/internal/circuit"
+	"neurospatial/internal/engine"
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/prefetch"
+	"neurospatial/internal/rtree"
+)
+
+// Compile-time interface checks: every engine index is a SpatialIndex with
+// paged storage, and serves walkthroughs with prefetching.
+var (
+	_ engine.Paged    = (*engine.Flat)(nil)
+	_ engine.Paged    = (*engine.RTree)(nil)
+	_ engine.Paged    = (*engine.Grid)(nil)
+	_ prefetch.Served = (*engine.Flat)(nil)
+	_ prefetch.Served = (*engine.RTree)(nil)
+	_ prefetch.Served = (*engine.Grid)(nil)
+	_ prefetch.Served = (*flat.Index)(nil)
+)
+
+// testItems builds a deterministic item set from a seeded tissue circuit.
+func testItems(t testing.TB, neurons int, seed int64) []rtree.Item {
+	t.Helper()
+	p := circuit.DefaultParams()
+	p.Neurons = neurons
+	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	p.Seed = seed
+	c, err := circuit.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]rtree.Item, len(c.Elements))
+	for i := range c.Elements {
+		items[i] = rtree.Item{Box: c.Elements[i].Bounds(), ID: c.Elements[i].ID}
+	}
+	return items
+}
+
+func testQueries(vol geom.AABB, n int) []geom.AABB {
+	c := vol.Center()
+	span := vol.Size().Scale(0.3)
+	out := make([]geom.AABB, n)
+	for i := range out {
+		off := geom.V(
+			span.X*float64(i%3-1)*0.5,
+			span.Y*float64((i/3)%3-1)*0.5,
+			span.Z*float64((i/9)%3-1)*0.5,
+		)
+		out[i] = geom.BoxAround(c.Add(off), 10+float64(i))
+	}
+	return out
+}
+
+func buildIndexes(t testing.TB, items []rtree.Item) []engine.SpatialIndex {
+	t.Helper()
+	indexes := []engine.SpatialIndex{
+		engine.NewFlat(flat.DefaultOptions()),
+		engine.NewRTree(0),
+		engine.NewGrid(engine.GridOptions{}),
+	}
+	for _, ix := range indexes {
+		if err := ix.Build(items); err != nil {
+			t.Fatalf("%s: %v", ix.Name(), err)
+		}
+	}
+	return indexes
+}
+
+type hit struct {
+	q  int
+	id int32
+}
+
+// TestEngineIndexesAgree asserts all three contenders report the same hit
+// set per query, with direct flat and rtree implementations as oracles.
+func TestEngineIndexesAgree(t *testing.T) {
+	items := testItems(t, 12, 1001)
+	indexes := buildIndexes(t, items)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+
+	oracleTree, err := rtree.STR(items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	queries := testQueries(vol, 18)
+	for qi, q := range queries {
+		var oracle []int32
+		oracleTree.Query(q, func(it rtree.Item) { oracle = append(oracle, it.ID) })
+		sort.Slice(oracle, func(i, j int) bool { return oracle[i] < oracle[j] })
+		if len(oracle) > 0 {
+			nonEmpty++
+		}
+		for _, ix := range indexes {
+			var got []int32
+			st := ix.Query(q, func(id int32) { got = append(got, id) })
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if !reflect.DeepEqual(got, oracle) {
+				t.Errorf("query %d: %s returned %d hits, oracle %d (or content differs)",
+					qi, ix.Name(), len(got), len(oracle))
+			}
+			if st.Results != int64(len(got)) {
+				t.Errorf("query %d: %s stats.Results = %d, hits %d", qi, ix.Name(), st.Results, len(got))
+			}
+		}
+	}
+	if nonEmpty < len(queries)/2 {
+		t.Errorf("only %d of %d queries hit data — workload degenerate", nonEmpty, len(queries))
+	}
+}
+
+// TestEngineMatchesDirectCalls asserts the engine wrappers reproduce the
+// direct index calls exactly: same hits, same order, same native stats under
+// the documented mapping.
+func TestEngineMatchesDirectCalls(t *testing.T) {
+	items := testItems(t, 12, 2002)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	queries := testQueries(vol, 12)
+
+	t.Run("flat", func(t *testing.T) {
+		direct, err := flat.Build(items, flat.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := engine.WrapFlat(direct)
+		for qi, q := range queries {
+			var want []int32
+			ds := direct.Query(q, nil, func(id int32) { want = append(want, id) })
+			var got []int32
+			es := ix.Query(q, func(id int32) { got = append(got, id) })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("query %d: hit sequence diverged from direct call", qi)
+			}
+			if es.IndexReads != ds.SeedNodeAccesses || es.PagesRead != ds.PagesRead ||
+				es.Reseeds != ds.Reseeds || es.EntriesTested != ds.EntriesTested ||
+				es.Results != ds.Results {
+				t.Errorf("query %d: engine stats %+v, direct %+v", qi, es, ds)
+			}
+		}
+	})
+
+	t.Run("rtree", func(t *testing.T) {
+		direct, err := rtree.STR(items, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := engine.WrapRTree(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			var want []int32
+			ds := direct.Query(q, func(it rtree.Item) { want = append(want, it.ID) })
+			var got []int32
+			es := ix.Query(q, func(id int32) { got = append(got, id) })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("query %d: hit sequence diverged from direct call", qi)
+			}
+			if es.PagesRead != ds.NodeAccesses() || es.EntriesTested != ds.EntriesTested ||
+				es.Results != ds.Results || !reflect.DeepEqual(es.NodesPerLevel, ds.NodesPerLevel) {
+				t.Errorf("query %d: engine stats %+v, direct %+v", qi, es, ds)
+			}
+		}
+	})
+}
+
+// TestEngineBatchMatchesSerial is the acceptance differential: for each
+// index, BatchQuery at any worker count emits exactly the hits and
+// per-query stats of the serial Query loop — also when reads go through a
+// shared buffer pool.
+func TestEngineBatchMatchesSerial(t *testing.T) {
+	items := testItems(t, 12, 3003)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	queries := testQueries(vol, 24)
+
+	for _, ix := range buildIndexes(t, items) {
+		t.Run(ix.Name(), func(t *testing.T) {
+			var want []hit
+			var wantStats []engine.QueryStats
+			for qi, q := range queries {
+				qi := qi
+				wantStats = append(wantStats, ix.Query(q, func(id int32) {
+					want = append(want, hit{qi, id})
+				}))
+			}
+			for _, w := range []int{1, 2, 4, 7} {
+				var got []hit
+				gotStats := ix.BatchQuery(queries, w, func(q int, id int32) {
+					got = append(got, hit{q, id})
+				})
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d: hit sequence diverged from serial (%d vs %d hits)",
+						w, len(got), len(want))
+				}
+				for qi := range wantStats {
+					if !reflect.DeepEqual(gotStats[qi], wantStats[qi]) {
+						t.Errorf("workers=%d: query %d stats %+v, want %+v",
+							w, qi, gotStats[qi], wantStats[qi])
+					}
+				}
+			}
+
+			// Through a shared pool the hit stream must still match; the
+			// pool must see traffic and keep its accounting identity.
+			paged := ix.(engine.Paged)
+			if paged.Store() == nil {
+				t.Fatal("no page store under the index")
+			}
+			for _, w := range []int{1, 4} {
+				pool, err := pager.NewBufferPool(paged.Store(), 16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				paged.SetSource(pool)
+				var got []hit
+				ix.BatchQuery(queries, w, func(q int, id int32) {
+					got = append(got, hit{q, id})
+				})
+				paged.SetSource(nil)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("pooled workers=%d: hit sequence diverged", w)
+				}
+				st := pool.Stats()
+				if st.Hits+st.DemandReads == 0 {
+					t.Errorf("pooled workers=%d: pool saw no traffic", w)
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerRoutesAndMatches asserts the planner's routed execution equals
+// the chosen index's own serial output, that every contender is costed, and
+// that observed history accumulates.
+func TestPlannerRoutesAndMatches(t *testing.T) {
+	items := testItems(t, 10, 4004)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	queries := testQueries(vol, 16)
+	indexes := buildIndexes(t, items)
+	p := engine.NewPlanner(indexes...)
+
+	sts, d := p.Run(queries, 4, nil)
+	if d.Index == nil {
+		t.Fatal("no index chosen")
+	}
+	if len(d.CostPerQuery) != len(indexes) {
+		t.Fatalf("costed %d contenders, want %d", len(d.CostPerQuery), len(indexes))
+	}
+	for name, cost := range d.CostPerQuery {
+		if cost <= 0 {
+			t.Errorf("contender %s estimated at %v reads/query", name, cost)
+		}
+		if got := d.CostPerQuery[d.Index.Name()]; got > cost {
+			t.Errorf("chose %s at %v despite %s at %v", d.Index.Name(), got, name, cost)
+		}
+	}
+
+	// Routed output == chosen index direct serial output.
+	var want []hit
+	wantStats := make([]engine.QueryStats, 0, len(queries))
+	for qi, q := range queries {
+		qi := qi
+		wantStats = append(wantStats, d.Index.Query(q, func(id int32) {
+			want = append(want, hit{qi, id})
+		}))
+	}
+	var got []hit
+	sts2, d2 := p.Run(queries, 2, func(q int, id int32) { got = append(got, hit{q, id}) })
+	if d2.Index != d.Index {
+		t.Fatalf("replan diverged: %s then %s", d.Index.Name(), d2.Index.Name())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("planner-routed hits diverged from chosen index's serial run")
+	}
+	for qi := range wantStats {
+		if sts2[qi].Results != wantStats[qi].Results || sts2[qi].PagesRead != wantStats[qi].PagesRead {
+			t.Errorf("query %d: routed stats diverged", qi)
+		}
+	}
+	_ = sts
+
+	if _, ok := p.Selectivity(d.Index.Name()); !ok {
+		t.Error("no selectivity history for the executed index")
+	}
+}
+
+// TestPlannerSequenceRouting exercises PlanSequence over a walkthrough-like
+// box series.
+func TestPlannerSequenceRouting(t *testing.T) {
+	items := testItems(t, 8, 5005)
+	indexes := buildIndexes(t, items)
+	p := engine.NewPlanner(indexes...)
+	// A short straight walkthrough across the middle of the volume.
+	boxes := make([]geom.AABB, 10)
+	for i := range boxes {
+		boxes[i] = geom.BoxAround(geom.V(40+float64(i)*12, 100, 100), 15)
+	}
+	d := p.Plan(boxes)
+	if d.Index == nil || len(d.CostPerQuery) != len(indexes) {
+		t.Fatalf("bad decision %+v", d)
+	}
+	if d.String() == "" {
+		t.Error("empty decision rendering")
+	}
+}
+
+// TestEngineWalkthroughUnderAnyIndex runs the prefetch simulator over every
+// engine index: the paged-storage layer beneath each one serves the same
+// walkthrough, and demand reads plus hits must cover every step's pages.
+func TestEngineWalkthroughUnderAnyIndex(t *testing.T) {
+	items := testItems(t, 10, 6006)
+	boxes := make([]geom.AABB, 12)
+	for i := range boxes {
+		boxes[i] = geom.BoxAround(geom.V(30+float64(i)*12, 100, 100), 15)
+	}
+	var results []int64
+	for _, ix := range buildIndexes(t, items) {
+		served := ix.(prefetch.Served)
+		sim := &prefetch.Simulator{
+			Index:     served,
+			Segment:   func(id int32) geom.Segment { return geom.Segment{} },
+			Cost:      pager.DefaultCostModel(),
+			ThinkTime: 100,
+			PoolPages: served.NumPages(),
+		}
+		run, err := sim.Run(prefetch.None{}, boxes)
+		if err != nil {
+			t.Fatalf("%s: %v", ix.Name(), err)
+		}
+		if run.DemandReads == 0 {
+			t.Errorf("%s: walkthrough issued no demand reads", ix.Name())
+		}
+		results = append(results, run.Elements)
+	}
+	// Every index serves the same elements across the walkthrough.
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Errorf("index %d returned %d elements over the walkthrough, index 0 returned %d",
+				i, results[i], results[0])
+		}
+	}
+}

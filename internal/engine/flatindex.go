@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/rtree"
+)
+
+// Flat adapts flat.Index to the engine layer. Stats mapping: IndexReads are
+// the seed-tree node accesses (the page-level R-tree is RAM-resident),
+// PagesRead are the crawl's data-page reads — exactly the split the demo's
+// statistics panel reports for FLAT.
+type Flat struct {
+	opts flat.Options
+	idx  *flat.Index
+	src  pager.PageSource
+}
+
+// NewFlat returns an unbuilt FLAT engine index with the given options.
+func NewFlat(opts flat.Options) *Flat { return &Flat{opts: opts} }
+
+// WrapFlat adapts an already-built flat.Index.
+func WrapFlat(idx *flat.Index) *Flat { return &Flat{opts: idx.Options(), idx: idx} }
+
+// Inner returns the wrapped flat.Index (nil before Build).
+func (f *Flat) Inner() *flat.Index { return f.idx }
+
+// Name implements SpatialIndex.
+func (f *Flat) Name() string { return "flat" }
+
+// Build implements SpatialIndex. Rebuilding restores cold reads from the
+// new store: an attached PageSource is dropped, since a pool wrapping the
+// previous store would serve stale pages.
+func (f *Flat) Build(items []rtree.Item) error {
+	idx, err := flat.Build(items, f.opts)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	f.idx, f.src = idx, nil
+	return nil
+}
+
+// Bounds implements SpatialIndex.
+func (f *Flat) Bounds() geom.AABB {
+	if f.idx == nil {
+		return geom.EmptyAABB()
+	}
+	return f.idx.Bounds()
+}
+
+// NumItems implements SpatialIndex.
+func (f *Flat) NumItems() int {
+	if f.idx == nil {
+		return 0
+	}
+	return f.idx.NumItems()
+}
+
+// fromFlat maps FLAT's native stats onto the unified record.
+func fromFlat(s flat.QueryStats) QueryStats {
+	return QueryStats{
+		IndexReads:    s.SeedNodeAccesses,
+		PagesRead:     s.PagesRead,
+		EntriesTested: s.EntriesTested,
+		Results:       s.Results,
+		Reseeds:       s.Reseeds,
+	}
+}
+
+// Query implements SpatialIndex, reading data pages through the configured
+// source (cold store reads by default).
+func (f *Flat) Query(q geom.AABB, visit func(int32)) QueryStats {
+	if f.idx == nil {
+		return QueryStats{}
+	}
+	return fromFlat(f.idx.QueryVia(q, f.src, visit))
+}
+
+// BatchQuery implements SpatialIndex via the shared deterministic executor.
+func (f *Flat) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
+	if f.idx == nil {
+		return make([]QueryStats, len(qs))
+	}
+	return batchQuery(workers, qs, func(q geom.AABB, emit func(int32)) QueryStats {
+		return fromFlat(f.idx.QueryVia(q, f.src, emit))
+	}, visit)
+}
+
+// Store implements Paged (nil before Build).
+func (f *Flat) Store() *pager.Store {
+	if f.idx == nil {
+		return nil
+	}
+	return f.idx.Store()
+}
+
+// NumPages implements Paged.
+func (f *Flat) NumPages() int {
+	if f.idx == nil {
+		return 0
+	}
+	return f.idx.NumPages()
+}
+
+// PageOf implements Paged.
+func (f *Flat) PageOf(id int32) pager.PageID {
+	if f.idx == nil || id < 0 || int(id) >= f.idx.NumItems() {
+		return pager.InvalidPage
+	}
+	return f.idx.PageOf(id)
+}
+
+// PagesInRange implements Paged via the seed tree.
+func (f *Flat) PagesInRange(q geom.AABB) []pager.PageID {
+	if f.idx == nil {
+		return nil
+	}
+	return f.idx.PagesInRange(q)
+}
+
+// SetSource implements Paged.
+func (f *Flat) SetSource(src pager.PageSource) { f.src = src }
+
+// PagedQuery implements Paged (and prefetch.Served).
+func (f *Flat) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int32)) {
+	if f.idx == nil {
+		return
+	}
+	f.idx.Query(q, pool, visit)
+}

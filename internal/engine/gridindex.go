@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"fmt"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/grid"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/rtree"
+)
+
+// GridOptions configures the grid engine index.
+type GridOptions struct {
+	// PageSize is the number of elements per data page. Default 64 (the
+	// FLAT page size, so page counts are comparable).
+	PageSize int
+	// PerCell is the target mean number of items per grid cell. Default 8.
+	PerCell float64
+}
+
+func (o GridOptions) sanitize() GridOptions {
+	if o.PageSize <= 0 {
+		o.PageSize = 64
+	}
+	if o.PerCell <= 0 {
+		o.PerCell = 8
+	}
+	return o
+}
+
+// Grid is the thin grid-backed engine index: a uniform cell directory over
+// item centers (each item registered in exactly one cell — the cell holding
+// its box center), with elements laid out on pager pages in cell-major
+// order so spatially close items share pages. A query inspects the cells
+// overlapping the range expanded by the largest item half-extent (the
+// standard center-assignment correction), reads each candidate's data page
+// through the configured PageSource, and refines against the exact box.
+//
+// Stats mapping: IndexReads counts cells inspected (the directory is
+// RAM-resident), PagesRead counts distinct data pages read, EntriesTested
+// counts candidate refinements. Hits are emitted in cell-major order,
+// ascending ID within a cell — a fixed, worker-count-independent order.
+type Grid struct {
+	opts    GridOptions
+	g       *grid.Grid
+	bounds  geom.AABB
+	boxes   []geom.AABB
+	maxHalf float64
+	store   *pager.Store
+	pageOf  []pager.PageID
+	src     pager.PageSource
+}
+
+// NewGrid returns an unbuilt grid engine index.
+func NewGrid(opts GridOptions) *Grid { return &Grid{opts: opts.sanitize()} }
+
+// Name implements SpatialIndex.
+func (gx *Grid) Name() string { return "grid" }
+
+// Build implements SpatialIndex. Rebuilding restores cold reads from the
+// new store: an attached PageSource is dropped, since a pool wrapping the
+// previous store would serve stale pages.
+func (gx *Grid) Build(items []rtree.Item) error {
+	gx.g, gx.store, gx.pageOf, gx.src = nil, nil, nil, nil
+	gx.boxes = make([]geom.AABB, len(items))
+	gx.bounds = geom.EmptyAABB()
+	gx.maxHalf = 0
+	for _, it := range items {
+		if it.ID < 0 || int(it.ID) >= len(items) {
+			return fmt.Errorf("engine: grid item ID %d not dense in [0,%d)", it.ID, len(items))
+		}
+		gx.boxes[it.ID] = it.Box
+		gx.bounds = gx.bounds.Union(it.Box)
+		half := it.Box.Size().Scale(0.5)
+		for _, h := range []float64{half.X, half.Y, half.Z} {
+			if h > gx.maxHalf {
+				gx.maxHalf = h
+			}
+		}
+	}
+	if len(items) == 0 {
+		return nil
+	}
+
+	// Cell directory over item centers: point boxes land in exactly one
+	// cell, so candidates need no per-query deduplication.
+	centers := make([]geom.AABB, len(items))
+	for id, b := range gx.boxes {
+		c := b.Center()
+		centers[id] = geom.Box(c, c)
+	}
+	g, err := grid.NewAuto(gx.bounds, centers, gx.opts.PerCell)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	gx.g = g
+
+	// Page layout: fill pages in cell-major order (ascending ID within a
+	// cell), continuously across cell boundaries so pages stay near-full.
+	builder, err := pager.NewBuilder(gx.opts.PageSize)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	gx.pageOf = make([]pager.PageID, len(items))
+	for c := 0; c < g.NumCells(); c++ {
+		for _, id := range g.CellBoxes(c) {
+			gx.pageOf[id] = builder.Add(id)
+		}
+	}
+	gx.store = builder.Build()
+	return nil
+}
+
+// Bounds implements SpatialIndex.
+func (gx *Grid) Bounds() geom.AABB { return gx.bounds }
+
+// NumItems implements SpatialIndex.
+func (gx *Grid) NumItems() int { return len(gx.boxes) }
+
+func (gx *Grid) source() pager.PageSource {
+	if gx.src != nil {
+		return gx.src
+	}
+	return gx.store
+}
+
+func (gx *Grid) queryVia(q geom.AABB, src pager.PageSource, emit func(int32)) QueryStats {
+	var stats QueryStats
+	if gx.g == nil {
+		return stats
+	}
+	expanded := q.Expand(gx.maxHalf)
+	read := make(map[pager.PageID]bool)
+	gx.g.ForEachInRange(expanded, func(_ int, ids []int32) {
+		stats.IndexReads++
+		for _, id := range ids {
+			if pg := gx.pageOf[id]; !read[pg] {
+				read[pg] = true
+				src.ReadPage(pg)
+				stats.PagesRead++
+			}
+			stats.EntriesTested++
+			if gx.boxes[id].Intersects(q) {
+				stats.Results++
+				emit(id)
+			}
+		}
+	})
+	return stats
+}
+
+// Query implements SpatialIndex.
+func (gx *Grid) Query(q geom.AABB, visit func(int32)) QueryStats {
+	return gx.queryVia(q, gx.source(), visit)
+}
+
+// BatchQuery implements SpatialIndex via the shared deterministic executor.
+func (gx *Grid) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
+	src := gx.source()
+	return batchQuery(workers, qs, func(q geom.AABB, emit func(int32)) QueryStats {
+		return gx.queryVia(q, src, emit)
+	}, visit)
+}
+
+// Store implements Paged (nil before Build or when empty).
+func (gx *Grid) Store() *pager.Store { return gx.store }
+
+// NumPages implements Paged.
+func (gx *Grid) NumPages() int {
+	if gx.store == nil {
+		return 0
+	}
+	return gx.store.NumPages()
+}
+
+// PageOf implements Paged.
+func (gx *Grid) PageOf(id int32) pager.PageID {
+	if id < 0 || int(id) >= len(gx.pageOf) {
+		return pager.InvalidPage
+	}
+	return gx.pageOf[id]
+}
+
+// PagesInRange implements Paged: the distinct pages of candidates in the
+// range, in first-touch (cell-major) order.
+func (gx *Grid) PagesInRange(q geom.AABB) []pager.PageID {
+	if gx.g == nil {
+		return nil
+	}
+	var out []pager.PageID
+	seen := make(map[pager.PageID]bool)
+	gx.g.ForEachInRange(q.Expand(gx.maxHalf), func(_ int, ids []int32) {
+		for _, id := range ids {
+			if pg := gx.pageOf[id]; !seen[pg] {
+				seen[pg] = true
+				out = append(out, pg)
+			}
+		}
+	})
+	return out
+}
+
+// SetSource implements Paged.
+func (gx *Grid) SetSource(src pager.PageSource) { gx.src = src }
+
+// PagedQuery implements Paged (and prefetch.Served).
+func (gx *Grid) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int32)) {
+	gx.queryVia(q, pool, visit)
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/query"
+	"neurospatial/internal/stats"
+)
+
+// Planner routes query batches and walkthrough sequences to one of a set of
+// SpatialIndex contenders using per-index cost statistics. Costs come from
+// two sources, both fed through stats.Running accumulators:
+//
+//   - learned: every executed batch reports its observed QueryStats back via
+//     Observe, so the planner's estimate of an index sharpens with use;
+//   - probed: with no history for an index, Plan calibrates by executing a
+//     small deterministic sample of the batch (the first ProbeQueries
+//     queries, results discarded) on that index and charging its Cost().
+//
+// Routing is deterministic: the index with the lowest estimated per-query
+// cost wins, ties broken by registration order.
+//
+// Plan, Run, Observe and Selectivity are safe for concurrent use (the
+// indexes themselves are read-only after Build). Paged.SetSource on a
+// contender is configuration, not execution: call it before sharing the
+// planner across goroutines.
+type Planner struct {
+	// ProbeQueries is the calibration sample size per unprofiled index.
+	// Default 3.
+	ProbeQueries int
+
+	indexes []SpatialIndex
+	mu      sync.Mutex
+	learned map[string]*stats.Running // per-query Cost() history
+	selects map[string]*stats.Running // per-query selectivity (results/entries)
+}
+
+// NewPlanner returns a planner over the given contenders, in priority order
+// (earlier indexes win cost ties).
+func NewPlanner(indexes ...SpatialIndex) *Planner {
+	return &Planner{
+		ProbeQueries: 3,
+		indexes:      indexes,
+		learned:      make(map[string]*stats.Running),
+		selects:      make(map[string]*stats.Running),
+	}
+}
+
+// Indexes returns the contenders in registration order.
+func (p *Planner) Indexes() []SpatialIndex { return p.indexes }
+
+// Index returns the contender with the given name, or nil.
+func (p *Planner) Index(name string) SpatialIndex {
+	for _, ix := range p.indexes {
+		if ix.Name() == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Decision records one routing choice and the evidence behind it.
+type Decision struct {
+	// Index is the chosen contender.
+	Index SpatialIndex
+	// CostPerQuery is the estimated per-query I/O cost of every contender.
+	CostPerQuery map[string]float64
+	// Probed lists the contenders whose estimate came from a fresh
+	// calibration probe rather than learned history.
+	Probed []string
+}
+
+// String renders the decision for logs and demo panels.
+func (d Decision) String() string {
+	names := make([]string, 0, len(d.CostPerQuery))
+	for n := range d.CostPerQuery {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("route -> %s (", d.Index.Name())
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %.1f", n, d.CostPerQuery[n])
+	}
+	return s + " est. reads/query)"
+}
+
+// Plan estimates the per-query cost of each contender for the batch and
+// picks the cheapest. Probe executions update the learned history, so later
+// plans on similar workloads skip the probe.
+func (p *Planner) Plan(qs []geom.AABB) Decision {
+	d := Decision{CostPerQuery: make(map[string]float64, len(p.indexes))}
+	for _, ix := range p.indexes {
+		name := ix.Name()
+		cost, ok := p.learnedCost(name)
+		if !ok {
+			p.probe(ix, qs)
+			d.Probed = append(d.Probed, name)
+			cost, _ = p.learnedCost(name)
+		}
+		d.CostPerQuery[name] = cost
+		if d.Index == nil || cost < d.CostPerQuery[d.Index.Name()] {
+			d.Index = ix
+		}
+	}
+	return d
+}
+
+// learnedCost reads an index's mean observed cost under the lock.
+func (p *Planner) learnedCost(name string) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	acc := p.learned[name]
+	if acc == nil || acc.N() == 0 {
+		return 0, false
+	}
+	return acc.Mean(), true
+}
+
+// probe runs the calibration sample on one index, discarding hits.
+func (p *Planner) probe(ix SpatialIndex, qs []geom.AABB) {
+	n := p.ProbeQueries
+	if n <= 0 {
+		n = 3
+	}
+	if n > len(qs) {
+		n = len(qs)
+	}
+	sts := ix.BatchQuery(qs[:n], 1, nil)
+	p.Observe(ix.Name(), sts)
+}
+
+// PlanSequence routes a walkthrough sequence: the per-step boxes are the
+// batch.
+func (p *Planner) PlanSequence(seq *query.Sequence) Decision {
+	boxes := make([]geom.AABB, seq.Len())
+	for i, s := range seq.Steps {
+		boxes[i] = s.Box
+	}
+	return p.Plan(boxes)
+}
+
+// Observe folds executed per-query stats into the index's learned history.
+func (p *Planner) Observe(name string, sts []QueryStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cost := p.learned[name]
+	if cost == nil {
+		cost = &stats.Running{}
+		p.learned[name] = cost
+	}
+	sel := p.selects[name]
+	if sel == nil {
+		sel = &stats.Running{}
+		p.selects[name] = sel
+	}
+	for i := range sts {
+		cost.Add(sts[i].Cost())
+		if sts[i].EntriesTested > 0 {
+			sel.Add(float64(sts[i].Results) / float64(sts[i].EntriesTested))
+		}
+	}
+}
+
+// Selectivity returns the learned mean selectivity (results per entry
+// tested) of an index, and whether any history exists. The E-harness tables
+// can report it alongside cost.
+func (p *Planner) Selectivity(name string) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	acc := p.selects[name]
+	if acc == nil || acc.N() == 0 {
+		return 0, false
+	}
+	return acc.Mean(), true
+}
+
+// Run plans the batch, executes it on the chosen index with the shared
+// deterministic executor, feeds the observed stats back, and returns both.
+// The emitted hits are exactly those of a direct serial loop of
+// Index.Query calls on the chosen index.
+func (p *Planner) Run(qs []geom.AABB, workers int, visit func(qi int, id int32)) ([]QueryStats, Decision) {
+	d := p.Plan(qs)
+	sts := d.Index.BatchQuery(qs, workers, visit)
+	p.Observe(d.Index.Name(), sts)
+	return sts, d
+}

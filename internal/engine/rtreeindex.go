@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/rtree"
+)
+
+// RTree adapts an STR-bulk-loaded rtree.Tree to the engine layer, with its
+// nodes laid onto simulated disk pages (rtree.PagedTree, one node per page —
+// the classic disk R-tree layout). Stats mapping: every node access is a
+// page read, so PagesRead is the tree's total node accesses, IndexReads is 0
+// and NodesPerLevel carries the per-level breakdown the demo's panel shows.
+type RTree struct {
+	fanout   int
+	tree     *rtree.Tree
+	paged    *rtree.PagedTree
+	src      pager.PageSource
+	elemPage []pager.PageID // item ID -> leaf page
+}
+
+// NewRTree returns an unbuilt R-tree engine index with the given fanout
+// (<= 0 selects rtree.DefaultFanout).
+func NewRTree(fanout int) *RTree {
+	if fanout <= 0 {
+		fanout = rtree.DefaultFanout
+	}
+	return &RTree{fanout: fanout}
+}
+
+// WrapRTree adapts an already-built tree (STR- or insertion-built). The tree
+// is paged at wrap time and must not be mutated afterwards.
+func WrapRTree(t *rtree.Tree) (*RTree, error) {
+	r := &RTree{fanout: t.Fanout(), tree: t}
+	if err := r.page(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Inner returns the wrapped rtree.Tree (nil before Build).
+func (r *RTree) Inner() *rtree.Tree { return r.tree }
+
+// PagedTree returns the node-per-page layout (nil for an empty tree).
+func (r *RTree) PagedTree() *rtree.PagedTree { return r.paged }
+
+// Name implements SpatialIndex.
+func (r *RTree) Name() string { return "rtree" }
+
+// Build implements SpatialIndex. Rebuilding restores cold reads from the
+// new store: an attached PageSource is dropped, since a pool wrapping the
+// previous store would serve stale pages.
+func (r *RTree) Build(items []rtree.Item) error {
+	t, err := rtree.STR(items, r.fanout)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	r.tree, r.src = t, nil
+	return r.page()
+}
+
+// page lays the tree's nodes onto pages and indexes each item's leaf page.
+func (r *RTree) page() error {
+	r.paged, r.elemPage = nil, nil
+	if r.tree.Size() == 0 {
+		return nil
+	}
+	p, err := rtree.NewPaged(r.tree)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	r.paged = p
+	r.elemPage = make([]pager.PageID, r.tree.Size())
+	root, _ := r.tree.Root()
+	var walk func(v rtree.NodeView)
+	walk = func(v rtree.NodeView) {
+		if v.IsLeaf() {
+			pg := p.PageOf(v)
+			for _, it := range v.Items() {
+				if int(it.ID) < len(r.elemPage) {
+					r.elemPage[it.ID] = pg
+				}
+			}
+			return
+		}
+		for i := 0; i < v.NumChildren(); i++ {
+			walk(v.Child(i))
+		}
+	}
+	walk(root)
+	return nil
+}
+
+// Bounds implements SpatialIndex.
+func (r *RTree) Bounds() geom.AABB {
+	if r.tree == nil {
+		return geom.EmptyAABB()
+	}
+	return r.tree.Bounds()
+}
+
+// NumItems implements SpatialIndex.
+func (r *RTree) NumItems() int {
+	if r.tree == nil {
+		return 0
+	}
+	return r.tree.Size()
+}
+
+// fromRTree maps the tree's native stats onto the unified record.
+func fromRTree(s rtree.QueryStats) QueryStats {
+	return QueryStats{
+		PagesRead:     s.NodeAccesses(),
+		EntriesTested: s.EntriesTested,
+		Results:       s.Results,
+		NodesPerLevel: s.NodesPerLevel,
+	}
+}
+
+func (r *RTree) query(q geom.AABB, emit func(int32)) QueryStats {
+	if r.tree == nil {
+		return QueryStats{}
+	}
+	visit := func(it rtree.Item) { emit(it.ID) }
+	if r.src != nil && r.paged != nil {
+		return fromRTree(r.paged.QueryVia(q, r.src, visit))
+	}
+	return fromRTree(r.tree.Query(q, visit))
+}
+
+// Query implements SpatialIndex, reading node pages through the configured
+// source when one is attached.
+func (r *RTree) Query(q geom.AABB, visit func(int32)) QueryStats {
+	return r.query(q, visit)
+}
+
+// BatchQuery implements SpatialIndex via the shared deterministic executor.
+func (r *RTree) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
+	return batchQuery(workers, qs, r.query, visit)
+}
+
+// Store implements Paged (nil for an empty tree).
+func (r *RTree) Store() *pager.Store {
+	if r.paged == nil {
+		return nil
+	}
+	return r.paged.Store()
+}
+
+// NumPages implements Paged.
+func (r *RTree) NumPages() int {
+	if r.paged == nil {
+		return 0
+	}
+	return r.paged.NumPages()
+}
+
+// PageOf implements Paged: the page of the leaf holding item id.
+func (r *RTree) PageOf(id int32) pager.PageID {
+	if id < 0 || int(id) >= len(r.elemPage) {
+		return pager.InvalidPage
+	}
+	return r.elemPage[id]
+}
+
+// PagesInRange implements Paged: the pages of every node a query of box q
+// would visit.
+func (r *RTree) PagesInRange(q geom.AABB) []pager.PageID {
+	if r.paged == nil {
+		return nil
+	}
+	return r.paged.PagesInRange(q)
+}
+
+// SetSource implements Paged.
+func (r *RTree) SetSource(src pager.PageSource) { r.src = src }
+
+// PagedQuery implements Paged (and prefetch.Served).
+func (r *RTree) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int32)) {
+	if r.paged == nil {
+		return
+	}
+	r.paged.QueryVia(q, pool, func(it rtree.Item) { visit(it.ID) })
+}

@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"neurospatial/internal/flat"
-	"neurospatial/internal/rtree"
+	"neurospatial/internal/engine"
 	"neurospatial/internal/stats"
 )
 
@@ -26,6 +25,10 @@ type E7Config struct {
 	WorkerCounts []int
 	// Seed drives construction and query placement.
 	Seed int64
+	// Workers is the circuit-construction worker count (repository-wide
+	// semantics; the Default* configs select -1). Distinct from
+	// WorkerCounts, which sweeps the query-execution pool.
+	Workers int
 }
 
 // DefaultE7 returns the configuration used in EXPERIMENTS.md.
@@ -37,6 +40,7 @@ func DefaultE7() E7Config {
 		QueryRadius:  25,
 		WorkerCounts: []int{1, 2, 4, 8},
 		Seed:         11,
+		Workers:      -1,
 	}
 }
 
@@ -55,26 +59,28 @@ type E7Row struct {
 	Results int64
 }
 
-// RunE7 executes the worker sweep. Every row re-runs the same batch; the
+// RunE7 executes the worker sweep over the engine contenders. Every row
+// re-runs the same batch through the shared deterministic executor; the
 // runner verifies that result totals and page accounting are identical
 // across worker counts before reporting, so a row can only exist if the
 // parallel execution matched the serial one.
 func RunE7(cfg E7Config) ([]E7Row, error) {
-	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed)
+	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E7: %w", err)
 	}
+	eflat, ertree := m.Engine.Index("flat"), m.Engine.Index("rtree")
 	queries := centerQueries(m.Circuit.Params.Volume, cfg.Queries, cfg.QueryRadius, cfg.Seed)
 	var rows []E7Row
 	for _, w := range cfg.WorkerCounts {
 		start := time.Now()
-		fsts := m.Flat.BatchQuery(queries, nil, w, nil)
+		fsts := eflat.BatchQuery(queries, w, nil)
 		flatTime := time.Since(start)
 		start = time.Now()
-		rsts := m.RTree.BatchQuery(queries, w, nil)
+		rsts := ertree.BatchQuery(queries, w, nil)
 		rtreeTime := time.Since(start)
-		fagg := flat.Aggregate(fsts)
-		ragg := rtree.Aggregate(rsts)
+		fagg := engine.Aggregate(fsts)
+		ragg := engine.Aggregate(rsts)
 		if fagg.Results != ragg.Results {
 			return nil, fmt.Errorf("experiments: E7: workers=%d: FLAT found %d results, R-tree %d",
 				w, fagg.Results, ragg.Results)

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// BenchHeadline is one experiment's headline numbers in the machine-readable
+// benchmark report (BENCH_engine.json). Values are scalars so CI trend
+// tooling can diff runs without parsing tables.
+type BenchHeadline struct {
+	// Experiment names the runner ("E1", "E4", "E7").
+	Experiment string `json:"experiment"`
+	// Metrics holds named scalar results.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the top-level BENCH_engine.json document.
+type BenchReport struct {
+	// Schema versions the document layout.
+	Schema int `json:"schema"`
+	// Engine records that the numbers were produced through the unified
+	// engine layer (contender names in planner priority order).
+	Engine []string `json:"engine"`
+	// Headlines holds one entry per experiment.
+	Headlines []BenchHeadline `json:"headlines"`
+}
+
+// BenchConfigs bundles the experiment configurations the JSON bench mode
+// runs. QuickBenchConfigs scales them down for CI.
+type BenchConfigs struct {
+	E1 E1Config
+	E4 E4Config
+	E7 E7Config
+}
+
+// DefaultBenchConfigs returns the EXPERIMENTS.md-scale configurations.
+func DefaultBenchConfigs() BenchConfigs {
+	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7()}
+}
+
+// QuickBenchConfigs returns reduced configurations sized for a CI smoke
+// run: the same shapes, smaller models and fewer repetitions.
+func QuickBenchConfigs() BenchConfigs {
+	c := DefaultBenchConfigs()
+	c.E1.Densities = []int{16, 32, 64}
+	c.E1.Queries = 8
+	c.E4.Neurons = 24
+	c.E4.AxonExtent = 900
+	c.E4.Walkthroughs = 2
+	c.E7.Neurons = 64
+	c.E7.Queries = 32
+	c.E7.WorkerCounts = []int{1, 2, 4}
+	return c
+}
+
+// RunBenchJSON executes E1, E4 and E7 with the given configurations and
+// writes the headline numbers as indented JSON to w.
+func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
+	report := BenchReport{Schema: 1, Engine: []string{"flat", "rtree", "grid"}}
+
+	e1, err := RunE1(cfgs.E1)
+	if err != nil {
+		return err
+	}
+	if len(e1) == 0 {
+		return fmt.Errorf("experiments: bench JSON: E1 produced no rows (empty Densities?)")
+	}
+	last := e1[len(e1)-1] // densest point: the paper's headline comparison
+	report.Headlines = append(report.Headlines, BenchHeadline{
+		Experiment: "E1",
+		Metrics: map[string]float64{
+			"densest_neurons":            float64(last.Neurons),
+			"densest_flat_pages":         last.FlatPages,
+			"densest_rtree_str_reads":    last.RTreeSTRReads,
+			"densest_flat_per_1k_res":    last.FlatPerResult,
+			"densest_str_per_1k_res":     last.RTreeSTRPerResult,
+			"densest_flat_time_ms":       float64(last.FlatTime) / float64(time.Millisecond),
+			"densest_rtree_time_ms":      float64(last.RTreeTime) / float64(time.Millisecond),
+			"density_points":             float64(len(e1)),
+			"densest_results_per_query":  last.Results,
+			"densest_elements_in_volume": float64(last.Elements),
+		},
+	})
+
+	e4, err := RunE4(cfgs.E4)
+	if err != nil {
+		return err
+	}
+	if len(e4) == 0 {
+		return fmt.Errorf("experiments: bench JSON: E4 produced no rows")
+	}
+	e4m := map[string]float64{"queries": float64(e4[0].Queries)}
+	for _, r := range e4 {
+		e4m[r.Method+"_speedup"] = r.Speedup
+		e4m[r.Method+"_accuracy"] = r.Accuracy
+		e4m[r.Method+"_stall_ms"] = float64(r.Latency) / float64(time.Millisecond)
+	}
+	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E4", Metrics: e4m})
+
+	e7, err := RunE7(cfgs.E7)
+	if err != nil {
+		return err
+	}
+	if len(e7) == 0 {
+		return fmt.Errorf("experiments: bench JSON: E7 produced no rows (empty WorkerCounts?)")
+	}
+	e7last := e7[len(e7)-1] // widest worker count
+	report.Headlines = append(report.Headlines, BenchHeadline{
+		Experiment: "E7",
+		Metrics: map[string]float64{
+			"workers":          float64(e7last.Workers),
+			"flat_speedup":     e7last.FlatSpeedup,
+			"rtree_speedup":    e7last.RTreeSpeedup,
+			"batch_queries":    float64(cfgs.E7.Queries),
+			"flat_serial_ms":   float64(e7[0].FlatTime) / float64(time.Millisecond),
+			"rtree_serial_ms":  float64(e7[0].RTreeTime) / float64(time.Millisecond),
+			"total_pages_read": float64(e7last.PagesRead),
+			"total_results":    float64(e7last.Results),
+		},
+	})
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

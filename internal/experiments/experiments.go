@@ -21,6 +21,7 @@ import (
 
 	"neurospatial/internal/circuit"
 	"neurospatial/internal/core"
+	"neurospatial/internal/engine"
 	"neurospatial/internal/flat"
 	"neurospatial/internal/geom"
 	"neurospatial/internal/rtree"
@@ -28,25 +29,28 @@ import (
 )
 
 // buildModel constructs the standard experiment circuit: neurons cells in a
-// cube of the given edge, indexed with default options.
-func buildModel(neurons int, edge float64, seed int64) (*core.Model, error) {
+// cube of the given edge, indexed with default options. workers follows the
+// repository-wide convention verbatim (0 or 1 serial, > 1 that many,
+// negative one per CPU); builds are seed-deterministic for any value, and
+// the Default* configs select -1.
+func buildModel(neurons int, edge float64, seed int64, workers int) (*core.Model, error) {
 	p := circuit.DefaultParams()
 	p.Neurons = neurons
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(edge, edge, edge))
 	p.Seed = seed
-	p.Workers = -1 // one worker per CPU; builds are seed-deterministic anyway
+	p.Workers = workers
 	return core.BuildModel(p, core.DefaultOptions())
 }
 
 // buildLayeredModel is buildModel with the cortical layer profile, the
 // skewed-density regime of real tissue.
-func buildLayeredModel(neurons int, edge float64, seed int64) (*core.Model, error) {
+func buildLayeredModel(neurons int, edge float64, seed int64, workers int) (*core.Model, error) {
 	p := circuit.DefaultParams()
 	p.Neurons = neurons
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(edge, edge, edge))
 	p.Layers = circuit.CorticalLayers()
 	p.Seed = seed
-	p.Workers = -1
+	p.Workers = workers
 	return core.BuildModel(p, core.DefaultOptions())
 }
 
@@ -82,6 +86,11 @@ type E1Config struct {
 	Queries int
 	// Seed drives circuit construction and query placement.
 	Seed int64
+	// Workers is the circuit-construction worker count, with the
+	// repository-wide semantics (0 or 1 serial, > 1 that many workers,
+	// negative one per CPU). Results are worker-count-invariant; the
+	// Default* configs select -1.
+	Workers int
 }
 
 // DefaultE1 returns the configuration used in EXPERIMENTS.md.
@@ -92,6 +101,7 @@ func DefaultE1() E1Config {
 		QueryRadius: 25,
 		Queries:     20,
 		Seed:        1,
+		Workers:     -1,
 	}
 }
 
@@ -131,21 +141,28 @@ type E1Row struct {
 	FlatTime, RTreeTime time.Duration
 }
 
-// RunE1 executes the density sweep.
+// RunE1 executes the density sweep. All contenders run through the engine
+// layer: FLAT and the STR R-tree via the model's CompareRangeQuery, and the
+// insertion-built comparator tree wrapped as one more engine configuration.
 func RunE1(cfg E1Config) ([]E1Row, error) {
 	var rows []E1Row
 	for _, n := range cfg.Densities {
-		m, err := buildModel(n, cfg.Edge, cfg.Seed)
+		m, err := buildModel(n, cfg.Edge, cfg.Seed, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E1 density %d: %w", n, err)
 		}
-		// Insertion-built comparator tree with the same fanout.
-		dyn, err := rtree.New(m.Flat.Store().Capacity())
+		// Insertion-built comparator tree with the same fanout, wrapped as
+		// an engine contender after the mutation phase ends.
+		dynTree, err := rtree.New(m.Flat.Store().Capacity())
 		if err != nil {
 			return nil, err
 		}
 		for i := range m.Circuit.Elements {
-			dyn.Insert(rtree.Item{Box: m.Circuit.Elements[i].Bounds(), ID: m.Circuit.Elements[i].ID})
+			dynTree.Insert(rtree.Item{Box: m.Circuit.Elements[i].Bounds(), ID: m.Circuit.Elements[i].ID})
+		}
+		dyn, err := engine.WrapRTree(dynTree)
+		if err != nil {
+			return nil, err
 		}
 
 		queries := centerQueries(m.Circuit.Params.Volume, cfg.Queries, cfg.QueryRadius, cfg.Seed+int64(n))
@@ -158,12 +175,12 @@ func RunE1(cfg E1Config) ([]E1Row, error) {
 			cmp := m.CompareRangeQuery(q)
 			row.Results += float64(cmp.Results)
 			row.FlatPages += float64(cmp.FlatStats.PagesRead)
-			row.FlatSeed += float64(cmp.FlatStats.SeedNodeAccesses)
-			row.RTreeSTRReads += float64(cmp.RTreeStats.NodeAccesses())
+			row.FlatSeed += float64(cmp.FlatStats.IndexReads)
+			row.RTreeSTRReads += float64(cmp.RTreeStats.PagesRead)
 			row.FlatTime += cmp.FlatTime
 			row.RTreeTime += cmp.RTreeTime
-			dynStats := dyn.Query(q, func(rtree.Item) {})
-			row.RTreeDynReads += float64(dynStats.NodeAccesses())
+			dynStats := dyn.Query(q, func(int32) {})
+			row.RTreeDynReads += float64(dynStats.PagesRead)
 		}
 		k := float64(len(queries))
 		row.Results /= k
@@ -218,11 +235,14 @@ type E2Config struct {
 	Radii []float64
 	// Seed drives construction.
 	Seed int64
+	// Workers is the circuit-construction worker count (repository-wide
+	// semantics; the Default* configs select -1).
+	Workers int
 }
 
 // DefaultE2 returns the configuration used in EXPERIMENTS.md.
 func DefaultE2() E2Config {
-	return E2Config{Neurons: 128, Edge: 300, Radii: []float64{5, 10, 20, 40, 80}, Seed: 2}
+	return E2Config{Neurons: 128, Edge: 300, Radii: []float64{5, 10, 20, 40, 80}, Seed: 2, Workers: -1}
 }
 
 // E2Row is one query-size point of experiment E2.
@@ -242,22 +262,23 @@ type E2Row struct {
 }
 
 // RunE2 executes the crawl experiment: one model, growing queries at the
-// center.
+// center, both contenders queried through the engine layer.
 func RunE2(cfg E2Config) ([]E2Row, error) {
-	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed)
+	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E2: %w", err)
 	}
+	eflat, ertree := m.Engine.Index("flat"), m.Engine.Index("rtree")
 	center := m.Circuit.Params.Volume.Center()
 	var rows []E2Row
 	for _, r := range cfg.Radii {
 		q := geom.BoxAround(center, r)
-		fs := m.Flat.Query(q, nil, func(int32) {})
-		ts := m.RTree.Query(q, func(rtree.Item) {})
+		fs := eflat.Query(q, func(int32) {})
+		ts := ertree.Query(q, func(int32) {})
 		rows = append(rows, E2Row{
 			Radius:        r,
 			Results:       fs.Results,
-			SeedReads:     fs.SeedNodeAccesses,
+			SeedReads:     fs.IndexReads,
 			CrawlPages:    fs.PagesRead,
 			Reseeds:       fs.Reseeds,
 			RTreePerLevel: ts.NodesPerLevel,

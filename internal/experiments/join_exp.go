@@ -23,7 +23,9 @@ type E5Config struct {
 	// Workers, when not 0 or 1, additionally runs the parallel variants of
 	// PBSM, S3 and TOUCH with that many workers (negative: one per CPU).
 	// The cross-check below verifies they emit exactly as many pairs as the
-	// serial methods.
+	// serial methods. It also drives circuit construction with the
+	// repository-wide semantics (0 or 1 serial); construction is
+	// worker-count-invariant.
 	Workers int
 	// Seed drives construction.
 	Seed int64
@@ -62,7 +64,7 @@ type E5Row struct {
 // runs PBSM with a fine grid ("PBSM-fine"), which buys back speed at the cost
 // of the replication memory §4.1 criticizes.
 func RunE5(cfg E5Config) ([]E5Row, error) {
-	m, err := buildLayeredModel(cfg.Neurons, cfg.Edge, cfg.Seed)
+	m, err := buildLayeredModel(cfg.Neurons, cfg.Edge, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E5: %w", err)
 	}
@@ -132,7 +134,7 @@ func E5Table(rows []E5Row) *stats.Table {
 // E5EpsSweep runs TOUCH and PBSM across a sweep of eps values, showing the
 // robustness of the winner's margin to the join selectivity.
 func E5EpsSweep(cfg E5Config, epsValues []float64) (*stats.Table, error) {
-	m, err := buildLayeredModel(cfg.Neurons, cfg.Edge, cfg.Seed)
+	m, err := buildLayeredModel(cfg.Neurons, cfg.Edge, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E5 eps sweep: %w", err)
 	}
@@ -183,6 +185,9 @@ type E6Config struct {
 	Queries int
 	// Seed drives construction.
 	Seed int64
+	// Workers is the circuit-construction worker count (repository-wide
+	// semantics; the Default* configs select -1).
+	Workers int
 }
 
 // DefaultE6 returns the configuration used in EXPERIMENTS.md.
@@ -193,6 +198,7 @@ func DefaultE6() E6Config {
 		QueryRadius: 20,
 		Queries:     12,
 		Seed:        6,
+		Workers:     -1,
 	}
 }
 
@@ -218,11 +224,12 @@ func RunE6(cfg E6Config) ([]E6Row, error) {
 	for _, n := range cfg.Sizes {
 		edge := cfg.BaseEdge * cbrt(float64(n)/base)
 		start := time.Now()
-		m, err := buildModel(n, edge, cfg.Seed)
+		m, err := buildModel(n, edge, cfg.Seed, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: E6 size %d: %w", n, err)
 		}
 		build := time.Since(start)
+		eflat := m.Engine.Index("flat")
 		queries := centerQueries(m.Circuit.Params.Volume, cfg.Queries, cfg.QueryRadius, cfg.Seed+int64(n))
 		row := E6Row{
 			Neurons:    n,
@@ -231,7 +238,7 @@ func RunE6(cfg E6Config) ([]E6Row, error) {
 			SeedHeight: m.Flat.SeedTreeHeight(),
 		}
 		for _, q := range queries {
-			st := m.Flat.Query(q, nil, func(int32) {})
+			st := eflat.Query(q, func(int32) {})
 			row.QueryReads += float64(st.TotalReads())
 			row.QueryResults += float64(st.Results)
 		}

@@ -25,11 +25,14 @@ type E3Config struct {
 	Walkthroughs int
 	// Seed drives construction.
 	Seed int64
+	// Workers is the circuit-construction worker count (repository-wide
+	// semantics; the Default* configs select -1).
+	Workers int
 }
 
 // DefaultE3 returns the configuration used in EXPERIMENTS.md.
 func DefaultE3() E3Config {
-	return E3Config{Neurons: 64, Edge: 300, Stride: 8, Radius: 15, Walkthroughs: 5, Seed: 3}
+	return E3Config{Neurons: 64, Edge: 300, Stride: 8, Radius: 15, Walkthroughs: 5, Seed: 3, Workers: -1}
 }
 
 // E3Row is one walkthrough step, averaged over walkthroughs.
@@ -51,10 +54,12 @@ type E3Row struct {
 // RunE3 executes the pruning experiment: for several walkthroughs, record
 // the candidate count per step and whether the followed structure survived.
 func RunE3(cfg E3Config) ([]E3Row, error) {
-	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed)
+	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E3: %w", err)
 	}
+	eflat := m.Engine.Index("flat")
+	geo := eflat.(prefetch.PageGeometry)
 	paths := longestPaths(m, cfg.Walkthroughs)
 	type acc struct {
 		candidates, structures, kept float64
@@ -68,7 +73,7 @@ func RunE3(cfg E3Config) ([]E3Row, error) {
 			return nil, err
 		}
 		s := scout.New(scout.Options{})
-		ctx := &prefetch.Context{Index: m.Flat, Segment: m.Segment}
+		ctx := &prefetch.Context{Index: geo, Segment: m.Segment}
 		// Ground truth: elements of the followed stem-to-tip chain.
 		followed := make(map[int32]bool)
 		chain := make(map[int]bool)
@@ -82,11 +87,11 @@ func RunE3(cfg E3Config) ([]E3Row, error) {
 			}
 		}
 		noPrune := scout.New(scout.Options{})
-		noPruneCtx := &prefetch.Context{Index: m.Flat, Segment: m.Segment}
+		noPruneCtx := &prefetch.Context{Index: geo, Segment: m.Segment}
 		for stepIdx, st := range seq.Steps {
 			ctx.History = append(ctx.History, st.Box)
 			var result []int32
-			m.Flat.Query(st.Box, nil, func(id int32) { result = append(result, id) })
+			eflat.Query(st.Box, func(id int32) { result = append(result, id) })
 			s.Predict(ctx, st.Box, result, 64)
 			// The unpruned structure count: a fresh SCOUT each step keeps
 			// all structures (its Reset drops history).
@@ -212,6 +217,9 @@ type E4Config struct {
 	Walkthroughs int
 	// Seed drives construction.
 	Seed int64
+	// Workers is the circuit-construction worker count (repository-wide
+	// semantics; the Default* configs select -1).
+	Workers int
 }
 
 // DefaultE4 returns the configuration used in EXPERIMENTS.md.
@@ -223,6 +231,7 @@ func DefaultE4() E4Config {
 		ThinkTime:    250 * time.Millisecond,
 		Walkthroughs: 5,
 		Seed:         4,
+		Workers:      -1,
 	}
 }
 
@@ -248,6 +257,7 @@ func RunE4(cfg E4Config) ([]E4Row, error) {
 	p.Neurons = cfg.Neurons
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(cfg.Edge, cfg.Edge, cfg.Edge))
 	p.Seed = cfg.Seed
+	p.Workers = cfg.Workers
 	if cfg.AxonExtent > 0 {
 		p.Morphology.AxonExtent = cfg.AxonExtent
 	}

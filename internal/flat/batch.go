@@ -13,50 +13,18 @@ import (
 // its counters aggregate every worker's reads — snapshot pool.Stats() around
 // the call for batch totals).
 //
-// Determinism: visit receives exactly the (query, id) pairs a serial loop of
-// Query calls would produce, in the same order — each query's hits are
-// buffered and delivered in query order after the pool drains. visit runs on
-// the calling goroutine only; a nil visit skips result buffering entirely
-// (stats only). Like every Workers knob in the repository, workers 0 or 1
-// executes serially on the calling goroutine, values > 1 use that many
-// workers, and negative values use one worker per CPU.
+// It is a thin compatibility wrapper over parallel.Batch, the generic
+// deterministic batch executor every index shares: visit receives exactly
+// the (query, id) pairs a serial loop of Query calls would produce, in the
+// same order, for any worker count, and the usual Workers semantics apply
+// (0 or 1 serial, > 1 that many workers, negative one per CPU).
 func (idx *Index) BatchQuery(qs []geom.AABB, pool *pager.BufferPool, workers int,
 	visit func(q int, id int32)) []QueryStats {
 
-	stats := make([]QueryStats, len(qs))
-	w := 1
-	if workers != 0 && workers != 1 {
-		w = parallel.Workers(workers)
-	}
-	if w <= 1 || len(qs) <= 1 {
-		for qi := range qs {
-			qi := qi
-			stats[qi] = idx.query(qs[qi], pool, func(id int32) {
-				if visit != nil {
-					visit(qi, id)
-				}
-			}, false)
-		}
-		return stats
-	}
-	if visit == nil {
-		parallel.ForEach(w, len(qs), func(_, qi int) {
-			stats[qi] = idx.query(qs[qi], pool, func(int32) {}, false)
-		})
-		return stats
-	}
-	ids := make([][]int32, len(qs))
-	parallel.ForEach(w, len(qs), func(_, qi int) {
-		stats[qi] = idx.query(qs[qi], pool, func(id int32) {
-			ids[qi] = append(ids[qi], id)
-		}, false)
-	})
-	for qi := range ids {
-		for _, id := range ids[qi] {
-			visit(qi, id)
-		}
-	}
-	return stats
+	src := poolSource(idx, pool)
+	return parallel.Batch(workers, len(qs), func(qi int, emit func(int32)) QueryStats {
+		return idx.query(qs[qi], src, emit, false)
+	}, visit)
 }
 
 // Aggregate sums per-query statistics into batch totals. CrawlOrder is not

@@ -178,6 +178,13 @@ func (idx *Index) NumPages() int { return idx.store.NumPages() }
 // NumItems returns the number of indexed items.
 func (idx *Index) NumItems() int { return len(idx.boxes) }
 
+// Bounds returns the MBR of the indexed data (empty when the index is
+// empty).
+func (idx *Index) Bounds() geom.AABB { return idx.seedTree.Bounds() }
+
+// Options returns the configuration the index was built with.
+func (idx *Index) Options() Options { return idx.opts }
+
 // PageBox returns the MBR of page p.
 func (idx *Index) PageBox(p pager.PageID) geom.AABB { return idx.pageBox[p] }
 
@@ -272,16 +279,41 @@ func (s QueryStats) TotalReads() int64 { return s.SeedNodeAccesses + s.PagesRead
 // non-nil, data pages are read through it (so buffer hits and prefetches are
 // accounted); a nil pool models a cold read per page.
 func (idx *Index) Query(q geom.AABB, pool *pager.BufferPool, visit func(int32)) QueryStats {
-	return idx.query(q, pool, visit, false)
+	return idx.query(q, poolSource(idx, pool), visit, false)
+}
+
+// QueryVia is Query reading data pages through an arbitrary PageSource; a nil
+// source reads the index's own store cold. It is the execution path the
+// engine layer routes through, so the same buffer-pool + prefetch stack can
+// sit beneath FLAT as beneath any other index.
+func (idx *Index) QueryVia(q geom.AABB, src pager.PageSource, visit func(int32)) QueryStats {
+	if src == nil {
+		src = idx.store
+	}
+	return idx.query(q, src, visit, false)
+}
+
+// PagedQuery implements the prefetch.Served query path: Query through a pool
+// with the stats discarded (the pool's own accounting is the record).
+func (idx *Index) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int32)) {
+	idx.Query(q, pool, visit)
 }
 
 // QueryTraced is Query but additionally records the crawl order for
 // visualization.
 func (idx *Index) QueryTraced(q geom.AABB, pool *pager.BufferPool, visit func(int32)) QueryStats {
-	return idx.query(q, pool, visit, true)
+	return idx.query(q, poolSource(idx, pool), visit, true)
 }
 
-func (idx *Index) query(q geom.AABB, pool *pager.BufferPool, visit func(int32), trace bool) QueryStats {
+// poolSource resolves the legacy nil-pool convention onto a PageSource.
+func poolSource(idx *Index, pool *pager.BufferPool) pager.PageSource {
+	if pool == nil {
+		return idx.store
+	}
+	return pool
+}
+
+func (idx *Index) query(q geom.AABB, src pager.PageSource, visit func(int32), trace bool) QueryStats {
 	var stats QueryStats
 	if len(idx.pageBox) == 0 {
 		return stats
@@ -303,7 +335,7 @@ func (idx *Index) query(q geom.AABB, pool *pager.BufferPool, visit func(int32), 
 		for len(queue) > 0 {
 			p := queue[0]
 			queue = queue[1:]
-			idx.readPage(p, q, pool, visit, &stats, trace)
+			idx.readPage(p, q, src, visit, &stats, trace)
 			for _, nb := range idx.neighbors[p] {
 				if !visited[nb] && idx.pageBox[nb].Intersects(q) {
 					visited[nb] = true
@@ -325,19 +357,13 @@ func (idx *Index) query(q geom.AABB, pool *pager.BufferPool, visit func(int32), 
 }
 
 // readPage loads page p and tests its items against the range.
-func (idx *Index) readPage(p pager.PageID, q geom.AABB, pool *pager.BufferPool,
+func (idx *Index) readPage(p pager.PageID, q geom.AABB, src pager.PageSource,
 	visit func(int32), stats *QueryStats, trace bool) {
 	stats.PagesRead++
 	if trace {
 		stats.CrawlOrder = append(stats.CrawlOrder, p)
 	}
-	var ids []int32
-	if pool != nil {
-		ids = pool.Get(p)
-	} else {
-		ids = idx.store.Page(p)
-	}
-	for _, id := range ids {
+	for _, id := range src.ReadPage(p) {
 		stats.EntriesTested++
 		if idx.boxes[id].Intersects(q) {
 			stats.Results++

@@ -141,6 +141,16 @@ func (g *Grid) forEachCell(b geom.AABB, fn func(cell int)) {
 	}
 }
 
+// ForEachInRange invokes fn for every cell overlapping b, in ascending
+// cell-index order, with the box indices registered in the cell (shared
+// slice, must not be modified). The engine's grid index uses it as its
+// candidate generator; unlike Query it does not test the boxes themselves,
+// so callers refine (and deduplicate, when boxes are replicated across
+// cells) as they see fit.
+func (g *Grid) ForEachInRange(b geom.AABB, fn func(cell int, ids []int32)) {
+	g.forEachCell(b, func(c int) { fn(c, g.cells[c]) })
+}
+
 // Query reports the indices of all boxes whose grid cells overlap q and whose
 // boxes intersect q. Each index is reported once.
 func (g *Grid) Query(q geom.AABB, visit func(int32)) {

@@ -42,6 +42,23 @@ func (s *Store) Page(id PageID) []int32 {
 	return s.pages[id]
 }
 
+// PageSource is where a query execution path reads its data pages from. The
+// two implementations in this package bracket the storage regimes the
+// experiments compare: a bare *Store models a cold read per page, while a
+// *BufferPool serves cached pages with full I/O accounting (and receives
+// prefetches). Every index behind engine.SpatialIndex reads through a
+// PageSource, so the buffer-pool + prefetch stack sits beneath any of them,
+// not just FLAT.
+type PageSource interface {
+	// ReadPage returns the element IDs on page id. The slice is shared and
+	// must not be modified.
+	ReadPage(id PageID) []int32
+}
+
+// ReadPage implements PageSource: a direct store read, modelling one cold
+// physical read with no caching or accounting.
+func (s *Store) ReadPage(id PageID) []int32 { return s.Page(id) }
+
 // Builder accumulates pages for a Store.
 type Builder struct {
 	store Store
@@ -226,6 +243,9 @@ func (p *BufferPool) Get(id PageID) []int32 {
 	p.insert(id, false)
 	return p.store.Page(id)
 }
+
+// ReadPage implements PageSource via the demand-read path (Get).
+func (p *BufferPool) ReadPage(id PageID) []int32 { return p.Get(id) }
 
 // Prefetch brings page id into the pool without a demand request. Cached
 // pages are left untouched (no counter changes, no LRU promotion — a

@@ -165,6 +165,56 @@ func Collect[T any](workers, n int, work func(worker, slot int, emit func(T)), s
 	}
 }
 
+// Batch is the deterministic batch-query executor shared by every index in
+// the repository (flat, rtree, and the engine layer): run executes slot qi,
+// emitting hits of type H and returning that slot's summary of type S; visit
+// receives exactly the (slot, hit) pairs a serial loop would produce, in the
+// same order, for any worker count.
+//
+// The worker contract matches every Workers knob in the repository: 0 or 1
+// executes serially on the calling goroutine (hits are delivered to visit as
+// they are found, with no buffering), values > 1 use that many workers, and
+// negative values use one worker per CPU. Under parallel execution each
+// slot's hits are buffered and replayed in slot order after the pool drains;
+// visit runs on the calling goroutine only. A nil visit skips result
+// buffering entirely (summaries only).
+func Batch[S, H any](workers, n int, run func(qi int, emit func(H)) S,
+	visit func(qi int, h H)) []S {
+
+	out := make([]S, n)
+	w := 1
+	if workers != 0 && workers != 1 {
+		w = Workers(workers)
+	}
+	if w <= 1 || n <= 1 {
+		for qi := 0; qi < n; qi++ {
+			qi := qi
+			out[qi] = run(qi, func(h H) {
+				if visit != nil {
+					visit(qi, h)
+				}
+			})
+		}
+		return out
+	}
+	if visit == nil {
+		ForEach(w, n, func(_, qi int) {
+			out[qi] = run(qi, func(H) {})
+		})
+		return out
+	}
+	bufs := make([][]H, n)
+	ForEach(w, n, func(_, qi int) {
+		out[qi] = run(qi, func(h H) { bufs[qi] = append(bufs[qi], h) })
+	})
+	for qi := range bufs {
+		for _, h := range bufs[qi] {
+			visit(qi, h)
+		}
+	}
+	return out
+}
+
 // Map runs fn for every slot in [0, n) across the pool and returns the
 // results indexed by slot.
 func Map[T any](workers, n int, fn func(worker, slot int) T) []T {

@@ -151,3 +151,47 @@ func TestDo(t *testing.T) {
 		t.Error("Do single-function path did not run")
 	}
 }
+
+// TestBatchMatchesSerial asserts the generic batch executor's core
+// guarantee: for any worker count, visit observes exactly the (slot, hit)
+// sequence of a serial loop, and the per-slot summaries are identical.
+func TestBatchMatchesSerial(t *testing.T) {
+	const n = 37
+	run := func(qi int, emit func(int)) int {
+		// Slot qi emits qi%5 hits: deterministic, skewed sizes.
+		for k := 0; k < qi%5; k++ {
+			emit(qi*100 + k)
+		}
+		return qi * 7
+	}
+	type pair struct{ q, h int }
+	var want []pair
+	wantSums := Batch(1, n, run, func(q, h int) { want = append(want, pair{q, h}) })
+	for _, w := range []int{0, 2, 3, 8, -1} {
+		var got []pair
+		sums := Batch(w, n, run, func(q, h int) { got = append(got, pair{q, h}) })
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d hits, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: hit %d is %+v, want %+v", w, i, got[i], want[i])
+			}
+		}
+		for i := range sums {
+			if sums[i] != wantSums[i] {
+				t.Errorf("workers=%d: summary %d = %d, want %d", w, i, sums[i], wantSums[i])
+			}
+		}
+	}
+	// nil visit: summaries only, no panic.
+	sums := Batch(4, n, run, nil)
+	for i := range sums {
+		if sums[i] != i*7 {
+			t.Errorf("nil-visit summary %d = %d", i, sums[i])
+		}
+	}
+	if got := Batch(4, 0, run, nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d summaries", len(got))
+	}
+}

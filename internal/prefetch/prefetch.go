@@ -25,17 +25,43 @@ package prefetch
 import (
 	"time"
 
-	"neurospatial/internal/flat"
 	"neurospatial/internal/geom"
 	"neurospatial/internal/pager"
 )
 
+// PageGeometry is the page-layout surface prefetchers need from the index
+// serving a walkthrough: how a spatial range maps to pages. flat.Index and
+// every engine.SpatialIndex wrapper satisfy it, so prefetching is no longer
+// FLAT-specific.
+type PageGeometry interface {
+	// PagesInRange returns the pages a query of box q would touch.
+	PagesInRange(q geom.AABB) []pager.PageID
+	// PageOf returns the page holding element id.
+	PageOf(id int32) pager.PageID
+	// NumPages returns the number of data pages.
+	NumPages() int
+}
+
+// Served is the full index surface the walkthrough Simulator drives: page
+// geometry for prediction, the page store to cache, and a query path that
+// reads through a buffer pool (so demand reads, hits and prefetch hits are
+// accounted). flat.Index satisfies it directly; the engine layer's indexes
+// (FLAT, R-tree, grid) all satisfy it too, which is what lets the
+// buffer-pool + prefetch/SCOUT stack sit beneath any index.
+type Served interface {
+	PageGeometry
+	// Store returns the page store the simulator wraps in a pool.
+	Store() *pager.Store
+	// PagedQuery executes one range query reading pages through pool.
+	PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(id int32))
+}
+
 // Context gives prefetchers access to the data layout and the query history.
 // It is rebuilt by the simulator for every walkthrough.
 type Context struct {
-	// Index is the FLAT index serving the walkthrough; prefetchers use its
-	// page geometry (PagesInRange, PageOf) to turn predictions into pages.
-	Index *flat.Index
+	// Index is the page geometry of the index serving the walkthrough;
+	// prefetchers use it to turn predictions into pages.
+	Index PageGeometry
 	// Segment returns the capsule geometry of an element ID. Content-aware
 	// prefetchers (SCOUT) reconstruct structures from it.
 	Segment func(id int32) geom.Segment
@@ -194,11 +220,11 @@ func (r RunStats) Accuracy() float64 {
 	return float64(r.PrefetchHits) / float64(r.PrefetchReads)
 }
 
-// Simulator executes query sequences against a FLAT index with a prefetcher
-// filling the think time between steps.
+// Simulator executes query sequences against any Served index with a
+// prefetcher filling the think time between steps.
 type Simulator struct {
 	// Index serves the queries.
-	Index *flat.Index
+	Index Served
 	// Segment exposes element geometry to content-aware prefetchers.
 	Segment func(id int32) geom.Segment
 	// Cost converts page reads into time.
@@ -235,7 +261,7 @@ func (s *Simulator) Run(p Prefetcher, boxes []geom.AABB) (RunStats, error) {
 		ctx.History = append(ctx.History, q)
 		before := pool.Stats()
 		var result []int32
-		s.Index.Query(q, pool, func(id int32) { result = append(result, id) })
+		s.Index.PagedQuery(q, pool, func(id int32) { result = append(result, id) })
 		delta := pool.Stats().Sub(before)
 
 		step := StepResult{

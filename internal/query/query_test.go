@@ -2,6 +2,7 @@ package query
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"neurospatial/internal/geom"
@@ -107,6 +108,85 @@ func TestWalkthroughStrideLongerThanPath(t *testing.T) {
 	// Start plus tip.
 	if seq.Len() != 2 {
 		t.Fatalf("steps = %d, want 2", seq.Len())
+	}
+}
+
+func TestWalkthroughDuplicateConsecutivePoints(t *testing.T) {
+	// Duplicates at the start, in the middle and at the tip: the zero-length
+	// segments must be skipped without stalling the arc-length accumulator
+	// or emitting duplicate steps.
+	path := []geom.Vec{
+		geom.V(0, 0, 0), geom.V(0, 0, 0),
+		geom.V(2, 0, 0), geom.V(2, 0, 0),
+		geom.V(5, 0, 0), geom.V(5, 0, 0),
+	}
+	seq, err := Walkthrough(path, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arc length 5, stride 2: samples at 0, 2, 4 plus the tip at 5.
+	if seq.Len() != 4 {
+		t.Fatalf("steps = %d, want 4", seq.Len())
+	}
+	for i := 0; i+1 < seq.Len(); i++ {
+		if seq.Steps[i].Center.Dist(seq.Steps[i+1].Center) < 1e-12 {
+			t.Errorf("steps %d and %d are duplicates at %v", i, i+1, seq.Steps[i].Center)
+		}
+	}
+	if tip := seq.Steps[seq.Len()-1].Center; tip != geom.V(5, 0, 0) {
+		t.Errorf("tip step at %v, want (5,0,0)", tip)
+	}
+}
+
+func TestWalkthroughStrideExceedsWholePath(t *testing.T) {
+	// A stride longer than the entire arc length must still cover the path:
+	// the start step plus the tip step, never zero or one.
+	path := []geom.Vec{geom.V(0, 0, 0), geom.V(1, 1, 0), geom.V(2, 0, 0)}
+	seq, err := Walkthrough(path, 1000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != 2 {
+		t.Fatalf("steps = %d, want 2 (start + tip)", seq.Len())
+	}
+	if seq.Steps[0].Center != path[0] || seq.Steps[1].Center != path[len(path)-1] {
+		t.Errorf("steps at %v and %v, want path start and tip",
+			seq.Steps[0].Center, seq.Steps[1].Center)
+	}
+}
+
+// TestWalkthroughStepCountProperty is the satellite property test: on random
+// jagged paths the emitted step count must match PathLength/stride within
+// ±1 of the exact sampling count floor(L/stride)+1 (the +1 is the start
+// step; the tip step accounts for the one-sided slack).
+func TestWalkthroughStepCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		path := make([]geom.Vec, n)
+		cur := geom.V(0, 0, 0)
+		for i := range path {
+			path[i] = cur
+			step := geom.V(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*20-10)
+			if rng.Intn(5) == 0 {
+				step = geom.V(0, 0, 0) // inject duplicate consecutive points
+			}
+			cur = cur.Add(step)
+		}
+		l := PathLength(path)
+		if l == 0 {
+			continue // fully degenerate path; Walkthrough rejects radius-only input elsewhere
+		}
+		stride := 0.5 + rng.Float64()*2*l // spans sub-stride to stride >> L
+		seq, err := Walkthrough(path, stride, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := math.Floor(l/stride) + 1
+		if diff := math.Abs(float64(seq.Len()) - exact); diff > 1 {
+			t.Fatalf("trial %d: %d steps for L=%v stride=%v, want %v±1",
+				trial, seq.Len(), l, stride, exact)
+		}
 	}
 }
 

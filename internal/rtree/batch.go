@@ -10,48 +10,15 @@ import (
 // not be mutated while a batch runs; queries are read-only and share the
 // structure freely.
 //
-// Determinism: visit receives exactly the (query, item) pairs a serial loop
-// of Query calls would produce, in the same order — each query's hits are
-// buffered and delivered in query order after the pool drains. visit runs on
-// the calling goroutine only; a nil visit skips result buffering entirely
-// (stats only). Like every Workers knob in the repository, workers 0 or 1
-// executes serially on the calling goroutine, values > 1 use that many
-// workers, and negative values use one worker per CPU.
+// It is a thin compatibility wrapper over parallel.Batch, the generic
+// deterministic batch executor every index shares: visit receives exactly
+// the (query, item) pairs a serial loop of Query calls would produce, in the
+// same order, for any worker count, and the usual Workers semantics apply
+// (0 or 1 serial, > 1 that many workers, negative one per CPU).
 func (t *Tree) BatchQuery(qs []geom.AABB, workers int, visit func(q int, it Item)) []QueryStats {
-	stats := make([]QueryStats, len(qs))
-	w := 1
-	if workers != 0 && workers != 1 {
-		w = parallel.Workers(workers)
-	}
-	if w <= 1 || len(qs) <= 1 {
-		for qi := range qs {
-			qi := qi
-			stats[qi] = t.Query(qs[qi], func(it Item) {
-				if visit != nil {
-					visit(qi, it)
-				}
-			})
-		}
-		return stats
-	}
-	if visit == nil {
-		parallel.ForEach(w, len(qs), func(_, qi int) {
-			stats[qi] = t.Query(qs[qi], func(Item) {})
-		})
-		return stats
-	}
-	hits := make([][]Item, len(qs))
-	parallel.ForEach(w, len(qs), func(_, qi int) {
-		stats[qi] = t.Query(qs[qi], func(it Item) {
-			hits[qi] = append(hits[qi], it)
-		})
-	})
-	for qi := range hits {
-		for _, it := range hits[qi] {
-			visit(qi, it)
-		}
-	}
-	return stats
+	return parallel.Batch(workers, len(qs), func(qi int, emit func(Item)) QueryStats {
+		return t.Query(qs[qi], emit)
+	}, visit)
 }
 
 // Aggregate sums per-query statistics into batch totals; NodesPerLevel is

@@ -81,19 +81,58 @@ func (p *PagedTree) Query(q geom.AABB, pool *pager.BufferPool, visit func(Item))
 	if pool == nil {
 		return p.tree.Query(q, visit)
 	}
+	return p.QueryVia(q, pool, visit)
+}
+
+// QueryVia is Query reading node pages through an arbitrary PageSource; a
+// nil source degenerates to the unpaged Query. It is the execution path the
+// engine layer routes through so the buffer-pool + prefetch stack can sit
+// beneath the R-tree exactly as it does beneath FLAT.
+func (p *PagedTree) QueryVia(q geom.AABB, src pager.PageSource, visit func(Item)) QueryStats {
+	if src == nil {
+		return p.tree.Query(q, visit)
+	}
 	var stats QueryStats
 	root, ok := p.tree.Root()
 	if !ok {
 		return stats
 	}
-	p.query(root, q, pool, visit, &stats)
+	p.query(root, q, src, visit, &stats)
 	return stats
 }
 
-func (p *PagedTree) query(v NodeView, q geom.AABB, pool *pager.BufferPool,
+// PagesInRange returns the pages of every node a query of box q would visit,
+// in visit (pre-)order. Prefetchers use it to turn a predicted range into
+// page requests, symmetrically with flat.Index.PagesInRange.
+func (p *PagedTree) PagesInRange(q geom.AABB) []pager.PageID {
+	root, ok := p.tree.Root()
+	if !ok {
+		return nil
+	}
+	var out []pager.PageID
+	var walk func(v NodeView)
+	walk = func(v NodeView) {
+		out = append(out, p.pageOf[v])
+		if v.IsLeaf() {
+			return
+		}
+		for i := 0; i < v.NumChildren(); i++ {
+			c := v.Child(i)
+			if c.Box().Intersects(q) {
+				walk(c)
+			}
+		}
+	}
+	if root.Box().Intersects(q) {
+		walk(root)
+	}
+	return out
+}
+
+func (p *PagedTree) query(v NodeView, q geom.AABB, src pager.PageSource,
 	visit func(Item), stats *QueryStats) {
 	stats.visit(v.Level())
-	pool.Get(p.pageOf[v])
+	src.ReadPage(p.pageOf[v])
 	if v.IsLeaf() {
 		for _, it := range v.Items() {
 			stats.EntriesTested++
@@ -107,7 +146,7 @@ func (p *PagedTree) query(v NodeView, q geom.AABB, pool *pager.BufferPool,
 	for i := 0; i < v.NumChildren(); i++ {
 		c := v.Child(i)
 		if c.Box().Intersects(q) {
-			p.query(c, q, pool, visit, stats)
+			p.query(c, q, src, visit, stats)
 		}
 	}
 }

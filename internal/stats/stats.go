@@ -137,6 +137,56 @@ func Ratio(num, den int64) string {
 	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
 }
 
+// Running is an online accumulator of a scalar series: count, mean and
+// variance in one pass (Welford's method). The engine's planner keeps one per
+// index and metric — observed I/O cost per query, selectivity per unit query
+// volume — and routes batches to the index with the lowest estimated cost.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the observation count.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the running population variance (0 with fewer than two
+// observations).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Merge folds another accumulator into this one (Chan et al.'s parallel
+// update), so per-worker accumulators can be combined deterministically.
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	r.mean += d * float64(o.n) / float64(n)
+	r.m2 += o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.n = n
+}
+
 // Dur formats a duration rounded to a reporting-friendly precision.
 func Dur(d time.Duration) string {
 	switch {

@@ -105,3 +105,57 @@ func TestDur(t *testing.T) {
 		}
 	}
 }
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Var() != 0 {
+		t.Error("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if v := r.Var(); v < 4-1e-9 || v > 4+1e-9 {
+		t.Errorf("Var = %v, want 4", v)
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	xs := []float64{1, 3, 3, 7, 10, 12, 12, 13, 20}
+	var whole Running
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var a, b Running
+	for _, x := range xs[:4] {
+		a.Add(x)
+	}
+	for _, x := range xs[4:] {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if d := a.Mean() - whole.Mean(); d < -1e-9 || d > 1e-9 {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if d := a.Var() - whole.Var(); d < -1e-9 || d > 1e-9 {
+		t.Errorf("merged Var = %v, want %v", a.Var(), whole.Var())
+	}
+	// Merging into an empty accumulator copies.
+	var c Running
+	c.Merge(whole)
+	if c.N() != whole.N() || c.Mean() != whole.Mean() {
+		t.Error("merge into empty accumulator lost data")
+	}
+	whole.Merge(Running{}) // merging empty is a no-op
+	if whole.N() != int64(len(xs)) {
+		t.Error("merging empty changed the accumulator")
+	}
+}
