@@ -9,10 +9,12 @@
 //	go run ./cmd/flatbench -crawl     # E2: crawl cost vs result size
 //	go run ./cmd/flatbench -scale     # E6: constant-density scaling
 //	go run ./cmd/flatbench -batch     # E7: batched concurrent-query worker sweep
+//	go run ./cmd/flatbench -shards -1 # E8: sharded scatter-gather sweep + routing
+//	go run ./cmd/flatbench -shards 4  # E8 pinned to one shard count
 //	go run ./cmd/flatbench -all       # everything
 //
 //	go run ./cmd/flatbench -json BENCH_engine.json [-quick]
-//	                                  # machine-readable E1/E4/E7 headline
+//	                                  # machine-readable E1/E4/E7/E8 headline
 //	                                  # numbers (the CI artifact)
 //
 // The -workers flag follows the repository-wide convention (see README):
@@ -36,6 +38,7 @@ func main() {
 	crawl := flag.Bool("crawl", false, "run E2 (crawl cost)")
 	scale := flag.Bool("scale", false, "run E6 (scaling)")
 	batch := flag.Bool("batch", false, "run E7 (batched concurrent queries)")
+	shards := flag.Int("shards", 0, "run E8 (sharded scatter-gather): > 0 pins the shard count, -1 runs the default sweep")
 	all := flag.Bool("all", false, "run every FLAT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
 	jsonOut := flag.String("json", "", "write E1/E4/E7 headline numbers as JSON to this path and exit")
@@ -49,7 +52,7 @@ func main() {
 		return
 	}
 
-	runDensity := *all || (!*crawl && !*scale && !*batch)
+	runDensity := *all || (!*crawl && !*scale && !*batch && *shards == 0)
 	if runDensity {
 		cfg := experiments.DefaultE1()
 		cfg.Workers = *workers
@@ -94,6 +97,25 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := experiments.E7Table(rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *shards != 0 {
+		cfg := experiments.DefaultE8()
+		cfg.Workers = *workers
+		if *shards > 0 {
+			cfg.ShardCounts = []int{*shards}
+		}
+		res, err := experiments.RunE8(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E8Table(res.Rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := experiments.E8RoutingTable(res).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

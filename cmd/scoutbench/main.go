@@ -6,6 +6,10 @@
 //
 //	go run ./cmd/scoutbench            # E4: speedup comparison
 //	go run ./cmd/scoutbench -pruning   # E3: candidate pruning
+//	go run ./cmd/scoutbench -shards 4  # E4 over the sharded engine index:
+//	                                   # the same walkthroughs + prefetchers
+//	                                   # (SCOUT included) served by a
+//	                                   # 4-shard scatter-gather store
 //	go run ./cmd/scoutbench -all       # both
 //
 // The -workers flag follows the repository-wide convention (see README):
@@ -30,11 +34,16 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the walkthrough-length sweep (the 'up to 15x' series)")
 	all := flag.Bool("all", false, "run every SCOUT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
+	shards := flag.Int("shards", 0, "serve E4 walkthroughs from the sharded engine index with this shard count (0: unsharded FLAT)")
 	flag.Parse()
 
 	if *all || (!*pruning && !*sweep) {
 		cfg := experiments.DefaultE4()
 		cfg.Workers = *workers
+		if *shards > 0 {
+			cfg.Index = "sharded"
+			cfg.Shards = *shards
+		}
 		rows, err := experiments.RunE4(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -59,6 +68,10 @@ func main() {
 	if *all || *sweep {
 		cfg := experiments.DefaultE4()
 		cfg.Workers = *workers
+		if *shards > 0 {
+			cfg.Index = "sharded"
+			cfg.Shards = *shards
+		}
 		tb, err := experiments.E4LengthSweep(cfg, []float64{400, 900, 2500, 6000})
 		if err != nil {
 			log.Fatal(err)

@@ -42,6 +42,9 @@ type Options struct {
 	// R-tree. Values <= 0 select the FLAT page size, making one leaf
 	// correspond to one page so I/O counts are comparable.
 	RTreeFanout int
+	// Shards is the spatial shard count of the sharded scatter-gather
+	// contender. Values <= 0 select 4.
+	Shards int
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -67,12 +70,13 @@ type Model struct {
 	opts   Options
 }
 
-// EngineIndex returns the named engine contender ("flat", "rtree", "grid").
+// EngineIndex returns the named engine contender ("flat", "rtree", "grid",
+// "sharded").
 func (m *Model) EngineIndex(name string) (engine.SpatialIndex, error) {
 	if ix := m.Engine.Index(name); ix != nil {
 		return ix, nil
 	}
-	return nil, fmt.Errorf("core: unknown engine index %q (have flat, rtree, grid)", name)
+	return nil, fmt.Errorf("core: unknown engine index %q (have flat, rtree, grid, sharded)", name)
 }
 
 // BuildModel constructs the circuit and both indexes.
@@ -112,7 +116,11 @@ func NewModel(c *circuit.Circuit, opts Options) (*Model, error) {
 	if err := eg.Build(items); err != nil {
 		return nil, fmt.Errorf("core: building grid index: %w", err)
 	}
-	planner := engine.NewPlanner(engine.WrapFlat(f), ert, eg)
+	es := engine.NewSharded(engine.ShardedOptions{Shards: opts.Shards, Index: "flat", Flat: opts.Flat})
+	if err := es.Build(items); err != nil {
+		return nil, fmt.Errorf("core: building sharded index: %w", err)
+	}
+	planner := engine.NewPlanner(engine.WrapFlat(f), ert, eg, es)
 	return &Model{Circuit: c, Flat: f, RTree: rt, Engine: planner, opts: opts}, nil
 }
 
@@ -250,8 +258,9 @@ type ExploreConfig struct {
 	// Cost is the I/O cost model; the zero value selects the default.
 	Cost pager.CostModel
 	// Index names the engine contender serving the walkthrough ("flat",
-	// "rtree" or "grid"); empty selects "flat", the paper's configuration.
-	// Every contender sits on paged storage, so the same buffer-pool +
+	// "rtree", "grid" or "sharded"); empty selects "flat", the paper's
+	// configuration. Every contender sits on paged storage — the sharded
+	// one via its dense global page remap — so the same buffer-pool +
 	// prefetch stack applies to each.
 	Index string
 }

@@ -7,13 +7,15 @@
 //
 // The layering (bottom to top):
 //
-//	index     flat.Index, rtree.Tree(+PagedTree), grid.Grid  — structures
+//	index     flat.Index, rtree.Tree(+PagedTree), grid.Grid  — structures;
+//	          Sharded composes any of them into K spatial shards with
+//	          scatter-gather execution (shard.Partition)
 //	storage   pager.Store / pager.BufferPool via pager.PageSource — every
 //	          index reads data pages through a PageSource, so the buffer
 //	          pool + prefetch/SCOUT stack sits beneath any of them
 //	execution parallel.Batch — one generic deterministic batch executor
 //	          (slot-ordered visits, identical-to-serial guarantee)
-//	harness   experiments E1–E7, cmd drivers, prefetch.Simulator
+//	harness   experiments E1–E8, cmd drivers, prefetch.Simulator
 //
 // Every wrapper in this package also satisfies prefetch.Served, so a
 // walkthrough with prefetching can run over any index, and the Planner
@@ -50,6 +52,9 @@ type QueryStats struct {
 	Results int64
 	// Reseeds counts FLAT component re-seeds (0 for other indexes).
 	Reseeds int64
+	// ShardsTouched counts the spatial shards the query fanned out to
+	// (0 for unsharded indexes).
+	ShardsTouched int64
 	// NodesPerLevel is the R-tree's per-level node-access breakdown
 	// (leaves first; nil for other indexes).
 	NodesPerLevel []int64
@@ -75,6 +80,7 @@ func Aggregate(sts []QueryStats) QueryStats {
 		out.EntriesTested += sts[i].EntriesTested
 		out.Results += sts[i].Results
 		out.Reseeds += sts[i].Reseeds
+		out.ShardsTouched += sts[i].ShardsTouched
 		for l, c := range sts[i].NodesPerLevel {
 			for len(out.NodesPerLevel) <= l {
 				out.NodesPerLevel = append(out.NodesPerLevel, 0)
@@ -127,6 +133,10 @@ type Paged interface {
 	// SetSource routes subsequent Query/BatchQuery page reads through src
 	// (nil restores cold reads from the index's own store).
 	SetSource(src pager.PageSource)
+	// Source returns the currently attached PageSource (nil when reads go
+	// cold to the index's own store). The planner uses it to route
+	// calibration probes around an attached buffer pool and restore it.
+	Source() pager.PageSource
 	// PagedQuery executes one query reading through the given pool — the
 	// prefetch.Served walkthrough path; the pool's counters are the record.
 	PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(id int32))

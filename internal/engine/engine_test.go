@@ -26,9 +26,11 @@ var (
 	_ engine.Paged    = (*engine.Flat)(nil)
 	_ engine.Paged    = (*engine.RTree)(nil)
 	_ engine.Paged    = (*engine.Grid)(nil)
+	_ engine.Paged    = (*engine.Sharded)(nil)
 	_ prefetch.Served = (*engine.Flat)(nil)
 	_ prefetch.Served = (*engine.RTree)(nil)
 	_ prefetch.Served = (*engine.Grid)(nil)
+	_ prefetch.Served = (*engine.Sharded)(nil)
 	_ prefetch.Served = (*flat.Index)(nil)
 )
 
@@ -71,6 +73,7 @@ func buildIndexes(t testing.TB, items []rtree.Item) []engine.SpatialIndex {
 		engine.NewFlat(flat.DefaultOptions()),
 		engine.NewRTree(0),
 		engine.NewGrid(engine.GridOptions{}),
+		engine.NewSharded(engine.ShardedOptions{Shards: 3}),
 	}
 	for _, ix := range indexes {
 		if err := ix.Build(items); err != nil {
@@ -269,19 +272,26 @@ func TestPlannerRoutesAndMatches(t *testing.T) {
 		}
 	}
 
-	// Routed output == chosen index direct serial output.
+	// Routed output == chosen index direct serial output. The first Run's
+	// Observe may legitimately re-rank the contenders (the probe sample is
+	// only a prefix of the batch), so predict the next choice with Plan —
+	// it reads history without mutating it — and diff against that index.
+	next := p.Plan(queries)
+	if len(next.Probed) != 0 {
+		t.Fatalf("replan re-probed %v despite learned history", next.Probed)
+	}
 	var want []hit
 	wantStats := make([]engine.QueryStats, 0, len(queries))
 	for qi, q := range queries {
 		qi := qi
-		wantStats = append(wantStats, d.Index.Query(q, func(id int32) {
+		wantStats = append(wantStats, next.Index.Query(q, func(id int32) {
 			want = append(want, hit{qi, id})
 		}))
 	}
 	var got []hit
 	sts2, d2 := p.Run(queries, 2, func(q int, id int32) { got = append(got, hit{q, id}) })
-	if d2.Index != d.Index {
-		t.Fatalf("replan diverged: %s then %s", d.Index.Name(), d2.Index.Name())
+	if d2.Index != next.Index {
+		t.Fatalf("replan diverged from Plan: %s then %s", next.Index.Name(), d2.Index.Name())
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("planner-routed hits diverged from chosen index's serial run")

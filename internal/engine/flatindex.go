@@ -124,6 +124,9 @@ func (f *Flat) PagesInRange(q geom.AABB) []pager.PageID {
 // SetSource implements Paged.
 func (f *Flat) SetSource(src pager.PageSource) { f.src = src }
 
+// Source implements Paged.
+func (f *Flat) Source() pager.PageSource { return f.src }
+
 // PagedQuery implements Paged (and prefetch.Served).
 func (f *Flat) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int32)) {
 	if f.idx == nil {

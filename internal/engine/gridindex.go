@@ -203,6 +203,9 @@ func (gx *Grid) PagesInRange(q geom.AABB) []pager.PageID {
 // SetSource implements Paged.
 func (gx *Grid) SetSource(src pager.PageSource) { gx.src = src }
 
+// Source implements Paged.
+func (gx *Grid) Source() pager.PageSource { return gx.src }
+
 // PagedQuery implements Paged (and prefetch.Served).
 func (gx *Grid) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int32)) {
 	gx.queryVia(q, pool, visit)

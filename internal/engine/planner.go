@@ -36,6 +36,7 @@ type Planner struct {
 	mu      sync.Mutex
 	learned map[string]*stats.Running // per-query Cost() history
 	selects map[string]*stats.Running // per-query selectivity (results/entries)
+	probes  map[string]chan struct{}  // per-index in-flight probe latches
 }
 
 // NewPlanner returns a planner over the given contenders, in priority order
@@ -46,6 +47,7 @@ func NewPlanner(indexes ...SpatialIndex) *Planner {
 		indexes:      indexes,
 		learned:      make(map[string]*stats.Running),
 		selects:      make(map[string]*stats.Running),
+		probes:       make(map[string]chan struct{}),
 	}
 }
 
@@ -75,6 +77,9 @@ type Decision struct {
 
 // String renders the decision for logs and demo panels.
 func (d Decision) String() string {
+	if d.Index == nil {
+		return "route -> none (no contenders)"
+	}
 	names := make([]string, 0, len(d.CostPerQuery))
 	for n := range d.CostPerQuery {
 		names = append(names, n)
@@ -92,21 +97,55 @@ func (d Decision) String() string {
 
 // Plan estimates the per-query cost of each contender for the batch and
 // picks the cheapest. Probe executions update the learned history, so later
-// plans on similar workloads skip the probe.
+// plans on similar workloads skip the probe. Concurrent first Plans probe
+// each unprofiled index exactly once: a per-index latch makes the
+// learn-or-probe step singleflight, so calibration history is never skewed
+// by duplicate probes.
+//
+// An empty batch cannot be probed, so it gets a deterministic default
+// decision with no side effects: contenders are costed from learned history
+// where any exists, the cheapest profiled contender wins, and with no
+// history at all the first registered index is chosen (registration order is
+// the documented tie-break).
 func (p *Planner) Plan(qs []geom.AABB) Decision {
 	d := Decision{CostPerQuery: make(map[string]float64, len(p.indexes))}
+	if len(qs) == 0 {
+		for _, ix := range p.indexes {
+			cost, ok := p.learnedCost(ix.Name())
+			if !ok {
+				continue
+			}
+			d.CostPerQuery[ix.Name()] = cost
+			if d.Index == nil || cost < d.CostPerQuery[d.Index.Name()] {
+				d.Index = ix
+			}
+		}
+		if d.Index == nil && len(p.indexes) > 0 {
+			d.Index = p.indexes[0]
+		}
+		return d
+	}
 	for _, ix := range p.indexes {
 		name := ix.Name()
 		cost, ok := p.learnedCost(name)
 		if !ok {
-			p.probe(ix, qs)
-			d.Probed = append(d.Probed, name)
-			cost, _ = p.learnedCost(name)
+			if p.probeOnce(ix, qs) {
+				d.Probed = append(d.Probed, name)
+			}
+			cost, ok = p.learnedCost(name)
+		}
+		if !ok {
+			// Unreachable with a non-empty batch (a probe always observes at
+			// least one query), kept as a guard: never fabricate a 0 cost.
+			continue
 		}
 		d.CostPerQuery[name] = cost
 		if d.Index == nil || cost < d.CostPerQuery[d.Index.Name()] {
 			d.Index = ix
 		}
+	}
+	if d.Index == nil && len(p.indexes) > 0 {
+		d.Index = p.indexes[0]
 	}
 	return d
 }
@@ -122,8 +161,53 @@ func (p *Planner) learnedCost(name string) (float64, bool) {
 	return acc.Mean(), true
 }
 
-// probe runs the calibration sample on one index, discarding hits.
+// probeOnce runs the calibration probe for an unprofiled index exactly once
+// across concurrent Plans: the first caller probes while later callers wait
+// on the latch and then read the learned history. It reports whether this
+// call executed the probe.
+func (p *Planner) probeOnce(ix SpatialIndex, qs []geom.AABB) bool {
+	name := ix.Name()
+	p.mu.Lock()
+	if acc := p.learned[name]; acc != nil && acc.N() > 0 {
+		p.mu.Unlock()
+		return false
+	}
+	if ch, inflight := p.probes[name]; inflight {
+		p.mu.Unlock()
+		<-ch
+		return false
+	}
+	ch := make(chan struct{})
+	p.probes[name] = ch
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.probes, name)
+		p.mu.Unlock()
+		close(ch)
+	}()
+	p.probe(ix, qs)
+	return true
+}
+
+// probe runs the calibration sample on one index, discarding hits. The
+// sample is executed against the index's own cold store: an attached
+// PageSource (a shared BufferPool under measurement, say) is detached for
+// the probe and restored after, so planning never perturbs the pool
+// contents or counters the experiments report.
 func (p *Planner) probe(ix SpatialIndex, qs []geom.AABB) {
+	if pg, ok := ix.(Paged); ok {
+		if src := pg.Source(); src != nil {
+			pg.SetSource(nil)
+			defer pg.SetSource(src)
+		}
+	}
+	// The sharded index additionally carries internal per-shard pools;
+	// route the probe around those too.
+	if sh, ok := ix.(*Sharded); ok {
+		sh.setProbeCold(true)
+		defer sh.setProbeCold(false)
+	}
 	n := p.ProbeQueries
 	if n <= 0 {
 		n = 3
@@ -136,8 +220,11 @@ func (p *Planner) probe(ix SpatialIndex, qs []geom.AABB) {
 }
 
 // PlanSequence routes a walkthrough sequence: the per-step boxes are the
-// batch.
+// batch. A nil or empty sequence gets the deterministic empty-batch default.
 func (p *Planner) PlanSequence(seq *query.Sequence) Decision {
+	if seq == nil {
+		return p.Plan(nil)
+	}
 	boxes := make([]geom.AABB, seq.Len())
 	for i, s := range seq.Steps {
 		boxes[i] = s.Box

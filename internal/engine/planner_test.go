@@ -1,0 +1,211 @@
+package engine_test
+
+// Regression tests for the planner bugfixes: empty-batch routing must be a
+// deterministic default (no fabricated 0.0 costs, no re-probing), concurrent
+// first Plans must probe each index exactly once (the singleflight latch),
+// and calibration probes must not perturb an attached buffer pool.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"neurospatial/internal/engine"
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+)
+
+// countingIndex wraps a SpatialIndex and counts BatchQuery invocations (the
+// probe path); a configurable delay widens the pre-fix double-probe window.
+type countingIndex struct {
+	engine.SpatialIndex
+	mu      sync.Mutex
+	batches int
+	delay   time.Duration
+}
+
+func (c *countingIndex) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []engine.QueryStats {
+	c.mu.Lock()
+	c.batches++
+	c.mu.Unlock()
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.SpatialIndex.BatchQuery(qs, workers, visit)
+}
+
+func (c *countingIndex) batchCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches
+}
+
+// TestPlannerEmptyBatchDefault: Plan(nil) and Plan of an empty slice must
+// return a deterministic default — the first registered contender when no
+// history exists, the learned-cheapest once history accumulates — with no
+// probes and no fabricated 0.0 costs.
+func TestPlannerEmptyBatchDefault(t *testing.T) {
+	items := testItems(t, 8, 8001)
+	indexes := buildIndexes(t, items)
+	p := engine.NewPlanner(indexes...)
+
+	for i := 0; i < 3; i++ {
+		d := p.Plan(nil)
+		if d.Index != indexes[0] {
+			t.Fatalf("empty plan %d chose %s, want first registered (%s)",
+				i, d.Index.Name(), indexes[0].Name())
+		}
+		if len(d.Probed) != 0 {
+			t.Fatalf("empty plan %d probed %v; empty batches cannot be probed", i, d.Probed)
+		}
+		if len(d.CostPerQuery) != 0 {
+			t.Fatalf("empty plan %d fabricated costs %v with no history", i, d.CostPerQuery)
+		}
+	}
+
+	// With learned history the empty-batch default routes to the cheapest
+	// profiled contender, still without probing.
+	p.Observe(indexes[1].Name(), []engine.QueryStats{{PagesRead: 2}})
+	p.Observe(indexes[0].Name(), []engine.QueryStats{{PagesRead: 100}})
+	d := p.Plan(nil)
+	if d.Index != indexes[1] {
+		t.Fatalf("empty plan with history chose %s, want learned-cheapest %s",
+			d.Index.Name(), indexes[1].Name())
+	}
+	if len(d.Probed) != 0 || len(d.CostPerQuery) != 2 {
+		t.Fatalf("empty plan with history: probed %v, costs %v", d.Probed, d.CostPerQuery)
+	}
+	if d.String() == "" {
+		t.Error("empty decision rendering")
+	}
+
+	// PlanSequence shares the guard, including a nil sequence.
+	if d := p.PlanSequence(nil); d.Index != indexes[1] {
+		t.Fatalf("nil sequence chose %s", d.Index.Name())
+	}
+}
+
+// TestPlannerConcurrentPlansProbeOnce: many concurrent first Plans must run
+// exactly one calibration probe per index (pre-fix, the check-then-act race
+// probed and observed the same index multiple times, skewing its history).
+func TestPlannerConcurrentPlansProbeOnce(t *testing.T) {
+	items := testItems(t, 8, 8002)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	queries := testQueries(vol, 12)
+
+	inner := engine.NewFlat(flat.DefaultOptions())
+	if err := inner.Build(items); err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingIndex{SpatialIndex: inner, delay: 20 * time.Millisecond}
+	p := engine.NewPlanner(counting)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	probed := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			d := p.Plan(queries)
+			probed[g] = len(d.Probed)
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := counting.batchCalls(); got != 1 {
+		t.Fatalf("%d concurrent first Plans executed %d probes, want exactly 1", goroutines, got)
+	}
+	total := 0
+	for _, n := range probed {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("%d decisions reported the probe, want exactly 1", total)
+	}
+}
+
+// TestPlannerProbeLeavesAttachedPoolUntouched: a calibration probe must run
+// against the index's cold store, leaving an attached BufferPool's cache and
+// counters exactly as they were, and must restore the attachment.
+func TestPlannerProbeLeavesAttachedPoolUntouched(t *testing.T) {
+	items := testItems(t, 8, 8003)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	queries := testQueries(vol, 12)
+
+	ix := engine.NewFlat(flat.DefaultOptions())
+	if err := ix.Build(items); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := pager.NewBufferPool(ix.Store(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetSource(pool)
+
+	p := engine.NewPlanner(ix)
+	d := p.Plan(queries)
+	if len(d.Probed) != 1 {
+		t.Fatalf("first plan probed %v, want the one unprofiled contender", d.Probed)
+	}
+	if st := pool.Stats(); st != (pager.Stats{}) {
+		t.Fatalf("probe perturbed the attached pool: %+v", st)
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("probe populated the attached pool with %d pages", pool.Len())
+	}
+	if ix.Source() != pool {
+		t.Fatal("probe did not restore the attached source")
+	}
+
+	// The attachment still works: a real query goes through the pool.
+	ix.Query(queries[0], func(int32) {})
+	if st := pool.Stats(); st.DemandReads+st.Hits == 0 {
+		t.Fatal("restored source saw no traffic on a real query")
+	}
+}
+
+// TestPlannerProbeLeavesShardPoolsUntouched extends the cold-probe guarantee
+// to the sharded index's internal per-shard pools: planning must not warm
+// them or skew their counters either.
+func TestPlannerProbeLeavesShardPoolsUntouched(t *testing.T) {
+	items := testItems(t, 8, 8004)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	queries := testQueries(vol, 12)
+
+	opts := subIndexOptions("flat", 3)
+	opts.PoolPages = 8
+	sh := engine.NewSharded(opts)
+	if err := sh.Build(items); err != nil {
+		t.Fatal(err)
+	}
+
+	p := engine.NewPlanner(sh)
+	if d := p.Plan(queries); len(d.Probed) != 1 {
+		t.Fatalf("first plan probed %v", d.Probed)
+	}
+	for i, pool := range sh.ShardPools() {
+		if st := pool.Stats(); st != (pager.Stats{}) {
+			t.Fatalf("probe perturbed shard %d's pool: %+v", i, st)
+		}
+		if pool.Len() != 0 {
+			t.Fatalf("probe populated shard %d's pool with %d pages", i, pool.Len())
+		}
+	}
+
+	// Real execution still runs through the per-shard pools.
+	sh.BatchQuery(queries, 1, nil)
+	touched := 0
+	for _, pool := range sh.ShardPools() {
+		if st := pool.Stats(); st.DemandReads+st.Hits > 0 {
+			touched++
+		}
+	}
+	if touched == 0 {
+		t.Fatal("per-shard pools saw no traffic on real execution")
+	}
+}

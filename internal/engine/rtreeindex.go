@@ -177,6 +177,9 @@ func (r *RTree) PagesInRange(q geom.AABB) []pager.PageID {
 // SetSource implements Paged.
 func (r *RTree) SetSource(src pager.PageSource) { r.src = src }
 
+// Source implements Paged.
+func (r *RTree) Source() pager.PageSource { return r.src }
+
 // PagedQuery implements Paged (and prefetch.Served).
 func (r *RTree) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int32)) {
 	if r.paged == nil {

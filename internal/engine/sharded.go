@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/rtree"
+	"neurospatial/internal/shard"
+)
+
+// ShardedOptions configures the sharded scatter-gather index.
+type ShardedOptions struct {
+	// Shards is the spatial shard count K; <= 0 selects 4. The effective
+	// count is min(K, item count) — every built shard is non-empty.
+	Shards int
+	// Index names the contender built per shard: "flat" (default), "rtree"
+	// or "grid".
+	Index string
+	// Flat configures the per-shard FLAT indexes (Index == "flat").
+	Flat flat.Options
+	// RTreeFanout configures the per-shard R-trees (Index == "rtree");
+	// <= 0 selects the default fanout.
+	RTreeFanout int
+	// Grid configures the per-shard grid indexes (Index == "grid").
+	Grid GridOptions
+	// PoolPages, when > 0, gives every shard its own pager.BufferPool of
+	// that capacity over its local store — the per-shard caching regime of a
+	// partitioned serving tier. Zero reads cold. An externally attached
+	// PageSource (SetSource / PagedQuery) bypasses the per-shard pools, since
+	// it owns the global page space.
+	PoolPages int
+}
+
+func (o ShardedOptions) sanitize() ShardedOptions {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Index == "" {
+		o.Index = "flat"
+	}
+	return o
+}
+
+// shardState is one spatial shard: a sub-index over the shard's items
+// re-labelled with dense local IDs, plus the maps back to global space.
+type shardState struct {
+	sub    Paged
+	bounds geom.AABB
+	// global[l] is the global ID of the shard's local item l (ascending —
+	// local IDs are assigned in ascending global-ID order).
+	global []int32
+	// pageBase is the shard's first page in the global page space.
+	pageBase pager.PageID
+	// pool is the shard's own buffer pool (nil when PoolPages == 0).
+	pool *pager.BufferPool
+}
+
+// Sharded is the scatter-gather engine index: the item set is split into K
+// spatial shards (shard.Partition, STR-style longest-axis recursion over
+// item centers), each shard builds its own contender index with its own
+// pager.Store (and optional per-shard BufferPool), and queries fan out only
+// to the shards whose bounds intersect the range.
+//
+// Gather order: per query, the shards are drained in shard order and the
+// merged hits are emitted in ascending global ID — Sharded's fixed native
+// order, identical for any shard count, worker count, or per-shard index
+// kind, and equal (as a set) to any unsharded contender's result. Batches
+// run on the shared deterministic executor, so BatchQuery emits exactly the
+// serial Query loop's output for any worker count.
+//
+// Stats mapping: per-shard QueryStats are summed into the unified record
+// (NodesPerLevel element-wise), plus ShardsTouched — the number of shards
+// the query fanned out to, the routing-quality counter of experiment E8.
+//
+// Storage: each shard lays its items on its own local pages; the Paged
+// surface exposes one global page space via a dense remap (shard 0's pages
+// first, then shard 1's, ...), with page contents translated to global IDs.
+// Prefetchers and buffer pools therefore address sharded storage exactly
+// like unsharded storage, which is what lets prefetch.Served walkthroughs
+// (SCOUT included) run over a sharded store unchanged.
+type Sharded struct {
+	opts   ShardedOptions
+	shards []shardState
+	bounds geom.AABB
+	n      int
+	// shardOf[g] / local[g] locate global item g in its shard.
+	shardOf []int32
+	local   []int32
+	// store is the global page space (per-shard pages concatenated, contents
+	// translated to global IDs).
+	store *pager.Store
+	// src is the externally attached global-space PageSource (SetSource).
+	src pager.PageSource
+	// probeCold routes reads around the per-shard pools (planner
+	// calibration must not warm or count against internal caches).
+	probeCold bool
+	// pqMu serializes PagedQuery's temporary source swap.
+	pqMu sync.Mutex
+}
+
+// NewSharded returns an unbuilt sharded index.
+func NewSharded(opts ShardedOptions) *Sharded { return &Sharded{opts: opts.sanitize()} }
+
+// Name implements SpatialIndex.
+func (s *Sharded) Name() string { return "sharded" }
+
+// NumShards returns the number of built shards (0 before Build).
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardBounds returns the MBR of shard i's items.
+func (s *Sharded) ShardBounds(i int) geom.AABB { return s.shards[i].bounds }
+
+// ShardPools returns the per-shard buffer pools, nil entries when
+// ShardedOptions.PoolPages was 0. The slice is indexed by shard.
+func (s *Sharded) ShardPools() []*pager.BufferPool {
+	pools := make([]*pager.BufferPool, len(s.shards))
+	for i := range s.shards {
+		pools[i] = s.shards[i].pool
+	}
+	return pools
+}
+
+// newSubIndex constructs one shard's contender.
+func (o ShardedOptions) newSubIndex() (Paged, error) {
+	switch o.Index {
+	case "flat":
+		return NewFlat(o.Flat), nil
+	case "rtree":
+		return NewRTree(o.RTreeFanout), nil
+	case "grid":
+		return NewGrid(o.Grid), nil
+	}
+	return nil, fmt.Errorf("engine: unknown sharded sub-index %q (have flat, rtree, grid)", o.Index)
+}
+
+// Build implements SpatialIndex. Rebuilding drops an attached PageSource,
+// like every other engine index: a pool wrapping the previous global store
+// would serve stale pages.
+func (s *Sharded) Build(items []rtree.Item) error {
+	s.shards, s.store, s.src = nil, nil, nil
+	s.shardOf, s.local = nil, nil
+	s.bounds = geom.EmptyAABB()
+	s.n = len(items)
+	for _, it := range items {
+		if it.ID < 0 || int(it.ID) >= len(items) {
+			return fmt.Errorf("engine: sharded item ID %d not dense in [0,%d)", it.ID, len(items))
+		}
+	}
+	if len(items) == 0 {
+		return nil
+	}
+
+	parts := shard.Partition(items, s.opts.Shards)
+	s.shards = make([]shardState, len(parts))
+	s.shardOf = make([]int32, len(items))
+	s.local = make([]int32, len(items))
+	for i, part := range parts {
+		sub, err := s.opts.newSubIndex()
+		if err != nil {
+			return err
+		}
+		localItems := make([]rtree.Item, len(part.Items))
+		globals := make([]int32, len(part.Items))
+		for l, it := range part.Items {
+			localItems[l] = rtree.Item{Box: it.Box, ID: int32(l)}
+			globals[l] = it.ID
+			s.shardOf[it.ID] = int32(i)
+			s.local[it.ID] = int32(l)
+		}
+		if err := sub.Build(localItems); err != nil {
+			return fmt.Errorf("engine: building shard %d: %w", i, err)
+		}
+		s.shards[i] = shardState{sub: sub, bounds: part.Bounds, global: globals}
+		s.bounds = s.bounds.Union(part.Bounds)
+		if s.opts.PoolPages > 0 {
+			pool, err := pager.NewBufferPool(sub.Store(), s.opts.PoolPages)
+			if err != nil {
+				return fmt.Errorf("engine: shard %d pool: %w", i, err)
+			}
+			s.shards[i].pool = pool
+		}
+		// All page reads of the shard dispatch through the owner: attached
+		// global source first, then the per-shard pool, then cold.
+		sub.SetSource(&shardSource{owner: s, shard: i})
+	}
+
+	// The global page space: per-shard pages concatenated densely, contents
+	// translated from local to global IDs (sub-page boundaries preserved
+	// exactly, so global page base+p mirrors shard page p).
+	capacity := 1
+	for i := range s.shards {
+		if c := s.shards[i].sub.Store().Capacity(); c > capacity {
+			capacity = c
+		}
+	}
+	builder, err := pager.NewBuilder(capacity)
+	if err != nil {
+		return err
+	}
+	var base pager.PageID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.pageBase = base
+		local := sh.sub.Store()
+		for p := 0; p < local.NumPages(); p++ {
+			for _, id := range local.Page(pager.PageID(p)) {
+				if id >= 0 {
+					builder.Add(sh.global[id])
+				} else {
+					builder.Add(id) // internal-node placeholder (rtree pages)
+				}
+			}
+			builder.FlushPage()
+		}
+		base += pager.PageID(local.NumPages())
+	}
+	s.store = builder.Build()
+	if s.store.NumPages() != int(base) {
+		return fmt.Errorf("engine: sharded page bookkeeping diverged: %d global pages, %d shard pages",
+			s.store.NumPages(), base)
+	}
+	return nil
+}
+
+// shardSource is the PageSource installed on every sub-index: it accounts
+// the read in the global page space (against the attached source or the
+// shard's own pool) and returns the shard-local page content the sub-index's
+// refinement expects.
+type shardSource struct {
+	owner *Sharded
+	shard int
+}
+
+func (ss *shardSource) ReadPage(p pager.PageID) []int32 {
+	sh := &ss.owner.shards[ss.shard]
+	if src := ss.owner.src; src != nil {
+		src.ReadPage(sh.pageBase + p)
+		return sh.sub.Store().Page(p)
+	}
+	if sh.pool != nil && !ss.owner.probeCold {
+		return sh.pool.Get(p)
+	}
+	return sh.sub.Store().Page(p)
+}
+
+// setProbeCold implements the planner's internal cold-probe hook: while on,
+// reads bypass the per-shard pools (cold store), so a calibration probe
+// neither warms nor counts against them. Like SetSource, it is configuration
+// of the read path, not concurrent-execution state.
+func (s *Sharded) setProbeCold(on bool) { s.probeCold = on }
+
+// Bounds implements SpatialIndex.
+func (s *Sharded) Bounds() geom.AABB { return s.bounds }
+
+// NumItems implements SpatialIndex.
+func (s *Sharded) NumItems() int { return s.n }
+
+// query is the scatter-gather: fan out to intersecting shards in shard
+// order, sum their stats, merge hits into ascending global ID.
+func (s *Sharded) query(q geom.AABB, emit func(int32)) QueryStats {
+	var subs []QueryStats
+	var hits []int32
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if !sh.bounds.Intersects(q) {
+			continue
+		}
+		subs = append(subs, sh.sub.Query(q, func(lid int32) { hits = append(hits, sh.global[lid]) }))
+	}
+	st := Aggregate(subs)
+	st.ShardsTouched = int64(len(subs))
+	sort.Slice(hits, func(a, b int) bool { return hits[a] < hits[b] })
+	for _, id := range hits {
+		emit(id)
+	}
+	return st
+}
+
+// Query implements SpatialIndex; hits are emitted in ascending global ID.
+func (s *Sharded) Query(q geom.AABB, visit func(int32)) QueryStats {
+	if visit == nil {
+		visit = func(int32) {}
+	}
+	return s.query(q, visit)
+}
+
+// BatchQuery implements SpatialIndex via the shared deterministic executor:
+// queries are the slots, each slot scatters over its shards and gathers.
+func (s *Sharded) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
+	return batchQuery(workers, qs, s.query, visit)
+}
+
+// Store implements Paged: the dense global page space over all shards (nil
+// before Build or when empty).
+func (s *Sharded) Store() *pager.Store { return s.store }
+
+// NumPages implements Paged.
+func (s *Sharded) NumPages() int {
+	if s.store == nil {
+		return 0
+	}
+	return s.store.NumPages()
+}
+
+// PageOf implements Paged: the global page holding item id.
+func (s *Sharded) PageOf(id int32) pager.PageID {
+	if id < 0 || int(id) >= s.n {
+		return pager.InvalidPage
+	}
+	sh := &s.shards[s.shardOf[id]]
+	p := sh.sub.PageOf(s.local[id])
+	if p == pager.InvalidPage {
+		return pager.InvalidPage
+	}
+	return sh.pageBase + p
+}
+
+// PagesInRange implements Paged: the global pages a query of box q would
+// touch, shard by shard in shard order. Shard page spaces are disjoint, so
+// no cross-shard deduplication is needed.
+func (s *Sharded) PagesInRange(q geom.AABB) []pager.PageID {
+	var out []pager.PageID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if !sh.bounds.Intersects(q) {
+			continue
+		}
+		for _, p := range sh.sub.PagesInRange(q) {
+			out = append(out, sh.pageBase+p)
+		}
+	}
+	return out
+}
+
+// SetSource implements Paged: src addresses the global page space and
+// overrides the per-shard pools while attached.
+func (s *Sharded) SetSource(src pager.PageSource) { s.src = src }
+
+// Source implements Paged.
+func (s *Sharded) Source() pager.PageSource { return s.src }
+
+// PagedQuery implements Paged (and prefetch.Served): one query reading
+// through a pool over the global store. Like SetSource, it is configuration
+// of the read path — do not run it concurrently with other queries on the
+// same Sharded.
+func (s *Sharded) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int32)) {
+	if s.n == 0 {
+		return
+	}
+	s.pqMu.Lock()
+	defer s.pqMu.Unlock()
+	old := s.src
+	s.src = pool
+	defer func() { s.src = old }()
+	s.query(q, visit)
+}

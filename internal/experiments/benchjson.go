@@ -34,11 +34,12 @@ type BenchConfigs struct {
 	E1 E1Config
 	E4 E4Config
 	E7 E7Config
+	E8 E8Config
 }
 
 // DefaultBenchConfigs returns the EXPERIMENTS.md-scale configurations.
 func DefaultBenchConfigs() BenchConfigs {
-	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7()}
+	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7(), E8: DefaultE8()}
 }
 
 // QuickBenchConfigs returns reduced configurations sized for a CI smoke
@@ -53,13 +54,17 @@ func QuickBenchConfigs() BenchConfigs {
 	c.E7.Neurons = 64
 	c.E7.Queries = 32
 	c.E7.WorkerCounts = []int{1, 2, 4}
+	c.E8.Neurons = 64
+	c.E8.Queries = 32
+	c.E8.ShardCounts = []int{1, 4}
+	c.E8.WorkerCounts = []int{1, 2}
 	return c
 }
 
-// RunBenchJSON executes E1, E4 and E7 with the given configurations and
+// RunBenchJSON executes E1, E4, E7 and E8 with the given configurations and
 // writes the headline numbers as indented JSON to w.
 func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
-	report := BenchReport{Schema: 1, Engine: []string{"flat", "rtree", "grid"}}
+	report := BenchReport{Schema: 2, Engine: []string{"flat", "rtree", "grid", "sharded"}}
 
 	e1, err := RunE1(cfgs.E1)
 	if err != nil {
@@ -119,6 +124,33 @@ func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
 			"rtree_serial_ms":  float64(e7[0].RTreeTime) / float64(time.Millisecond),
 			"total_pages_read": float64(e7last.PagesRead),
 			"total_results":    float64(e7last.Results),
+		},
+	})
+
+	e8, err := RunE8(cfgs.E8)
+	if err != nil {
+		return err
+	}
+	if len(e8.Rows) == 0 {
+		return fmt.Errorf("experiments: bench JSON: E8 produced no rows (empty ShardCounts/WorkerCounts?)")
+	}
+	e8last := e8.Rows[len(e8.Rows)-1] // widest shard × worker point
+	routedSharded := 0.0
+	if e8.Routing.Index != nil && e8.Routing.Index.Name() == "sharded" {
+		routedSharded = 1
+	}
+	report.Headlines = append(report.Headlines, BenchHeadline{
+		Experiment: "E8",
+		Metrics: map[string]float64{
+			"shards":               float64(e8last.Shards),
+			"workers":              float64(e8last.Workers),
+			"speedup":              e8last.Speedup,
+			"time_ms":              float64(e8last.Time) / float64(time.Millisecond),
+			"batch_queries":        float64(cfgs.E8.Queries),
+			"total_pages_read":     float64(e8last.PagesRead),
+			"total_results":        float64(e8last.Results),
+			"shard_fanout_per_q":   float64(e8last.ShardsTouched) / float64(e8last.Queries),
+			"planner_routed_shard": routedSharded,
 		},
 	})
 

@@ -202,3 +202,90 @@ func TestRunE6ScalesSubquadratically(t *testing.T) {
 		t.Error("E6 table malformed")
 	}
 }
+
+// TestRunE8ShardDifferential runs the sharded sweep at test scale: every
+// (shard, worker) row must report identical results and page accounting to
+// its serial sibling, the fan-out must stay within [1, K], and the routing
+// decision must cost all four contenders.
+func TestRunE8ShardDifferential(t *testing.T) {
+	cfg := E8Config{
+		Neurons: 24, Edge: 250, Queries: 12, QueryRadius: 25,
+		ShardCounts:  []int{1, 2, 4, 7},
+		WorkerCounts: []int{1, 2, 4},
+		Seed:         19,
+	}
+	res, err := RunE8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.ShardCounts)*len(cfg.WorkerCounts) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.ShardCounts)*len(cfg.WorkerCounts))
+	}
+	for _, r := range res.Rows {
+		if r.Results != res.Rows[0].Results {
+			t.Errorf("shards=%d workers=%d: results %d differ from first row %d",
+				r.Shards, r.Workers, r.Results, res.Rows[0].Results)
+		}
+		perQ := float64(r.ShardsTouched) / float64(r.Queries)
+		if perQ < 1 || perQ > float64(r.Shards) {
+			t.Errorf("shards=%d: fan-out/query %.2f outside [1,%d]", r.Shards, perQ, r.Shards)
+		}
+	}
+	if len(res.Routing.CostPerQuery) != 4 {
+		t.Errorf("routing costed %d contenders, want 4 (%v)", len(res.Routing.CostPerQuery), res.Routing.CostPerQuery)
+	}
+	if res.Routing.Index == nil {
+		t.Fatal("no routing decision")
+	}
+	if !strings.Contains(E8Table(res.Rows).String(), "shard fan-out") {
+		t.Error("E8 table malformed")
+	}
+	if !strings.Contains(E8RoutingTable(res).String(), "sharded") {
+		t.Error("E8 routing table malformed")
+	}
+}
+
+// TestRunE4OverShardedIndex pins the E4 walkthrough harness over the sharded
+// store: per method, the element totals must equal the flat-served run — the
+// prefetchers see the same pages through the global shard remap.
+func TestRunE4OverShardedIndex(t *testing.T) {
+	base := E4Config{
+		Neurons: 12, Edge: 250, AxonExtent: 600, Stride: 8, Radius: 15,
+		ThinkTime: 100 * time.Millisecond, Walkthroughs: 2, Seed: 23,
+	}
+	flatRows, err := RunE4(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Index = "sharded"
+	sharded.Shards = 3
+	shardRows, err := RunE4(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flatRows) != len(shardRows) {
+		t.Fatalf("method counts differ: %d vs %d", len(flatRows), len(shardRows))
+	}
+	for i := range flatRows {
+		if flatRows[i].Method != shardRows[i].Method {
+			t.Fatalf("method order diverged: %s vs %s", flatRows[i].Method, shardRows[i].Method)
+		}
+		if flatRows[i].Queries != shardRows[i].Queries {
+			t.Errorf("%s: %d queries over sharded, %d over flat",
+				flatRows[i].Method, shardRows[i].Queries, flatRows[i].Queries)
+		}
+		// The serving-correctness invariant: every method over every index
+		// returns the same elements for the same walkthroughs.
+		if flatRows[i].Elements == 0 {
+			t.Fatalf("%s: flat-served walkthrough returned no elements", flatRows[i].Method)
+		}
+		if flatRows[i].Elements != shardRows[i].Elements {
+			t.Errorf("%s: %d elements over sharded, %d over flat",
+				flatRows[i].Method, shardRows[i].Elements, flatRows[i].Elements)
+		}
+	}
+	if shardRows[0].DemandReads == 0 {
+		t.Error("sharded-served walkthrough issued no demand reads")
+	}
+}

@@ -220,6 +220,13 @@ type E4Config struct {
 	// Workers is the circuit-construction worker count (repository-wide
 	// semantics; the Default* configs select -1).
 	Workers int
+	// Index names the engine contender serving the walkthroughs ("flat",
+	// "rtree", "grid", "sharded"); empty selects "flat". Every method runs
+	// over the same index, so speedups stay comparable.
+	Index string
+	// Shards is the shard count of the sharded contender when Index is
+	// "sharded" (<= 0 selects the core default).
+	Shards int
 }
 
 // DefaultE4 returns the configuration used in EXPERIMENTS.md.
@@ -243,6 +250,10 @@ type E4Row struct {
 	Queries int
 	// DemandReads, PrefetchReads, PrefetchHits aggregate I/O.
 	DemandReads, PrefetchReads, PrefetchHits int64
+	// Elements is the total result count across all walkthroughs — a
+	// serving-correctness invariant: it must not depend on the index or
+	// the prefetching method.
+	Elements int64
 	// Latency is the total simulated stall.
 	Latency time.Duration
 	// Speedup is baseline (none) latency over this method's.
@@ -261,7 +272,9 @@ func RunE4(cfg E4Config) ([]E4Row, error) {
 	if cfg.AxonExtent > 0 {
 		p.Morphology.AxonExtent = cfg.AxonExtent
 	}
-	m, err := core.BuildModel(p, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Shards = cfg.Shards
+	m, err := core.BuildModel(p, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E4: %w", err)
 	}
@@ -272,6 +285,7 @@ func RunE4(cfg E4Config) ([]E4Row, error) {
 		for _, wp := range paths {
 			run, err := m.Explore(wp.neuron, wp.branch, p, core.ExploreConfig{
 				Stride: cfg.Stride, Radius: cfg.Radius, ThinkTime: cfg.ThinkTime,
+				Index: cfg.Index,
 			})
 			if err != nil {
 				return nil, err
@@ -280,6 +294,7 @@ func RunE4(cfg E4Config) ([]E4Row, error) {
 			row.DemandReads += run.DemandReads
 			row.PrefetchReads += run.PrefetchReads
 			row.PrefetchHits += run.PrefetchHits
+			row.Elements += run.Elements
 			row.Latency += run.Latency
 		}
 		if row.PrefetchReads > 0 {

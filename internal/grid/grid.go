@@ -69,7 +69,10 @@ func NewAuto(bounds geom.AABB, boxes []geom.AABB, perCell float64) (*Grid, error
 	}
 	n := float64(len(boxes))
 	cells := math.Max(1, n/perCell)
-	k := int(math.Max(1, math.Cbrt(cells)))
+	// Round the per-axis resolution: truncating Cbrt systematically
+	// undershoots the cell target (999 target cells would build 9³ = 729,
+	// 27% coarser than asked).
+	k := int(math.Max(1, math.Round(math.Cbrt(cells))))
 	return New(bounds, k, k, k, boxes)
 }
 

@@ -176,6 +176,36 @@ func TestNewAutoResolution(t *testing.T) {
 	}
 }
 
+// TestNewAutoRoundsResolution: the per-axis resolution must round the cube
+// root of the cell target, not truncate it — flooring built a grid up to 27%
+// coarser than asked (999 target cells -> 9³ = 729).
+func TestNewAutoRoundsResolution(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 40))
+	cases := []struct {
+		boxes   int
+		perCell float64
+		wantDim int
+	}{
+		{7992, 8, 10}, // 999 target cells: cbrt 9.9966 rounds up to 10
+		{5832, 8, 9},  // 729 exactly: cbrt 9
+		{6000, 8, 9},  // 750: cbrt 9.086 rounds down to 9
+		{1, 8, 1},     // tiny inputs clamp at 1
+		{30, 8, 2},    // 3.75 cells: cbrt 1.55 rounds to 2
+	}
+	rng := rand.New(rand.NewSource(71))
+	for _, tc := range cases {
+		g, err := NewAuto(bounds, randBoxes(rng, tc.boxes, 40, 0.2), tc.perCell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nx, ny, nz := g.Dims()
+		if nx != tc.wantDim || ny != tc.wantDim || nz != tc.wantDim {
+			t.Errorf("NewAuto(%d boxes, perCell %.0f) dims = %d×%d×%d, want %d per axis",
+				tc.boxes, tc.perCell, nx, ny, nz, tc.wantDim)
+		}
+	}
+}
+
 func TestReportCellUniqueness(t *testing.T) {
 	bounds := geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10))
 	g, err := New(bounds, 5, 5, 5, nil)

@@ -166,7 +166,12 @@ func (Extrapolation) Predict(ctx *Context, q geom.AABB, _ []int32, budget int) [
 	cur := h[len(h)-1].Center()
 	prev := h[len(h)-2].Center()
 	step := cur.Sub(prev)
-	predicted := geom.BoxAround(cur.Add(step), q.Size().X/2)
+	// The predicted range keeps the query's own per-axis half-extents: a
+	// cube sized from one axis alone would mis-cover anisotropic query
+	// boxes on the other two.
+	next := cur.Add(step)
+	half := q.Size().Scale(0.5)
+	predicted := geom.AABB{Min: next.Sub(half), Max: next.Add(half)}
 	pages := ctx.Index.PagesInRange(predicted)
 	if len(pages) > budget {
 		pages = pages[:budget]

@@ -148,6 +148,49 @@ func TestExtrapolationPrefetcher(t *testing.T) {
 	}
 }
 
+// TestExtrapolationAnisotropicQueryBox: the predicted range must keep the
+// query box's per-axis half-extents. The pre-fix code built a cube from the
+// X half-extent alone, so a query box long on another axis (here Y ≫ X, a
+// "flat" box) had its predicted range collapsed to the X size on every axis
+// and the pages along Y were never prefetched.
+func TestExtrapolationAnisotropicQueryBox(t *testing.T) {
+	// Items are points strung along the Y axis, so FLAT's STR layout pages
+	// them in Y runs and page MBRs segment the axis.
+	items := make([]rtree.Item, 200)
+	for i := range items {
+		p := geom.V(0, float64(i), 0)
+		items[i] = rtree.Item{Box: geom.Box(p, p), ID: int32(i)}
+	}
+	idx, err := flat.Build(items, flat.Options{PageSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The user sweeps a Y-elongated box (half-extents 1×25×1) up the axis
+	// in +Y steps of 10: centers y=30 then y=40, predicted next y=50.
+	box := func(y float64) geom.AABB {
+		c := geom.V(0, y, 0)
+		return geom.AABB{Min: c.Sub(geom.V(1, 25, 1)), Max: c.Add(geom.V(1, 25, 1))}
+	}
+	q := box(40)
+	ctx := &Context{Index: idx, History: []geom.AABB{box(30), q}}
+
+	pages := Extrapolation{}.Predict(ctx, q, nil, 1000)
+	if len(pages) == 0 {
+		t.Fatal("no prediction from two history points")
+	}
+	got := make(map[pager.PageID]bool)
+	for _, p := range pages {
+		got[p] = true
+	}
+	// The predicted box is y ∈ [25, 75]; the page holding the item at y=70
+	// is squarely inside it but far outside the pre-fix cube y ∈ [49, 51].
+	if farPage := idx.PageOf(70); !got[farPage] {
+		t.Fatalf("prediction missed page %d (item y=70) — predicted range "+
+			"under-covers the query's long axis; got pages %v", farPage, pages)
+	}
+}
+
 func TestExtrapolationOnStraightPathIsAccurate(t *testing.T) {
 	// On a perfectly straight trajectory, dead reckoning is the right
 	// model: verify the baseline is not artificially crippled.

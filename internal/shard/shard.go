@@ -1,0 +1,110 @@
+// Package shard partitions an item set into K spatial shards — the data
+// layout under engine.Sharded, the scatter-gather layer that is the
+// repository's step toward partitioned (multi-node) index serving.
+//
+// The split is STR-style longest-axis recursion over item *centers*: the
+// set is recursively cut at a rank boundary along the longest axis of the
+// current subset's center bounds, with the two sides sized proportionally to
+// the shard counts they must still produce. The result is K near-equal-count,
+// spatially compact, pairwise-disjoint item subsets whose box MBRs overlap
+// only as much as the items themselves do — exactly the property a
+// scatter-gather router wants, because a query then touches few shards.
+//
+// Partitioning is fully deterministic: ties on the split axis are broken by
+// item ID, so the same items and K always produce the same shards.
+package shard
+
+import (
+	"sort"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/rtree"
+)
+
+// Part is one spatial shard of a partitioned item set.
+type Part struct {
+	// Items holds the shard's items with their original (global) IDs, in
+	// ascending ID order.
+	Items []rtree.Item
+	// Bounds is the MBR of the shard's item boxes (not centers): a query
+	// intersecting any item of the shard intersects Bounds, so routers can
+	// prune whole shards against it.
+	Bounds geom.AABB
+}
+
+// Partition splits items into at most k spatial parts (fewer only when there
+// are fewer items than shards — every returned part is non-empty). Item
+// counts per part differ by at most one. The input slice is not modified.
+func Partition(items []rtree.Item, k int) []Part {
+	if len(items) == 0 {
+		return nil
+	}
+	if k > len(items) {
+		k = len(items)
+	}
+	if k < 1 {
+		k = 1
+	}
+	work := make([]rtree.Item, len(items))
+	copy(work, items)
+	parts := make([]Part, 0, k)
+	split(work, k, &parts)
+	for i := range parts {
+		sort.Slice(parts[i].Items, func(a, b int) bool {
+			return parts[i].Items[a].ID < parts[i].Items[b].ID
+		})
+		b := geom.EmptyAABB()
+		for _, it := range parts[i].Items {
+			b = b.Union(it.Box)
+		}
+		parts[i].Bounds = b
+	}
+	return parts
+}
+
+// split recursively cuts work into k parts, appending them to out.
+func split(work []rtree.Item, k int, out *[]Part) {
+	if k <= 1 || len(work) <= 1 {
+		*out = append(*out, Part{Items: work})
+		return
+	}
+	axis := longestCenterAxis(work)
+	sort.Slice(work, func(a, b int) bool {
+		ca, cb := work[a].Box.Center().Axis(axis), work[b].Box.Center().Axis(axis)
+		if ca != cb {
+			return ca < cb
+		}
+		return work[a].ID < work[b].ID
+	})
+	kl := k / 2
+	// Proportional cut: the left side carries kl of the k shards, so it gets
+	// the matching share of the items (rounded), clamped so both sides stay
+	// large enough to fill their shard counts.
+	cut := (len(work)*kl + k/2) / k
+	if cut < kl {
+		cut = kl
+	}
+	if max := len(work) - (k - kl); cut > max {
+		cut = max
+	}
+	split(work[:cut], kl, out)
+	split(work[cut:], k-kl, out)
+}
+
+// longestCenterAxis returns the axis (0=X, 1=Y, 2=Z) with the widest spread
+// of item centers.
+func longestCenterAxis(items []rtree.Item) int {
+	b := geom.EmptyAABB()
+	for _, it := range items {
+		b = b.ExtendPoint(it.Box.Center())
+	}
+	s := b.Size()
+	axis := 0
+	if s.Y > s.Axis(axis) {
+		axis = 1
+	}
+	if s.Z > s.Axis(axis) {
+		axis = 2
+	}
+	return axis
+}

@@ -1,0 +1,109 @@
+package shard_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/rtree"
+	"neurospatial/internal/shard"
+)
+
+// gridItems builds a deterministic n-item set scattered over a volume with a
+// cheap hash, boxes of half-extent 1.
+func gridItems(n int) []rtree.Item {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		h := uint64(i)*2654435761 + 12345
+		c := geom.V(
+			float64(h%1000)/5,
+			float64((h/1000)%1000)/5,
+			float64((h/1000000)%1000)/5,
+		)
+		items[i] = rtree.Item{Box: geom.BoxAround(c, 1), ID: int32(i)}
+	}
+	return items
+}
+
+func TestPartitionCoversAllItemsOnce(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		items := gridItems(503)
+		parts := shard.Partition(items, k)
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d parts", k, len(parts))
+		}
+		var ids []int32
+		for _, p := range parts {
+			if len(p.Items) == 0 {
+				t.Fatalf("k=%d: empty part", k)
+			}
+			for _, it := range p.Items {
+				ids = append(ids, it.ID)
+				if !p.Bounds.ContainsBox(it.Box) {
+					t.Fatalf("k=%d: item %d outside its shard bounds", k, it.ID)
+				}
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		if len(ids) != len(items) {
+			t.Fatalf("k=%d: %d items across parts, want %d", k, len(ids), len(items))
+		}
+		for i, id := range ids {
+			if id != int32(i) {
+				t.Fatalf("k=%d: item %d missing or duplicated (saw %d at rank %d)", k, i, id, i)
+			}
+		}
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{100, 4}, {101, 4}, {503, 7}, {64, 64}} {
+		parts := shard.Partition(gridItems(tc.n), tc.k)
+		lo, hi := tc.n, 0
+		for _, p := range parts {
+			if len(p.Items) < lo {
+				lo = len(p.Items)
+			}
+			if len(p.Items) > hi {
+				hi = len(p.Items)
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("n=%d k=%d: part sizes range [%d,%d], want spread <= 1", tc.n, tc.k, lo, hi)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	a := shard.Partition(gridItems(257), 5)
+	b := shard.Partition(gridItems(257), 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two partitions of the same input differ")
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	if parts := shard.Partition(nil, 4); parts != nil {
+		t.Errorf("empty input: got %d parts, want none", len(parts))
+	}
+	// More shards than items: one part per item.
+	items := gridItems(3)
+	parts := shard.Partition(items, 8)
+	if len(parts) != 3 {
+		t.Fatalf("k>n: got %d parts, want 3", len(parts))
+	}
+	// k < 1 clamps to a single part.
+	parts = shard.Partition(items, 0)
+	if len(parts) != 1 || len(parts[0].Items) != 3 {
+		t.Fatalf("k=0: got %d parts", len(parts))
+	}
+	// Input slice must not be reordered.
+	orig := gridItems(50)
+	cp := make([]rtree.Item, len(orig))
+	copy(cp, orig)
+	shard.Partition(orig, 4)
+	if !reflect.DeepEqual(orig, cp) {
+		t.Error("Partition reordered its input slice")
+	}
+}

@@ -86,23 +86,21 @@ func (t *Table) String() string {
 }
 
 // Count formats an integer with thousands separators (1234567 -> "1,234,567").
+// The sign is split off the formatted digits rather than by negating n, so
+// math.MinInt64 (whose negation overflows) formats correctly.
 func Count(n int64) string {
-	neg := n < 0
-	if neg {
-		n = -n
-	}
 	s := fmt.Sprintf("%d", n)
+	sign := ""
+	if s[0] == '-' {
+		sign, s = "-", s[1:]
+	}
 	var parts []string
 	for len(s) > 3 {
 		parts = append([]string{s[len(s)-3:]}, parts...)
 		s = s[:len(s)-3]
 	}
 	parts = append([]string{s}, parts...)
-	out := strings.Join(parts, ",")
-	if neg {
-		out = "-" + out
-	}
-	return out
+	return sign + strings.Join(parts, ",")
 }
 
 // Bytes formats a byte count with a binary unit (4096 -> "4.0 KiB").

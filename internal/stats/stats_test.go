@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -54,6 +55,14 @@ func TestCount(t *testing.T) {
 		1234567:    "1,234,567",
 		-9876543:   "-9,876,543",
 		1000000000: "1,000,000,000",
+		// The int64 extremes: -MinInt64 overflows, so the sign must be
+		// handled without negating.
+		math.MaxInt64:     "9,223,372,036,854,775,807",
+		math.MinInt64:     "-9,223,372,036,854,775,808",
+		math.MinInt64 + 1: "-9,223,372,036,854,775,807",
+		-1:                "-1",
+		-999:              "-999",
+		-1000:             "-1,000",
 	}
 	for in, want := range cases {
 		if got := Count(in); got != want {
