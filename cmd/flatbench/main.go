@@ -11,11 +11,17 @@
 //	go run ./cmd/flatbench -batch     # E7: batched concurrent-query worker sweep
 //	go run ./cmd/flatbench -shards -1 # E8: sharded scatter-gather sweep + routing
 //	go run ./cmd/flatbench -shards 4  # E8 pinned to one shard count
+//	go run ./cmd/flatbench -mixed     # E9: mixed range/kNN/point/within workload
+//	                                  # through the Session front door + routing
 //	go run ./cmd/flatbench -all       # everything
 //
+//	go run ./cmd/flatbench -kind knn -k 8       # one-off Session demo: a handful
+//	go run ./cmd/flatbench -kind within -radius 20  # of requests of that kind,
+//	                                  # planner-routed, with per-request stats
+//
 //	go run ./cmd/flatbench -json BENCH_engine.json [-quick]
-//	                                  # machine-readable E1/E4/E7/E8 headline
-//	                                  # numbers (the CI artifact)
+//	                                  # machine-readable E1/E4/E7/E8/E9 headline
+//	                                  # numbers (the CI artifact, schema 3)
 //
 // The -workers flag follows the repository-wide convention (see README):
 // 0 or 1 run serially, values > 1 use that many workers, negative values
@@ -39,10 +45,14 @@ func main() {
 	scale := flag.Bool("scale", false, "run E6 (scaling)")
 	batch := flag.Bool("batch", false, "run E7 (batched concurrent queries)")
 	shards := flag.Int("shards", 0, "run E8 (sharded scatter-gather): > 0 pins the shard count, -1 runs the default sweep")
+	mixed := flag.Bool("mixed", false, "run E9 (mixed range/kNN/point/within workload through the Session front door)")
 	all := flag.Bool("all", false, "run every FLAT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
-	jsonOut := flag.String("json", "", "write E1/E4/E7 headline numbers as JSON to this path and exit")
+	jsonOut := flag.String("json", "", "write E1/E4/E7/E8/E9 headline numbers as JSON to this path and exit")
 	quick := flag.Bool("quick", false, "with -json: use the reduced CI-scale configurations")
+	kind := flag.String("kind", "", "run a one-off Session demo of this query kind (range, knn, point, within) and exit")
+	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
+	radius := flag.Float64("radius", 20, "with -kind range/within: the query radius")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -51,8 +61,18 @@ func main() {
 		}
 		return
 	}
+	if *kind != "" {
+		tb, err := experiments.RunSessionDemo(*kind, *k, *radius, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
-	runDensity := *all || (!*crawl && !*scale && !*batch && *shards == 0)
+	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && *shards == 0)
 	if runDensity {
 		cfg := experiments.DefaultE1()
 		cfg.Workers = *workers
@@ -118,6 +138,26 @@ func main() {
 		if err := experiments.E8RoutingTable(res).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+		fmt.Println()
+	}
+	if *all || *mixed {
+		cfg := experiments.DefaultE9()
+		cfg.Workers = *workers
+		res, err := experiments.RunE9(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E9Table(res.Rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := experiments.E9KindTable(res).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := experiments.E9RoutingTable(res).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
@@ -129,6 +169,8 @@ func writeBenchJSON(path string, quick bool, workers int) error {
 	cfgs.E1.Workers = workers
 	cfgs.E4.Workers = workers
 	cfgs.E7.Workers = workers
+	cfgs.E8.Workers = workers
+	cfgs.E9.Workers = workers
 	f, err := os.Create(path)
 	if err != nil {
 		return err

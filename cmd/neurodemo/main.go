@@ -17,6 +17,12 @@
 // Usage:
 //
 //	go run ./cmd/neurodemo [-neurons N] [-station 1|2|3] [-workers W]
+//	                       [-kind range|knn|point|within] [-k K] [-radius R]
+//
+// Station 1 ends with the engine's Session front door: the query the -kind
+// flag selects (default knn) runs planner-routed through engine.Session and
+// its per-request statistics are printed — the "one front door, any query
+// kind" face of the unified engine.
 //
 // The -workers flag follows the repository-wide convention (see README):
 // 0 or 1 run serially, values > 1 use that many workers, negative values
@@ -25,14 +31,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"time"
 
 	"neurospatial/internal/circuit"
 	"neurospatial/internal/core"
+	"neurospatial/internal/engine"
 	"neurospatial/internal/geom"
 	"neurospatial/internal/pager"
 	"neurospatial/internal/stats"
@@ -47,6 +56,9 @@ func main() {
 	neurons := flag.Int("neurons", 48, "neurons in the model")
 	station := flag.Int("station", 0, "run a single station (1, 2 or 3); 0 runs all")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
+	kindName := flag.String("kind", "knn", "query kind of station 1's Session showcase (range, knn, point, within)")
+	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
+	radius := flag.Float64("radius", 20, "with -kind range/within: the query radius")
 	flag.Parse()
 
 	p := circuit.DefaultParams()
@@ -62,7 +74,7 @@ func main() {
 		*neurons, len(model.Circuit.Elements))
 
 	if *station == 0 || *station == 1 {
-		station1(model)
+		station1(model, *kindName, *k, *radius)
 	}
 	if *station == 0 || *station == 2 {
 		station2(model)
@@ -86,7 +98,7 @@ func drawModel(model *core.Model, ch byte) *viz.Canvas {
 	return c
 }
 
-func station1(model *core.Model) {
+func station1(model *core.Model, kindName string, k int, radius float64) {
 	fmt.Println("--- station 1: efficient spatial data querying (FLAT, §2) ---")
 	q := geom.BoxAround(model.Circuit.Params.Volume.Center(), 45)
 
@@ -123,6 +135,39 @@ func station1(model *core.Model) {
 	fmt.Printf("FLAT's crawl order (Figure 4): %d pages, labeled 0-9a-z in retrieval order;\n"+
 		"the crawl spreads outward from the seed page through neighborhood links\n\n",
 		len(crawl.CrawlOrder))
+
+	// The Session front door: the same model serves any query kind through
+	// one typed Request surface, planner-routed per kind.
+	kind, err := engine.ParseKind(kindName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	center := model.Circuit.Params.Volume.Center()
+	var req engine.Request
+	switch kind {
+	case engine.Range:
+		req = engine.RangeRequest(geom.BoxAround(center, radius))
+	case engine.KNN:
+		req = engine.KNNRequest(center, k)
+	case engine.Point:
+		req = engine.PointRequest(center)
+	case engine.WithinDistance:
+		req = engine.WithinDistanceRequest(center, radius)
+	}
+	res, err := model.Do(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb2 := stats.NewTable("session front door: one typed request, any kind, planner-routed",
+		"request", "routed to", "results", "pages", "index reads", "entries tested")
+	tb2.AddRow(res.Request.String(), res.Index, res.Stats.Results, res.Stats.PagesRead,
+		res.Stats.IndexReads, res.Stats.EntriesTested)
+	tb2.Render(os.Stdout)
+	if kind == engine.KNN && len(res.Hits) > 0 {
+		fmt.Printf("nearest element %d at distance %.2f µm of the volume center\n",
+			res.Hits[0].ID, math.Sqrt(res.Hits[0].Dist2))
+	}
+	fmt.Println()
 }
 
 func station2(model *core.Model) {

@@ -12,6 +12,10 @@
 //	                                   # 4-shard scatter-gather store
 //	go run ./cmd/scoutbench -all       # both
 //
+//	go run ./cmd/scoutbench -kind knn -k 8  # one-off Session demo: a handful of
+//	                                   # requests of that kind through the
+//	                                   # planner-routed engine front door
+//
 // The -workers flag follows the repository-wide convention (see README):
 // 0 or 1 run serially, values > 1 use that many workers, negative values
 // use one worker per CPU. It controls circuit construction; results are
@@ -35,7 +39,21 @@ func main() {
 	all := flag.Bool("all", false, "run every SCOUT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
 	shards := flag.Int("shards", 0, "serve E4 walkthroughs from the sharded engine index with this shard count (0: unsharded FLAT)")
+	kind := flag.String("kind", "", "run a one-off Session demo of this query kind (range, knn, point, within) and exit")
+	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
+	radius := flag.Float64("radius", 20, "with -kind range/within: the query radius")
 	flag.Parse()
+
+	if *kind != "" {
+		tb, err := experiments.RunSessionDemo(*kind, *k, *radius, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *all || (!*pruning && !*sweep) {
 		cfg := experiments.DefaultE4()

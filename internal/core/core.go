@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -67,7 +68,28 @@ type Model struct {
 	// harnesses and cmd drivers query through it; Flat and RTree above
 	// remain as direct handles for construction-level tooling.
 	Engine *engine.Planner
-	opts   Options
+	// session is the model's query front door: a planner-routed
+	// engine.Session serving every request kind.
+	session *engine.Session
+	opts    Options
+}
+
+// Session returns the model's query front door: a planner-routed
+// engine.Session over all four contenders. All request kinds (range, kNN,
+// point stabbing, within-distance) execute through it with context
+// cancellation; per-kind routing sharpens as the session observes executed
+// costs.
+func (m *Model) Session() *engine.Session { return m.session }
+
+// Do executes one typed request through the model's session.
+func (m *Model) Do(ctx context.Context, req engine.Request) (engine.Result, error) {
+	return m.session.Do(ctx, req)
+}
+
+// DoBatch executes a (possibly mixed-kind) request batch through the
+// model's session with the repository-wide workers semantics.
+func (m *Model) DoBatch(ctx context.Context, reqs []engine.Request, workers int) ([]engine.Result, error) {
+	return m.session.DoBatch(ctx, reqs, workers)
 }
 
 // EngineIndex returns the named engine contender ("flat", "rtree", "grid",
@@ -121,7 +143,11 @@ func NewModel(c *circuit.Circuit, opts Options) (*Model, error) {
 		return nil, fmt.Errorf("core: building sharded index: %w", err)
 	}
 	planner := engine.NewPlanner(engine.WrapFlat(f), ert, eg, es)
-	return &Model{Circuit: c, Flat: f, RTree: rt, Engine: planner, opts: opts}, nil
+	sess, err := engine.Open(engine.WithPlanner(planner))
+	if err != nil {
+		return nil, fmt.Errorf("core: opening session: %w", err)
+	}
+	return &Model{Circuit: c, Flat: f, RTree: rt, Engine: planner, session: sess, opts: opts}, nil
 }
 
 // Segment returns the capsule geometry of an element.

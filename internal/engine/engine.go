@@ -13,17 +13,27 @@
 //	storage   pager.Store / pager.BufferPool via pager.PageSource — every
 //	          index reads data pages through a PageSource, so the buffer
 //	          pool + prefetch/SCOUT stack sits beneath any of them
-//	execution parallel.Batch — one generic deterministic batch executor
-//	          (slot-ordered visits, identical-to-serial guarantee)
-//	harness   experiments E1–E8, cmd drivers, prefetch.Simulator
+//	execution parallel.Batch / parallel.BatchCtx — one generic deterministic
+//	          batch executor (slot-ordered visits, identical-to-serial
+//	          guarantee, context cancellation)
+//	harness   experiments E1–E9, cmd drivers, prefetch.Simulator
+//
+// The public front door is the Request/Session surface: a tagged Request
+// (Range, KNN, Point, WithinDistance) executed through a Session (Open /
+// Do / DoBatch) with context cancellation checked at page-read granularity,
+// routed either to a fixed contender or per-kind through the Planner. The
+// range-only SpatialIndex.Query/BatchQuery methods remain as thin deprecated
+// wrappers for the pre-Request call sites.
 //
 // Every wrapper in this package also satisfies prefetch.Served, so a
 // walkthrough with prefetching can run over any index, and the Planner
 // routes batches or walkthrough sequences to an index using observed
-// per-index cost statistics (internal/stats.Running).
+// per-(index, kind) cost statistics (internal/stats.Running).
 package engine
 
 import (
+	"context"
+
 	"neurospatial/internal/geom"
 	"neurospatial/internal/pager"
 	"neurospatial/internal/parallel"
@@ -71,9 +81,20 @@ func (s QueryStats) Cost() float64 {
 }
 
 // Aggregate sums per-query statistics into batch totals; NodesPerLevel is
-// summed element-wise.
+// summed element-wise. The level slice is sized once to the deepest input
+// (one pass up front), not grown record by record: the per-record grow loop
+// was O(levels) appends for every record of a large batch.
 func Aggregate(sts []QueryStats) QueryStats {
 	var out QueryStats
+	levels := 0
+	for i := range sts {
+		if l := len(sts[i].NodesPerLevel); l > levels {
+			levels = l
+		}
+	}
+	if levels > 0 {
+		out.NodesPerLevel = make([]int64, levels)
+	}
 	for i := range sts {
 		out.IndexReads += sts[i].IndexReads
 		out.PagesRead += sts[i].PagesRead
@@ -82,20 +103,22 @@ func Aggregate(sts []QueryStats) QueryStats {
 		out.Reseeds += sts[i].Reseeds
 		out.ShardsTouched += sts[i].ShardsTouched
 		for l, c := range sts[i].NodesPerLevel {
-			for len(out.NodesPerLevel) <= l {
-				out.NodesPerLevel = append(out.NodesPerLevel, 0)
-			}
 			out.NodesPerLevel[l] += c
 		}
 	}
 	return out
 }
 
-// SpatialIndex is the uniform query interface of the engine layer. All
-// implementations are deterministic: Query emits hits in a fixed
-// per-index order, and BatchQuery emits exactly the (query, id) pairs a
-// serial loop of Query calls would produce, in the same order, for any
-// worker count (the parallel.Batch guarantee).
+// SpatialIndex is the uniform query interface of the engine layer. Do is the
+// front door: one typed Request of any Kind (Range, KNN, Point,
+// WithinDistance), hits emitted in the canonical per-kind order (see Hit) —
+// identical across contenders, shard counts and worker counts — with
+// cancellation observed at page-read granularity where the kind reads pages.
+//
+// All implementations are deterministic: Do and Query emit hits in a fixed
+// order, and BatchQuery emits exactly the (query, id) pairs a serial loop of
+// Query calls would produce, in the same order, for any worker count (the
+// parallel.Batch guarantee).
 //
 // Item IDs must be dense in [0, NumItems()); they are the IDs reported by
 // queries — the same contract flat.Build imposes.
@@ -108,10 +131,27 @@ type SpatialIndex interface {
 	Bounds() geom.AABB
 	// NumItems returns the number of indexed items.
 	NumItems() int
-	// Query reports the IDs of all items whose boxes intersect q.
+	// Do executes one typed request, emitting hits in the canonical
+	// per-kind order. It returns a *RequestError for an invalid request and
+	// ctx.Err() when canceled mid-execution (in which case nothing was
+	// emitted — emission is all-or-nothing). A nil ctx reads as
+	// context.Background; a nil visit discards hits (stats only).
+	Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error)
+	// Query reports the IDs of all items whose boxes intersect q, in the
+	// index's native order.
+	//
+	// Deprecated: Query predates the Request surface; new call sites should
+	// route through Session.Do (or Do directly) with a Range request, which
+	// adds cancellation and canonical ordering. Kept thin so existing call
+	// sites compile.
 	Query(q geom.AABB, visit func(id int32)) QueryStats
 	// BatchQuery executes many queries with the usual Workers semantics
 	// (0 or 1 serial, > 1 that many workers, negative one per CPU).
+	//
+	// Deprecated: BatchQuery predates the Request surface; new call sites
+	// should route through Session.DoBatch, which adds cancellation,
+	// mixed-kind batches and canonical ordering. Kept thin so existing call
+	// sites compile.
 	BatchQuery(qs []geom.AABB, workers int, visit func(qi int, id int32)) []QueryStats
 }
 

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"neurospatial/internal/flat"
 	"neurospatial/internal/geom"
@@ -70,8 +72,126 @@ func fromFlat(s flat.QueryStats) QueryStats {
 	}
 }
 
+// srcOrStore resolves the attached PageSource, falling back to cold reads
+// from the index's own store.
+func (f *Flat) srcOrStore() pager.PageSource {
+	if f.src != nil {
+		return f.src
+	}
+	return f.idx.Store()
+}
+
+// rangeIDs runs the native range traversal (seed + crawl), collecting ids,
+// with cancellation checked at every data-page read.
+func (f *Flat) rangeIDs(ctx context.Context, q geom.AABB) ([]int32, QueryStats, error) {
+	var (
+		ids []int32
+		st  QueryStats
+	)
+	src := wrapCtxSource(ctx, f.srcOrStore())
+	err := catchCancel(func() {
+		st = fromFlat(f.idx.QueryVia(q, src, func(id int32) { ids = append(ids, id) }))
+	})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return ids, st, nil
+}
+
+// Do implements SpatialIndex. Range, Point and WithinDistance execute as
+// seed-and-crawl traversals (Point stabs with a degenerate box,
+// WithinDistance crawls the sphere's bounding box and refines with the exact
+// Dist2Point test); KNN runs a best-first scan over the page directory:
+// page MBRs are ordered by squared distance to the center (those bound
+// evaluations are the RAM-resident IndexReads of the record), pages are read
+// through the configured source nearest-first, and the scan stops as soon as
+// the next page's lower bound exceeds the current k-th distance.
+func (f *Flat) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
+	if err := req.Validate(); err != nil {
+		return QueryStats{}, err
+	}
+	if visit == nil {
+		visit = func(Hit) {}
+	}
+	if f.idx == nil {
+		return QueryStats{}, ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return QueryStats{}, err
+	}
+	switch req.Kind {
+	case Range, Point:
+		q := req.Box
+		if req.Kind == Point {
+			q = geom.Box(req.Center, req.Center)
+		}
+		ids, st, err := f.rangeIDs(ctx, q)
+		if err != nil {
+			return QueryStats{}, err
+		}
+		emitIDHits(ids, visit)
+		return st, nil
+	case WithinDistance:
+		ids, st, err := f.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius))
+		if err != nil {
+			return QueryStats{}, err
+		}
+		results, tested := withinRefine(ids, f.idx.ItemBox, req.Center, req.Radius, visit)
+		st.Results = results
+		st.EntriesTested += tested
+		return st, nil
+	case KNN:
+		return f.doKNN(ctx, req.Center, req.K, visit)
+	}
+	return QueryStats{}, &RequestError{Kind: req.Kind, Field: "Kind", Reason: "is not a known query kind"}
+}
+
+// doKNN is the FLAT k-nearest-neighbors execution.
+func (f *Flat) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit)) (QueryStats, error) {
+	var st QueryStats
+	np := f.idx.NumPages()
+	type pageBound struct {
+		d2 float64
+		p  pager.PageID
+	}
+	order := make([]pageBound, np)
+	for p := 0; p < np; p++ {
+		order[p] = pageBound{f.idx.PageBox(pager.PageID(p)).Dist2Point(center), pager.PageID(p)}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].d2 != order[b].d2 {
+			return order[a].d2 < order[b].d2
+		}
+		return order[a].p < order[b].p
+	})
+	st.IndexReads = int64(np)
+	src := f.srcOrStore()
+	acc := newKNNAcc(k)
+	for _, pb := range order {
+		if acc.Full() && pb.d2 > acc.Bound() {
+			break
+		}
+		if err := ctxErr(ctx); err != nil {
+			return QueryStats{}, err
+		}
+		st.PagesRead++
+		for _, id := range src.ReadPage(pb.p) {
+			st.EntriesTested++
+			acc.Offer(Hit{ID: id, Dist2: f.idx.ItemBox(id).Dist2Point(center)})
+		}
+	}
+	hits := acc.Hits()
+	st.Results = int64(len(hits))
+	for _, h := range hits {
+		visit(h)
+	}
+	return st, nil
+}
+
 // Query implements SpatialIndex, reading data pages through the configured
 // source (cold store reads by default).
+//
+// Deprecated: route new call sites through Session.Do with a Range request.
 func (f *Flat) Query(q geom.AABB, visit func(int32)) QueryStats {
 	if f.idx == nil {
 		return QueryStats{}
@@ -80,6 +200,8 @@ func (f *Flat) Query(q geom.AABB, visit func(int32)) QueryStats {
 }
 
 // BatchQuery implements SpatialIndex via the shared deterministic executor.
+//
+// Deprecated: route new call sites through Session.DoBatch.
 func (f *Flat) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
 	if f.idx == nil {
 		return make([]QueryStats, len(qs))

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/grid"
@@ -149,12 +151,133 @@ func (gx *Grid) queryVia(q geom.AABB, src pager.PageSource, emit func(int32)) Qu
 	return stats
 }
 
+// rangeIDs runs the native cell traversal collecting ids, with cancellation
+// checked at every data-page read.
+func (gx *Grid) rangeIDs(ctx context.Context, q geom.AABB) ([]int32, QueryStats, error) {
+	var (
+		ids []int32
+		st  QueryStats
+	)
+	src := wrapCtxSource(ctx, gx.source())
+	err := catchCancel(func() {
+		st = gx.queryVia(q, src, func(id int32) { ids = append(ids, id) })
+	})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return ids, st, nil
+}
+
+// Do implements SpatialIndex. Range, Point and WithinDistance run as
+// filtered cell traversals (with the exact Dist2Point refinement for the
+// sphere kind); KNN runs a best-first scan over the cell directory: each
+// non-empty cell's lower bound is the distance to the cell box expanded by
+// the largest item half-extent (items are registered by center, so an
+// item's box never escapes that expansion), cells are visited
+// nearest-first, their candidates read through the configured source (one
+// read per distinct page, as in the range path), and the scan stops when the
+// next cell's bound exceeds the current k-th distance.
+func (gx *Grid) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
+	if err := req.Validate(); err != nil {
+		return QueryStats{}, err
+	}
+	if visit == nil {
+		visit = func(Hit) {}
+	}
+	if gx.g == nil {
+		return QueryStats{}, ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return QueryStats{}, err
+	}
+	switch req.Kind {
+	case Range, Point:
+		q := req.Box
+		if req.Kind == Point {
+			q = geom.Box(req.Center, req.Center)
+		}
+		ids, st, err := gx.rangeIDs(ctx, q)
+		if err != nil {
+			return QueryStats{}, err
+		}
+		emitIDHits(ids, visit)
+		return st, nil
+	case WithinDistance:
+		ids, st, err := gx.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius))
+		if err != nil {
+			return QueryStats{}, err
+		}
+		boxOf := func(id int32) geom.AABB { return gx.boxes[id] }
+		results, tested := withinRefine(ids, boxOf, req.Center, req.Radius, visit)
+		st.Results = results
+		st.EntriesTested += tested
+		return st, nil
+	case KNN:
+		return gx.doKNN(ctx, req.Center, req.K, visit)
+	}
+	return QueryStats{}, &RequestError{Kind: req.Kind, Field: "Kind", Reason: "is not a known query kind"}
+}
+
+// doKNN is the grid k-nearest-neighbors execution.
+func (gx *Grid) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit)) (QueryStats, error) {
+	var st QueryStats
+	type cellBound struct {
+		d2 float64
+		c  int
+	}
+	var order []cellBound
+	for c := 0; c < gx.g.NumCells(); c++ {
+		if len(gx.g.CellBoxes(c)) == 0 {
+			continue
+		}
+		bound := gx.g.CellBounds(c).Expand(gx.maxHalf).Dist2Point(center)
+		order = append(order, cellBound{bound, c})
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].d2 != order[b].d2 {
+			return order[a].d2 < order[b].d2
+		}
+		return order[a].c < order[b].c
+	})
+	st.IndexReads = int64(len(order))
+	src := gx.source()
+	acc := newKNNAcc(k)
+	read := make(map[pager.PageID]bool)
+	for _, cb := range order {
+		if acc.Full() && cb.d2 > acc.Bound() {
+			break
+		}
+		for _, id := range gx.g.CellBoxes(cb.c) {
+			if pg := gx.pageOf[id]; !read[pg] {
+				if err := ctxErr(ctx); err != nil {
+					return QueryStats{}, err
+				}
+				read[pg] = true
+				src.ReadPage(pg)
+				st.PagesRead++
+			}
+			st.EntriesTested++
+			acc.Offer(Hit{ID: id, Dist2: gx.boxes[id].Dist2Point(center)})
+		}
+	}
+	hits := acc.Hits()
+	st.Results = int64(len(hits))
+	for _, h := range hits {
+		visit(h)
+	}
+	return st, nil
+}
+
 // Query implements SpatialIndex.
+//
+// Deprecated: route new call sites through Session.Do with a Range request.
 func (gx *Grid) Query(q geom.AABB, visit func(int32)) QueryStats {
 	return gx.queryVia(q, gx.source(), visit)
 }
 
 // BatchQuery implements SpatialIndex via the shared deterministic executor.
+//
+// Deprecated: route new call sites through Session.DoBatch.
 func (gx *Grid) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
 	src := gx.source()
 	return batchQuery(workers, qs, func(q geom.AABB, emit func(int32)) QueryStats {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,33 +11,49 @@ import (
 	"neurospatial/internal/stats"
 )
 
-// Planner routes query batches and walkthrough sequences to one of a set of
-// SpatialIndex contenders using per-index cost statistics. Costs come from
-// two sources, both fed through stats.Running accumulators:
+// Planner routes requests, query batches and walkthrough sequences to one of
+// a set of SpatialIndex contenders using per-(index, kind) cost statistics:
+// an index that wins range scans can lose kNN gathers, so every query kind
+// keeps its own history and mixed workloads route per request. Costs come
+// from two sources, both fed through stats.Running accumulators:
 //
 //   - learned: every executed batch reports its observed QueryStats back via
-//     Observe, so the planner's estimate of an index sharpens with use;
-//   - probed: with no history for an index, Plan calibrates by executing a
+//     Observe/ObserveKind, so the planner's estimate of an (index, kind)
+//     pair sharpens with use;
+//   - probed: with no history for a pair, planning calibrates by executing a
 //     small deterministic sample of the batch (the first ProbeQueries
-//     queries, results discarded) on that index and charging its Cost().
+//     requests, results discarded) on that index and charging its Cost().
 //
 // Routing is deterministic: the index with the lowest estimated per-query
 // cost wins, ties broken by registration order.
 //
-// Plan, Run, Observe and Selectivity are safe for concurrent use (the
-// indexes themselves are read-only after Build). Paged.SetSource on a
+// Plan, PlanKind, Run, Observe and Selectivity are safe for concurrent use
+// (the indexes themselves are read-only after Build). Paged.SetSource on a
 // contender is configuration, not execution: call it before sharing the
 // planner across goroutines.
 type Planner struct {
-	// ProbeQueries is the calibration sample size per unprofiled index.
-	// Default 3.
+	// ProbeQueries is the calibration sample size per unprofiled
+	// (index, kind) pair. Default 3.
 	ProbeQueries int
 
 	indexes []SpatialIndex
 	mu      sync.Mutex
-	learned map[string]*stats.Running // per-query Cost() history
-	selects map[string]*stats.Running // per-query selectivity (results/entries)
-	probes  map[string]chan struct{}  // per-index in-flight probe latches
+	learned map[plannerKey]*stats.Running // per-query Cost() history
+	selects map[plannerKey]*stats.Running // per-query selectivity (results/entries)
+	probes  map[plannerKey]chan struct{}  // in-flight probe latches
+	// probeEx serializes probe *execution* per index: the latch above is
+	// per (index, kind), but a probe temporarily rewires the index's read
+	// path (SetSource detach, Sharded.probeCold), so two kinds probing the
+	// same contender concurrently would race on that configuration and leak
+	// probe traffic into an attached pool.
+	probeEx map[string]*sync.Mutex
+}
+
+// plannerKey identifies one cost-history accumulator: which contender, for
+// which query kind.
+type plannerKey struct {
+	name string
+	kind Kind
 }
 
 // NewPlanner returns a planner over the given contenders, in priority order
@@ -45,9 +62,10 @@ func NewPlanner(indexes ...SpatialIndex) *Planner {
 	return &Planner{
 		ProbeQueries: 3,
 		indexes:      indexes,
-		learned:      make(map[string]*stats.Running),
-		selects:      make(map[string]*stats.Running),
-		probes:       make(map[string]chan struct{}),
+		learned:      make(map[plannerKey]*stats.Running),
+		selects:      make(map[plannerKey]*stats.Running),
+		probes:       make(map[plannerKey]chan struct{}),
+		probeEx:      make(map[string]*sync.Mutex),
 	}
 }
 
@@ -68,6 +86,8 @@ func (p *Planner) Index(name string) SpatialIndex {
 type Decision struct {
 	// Index is the chosen contender.
 	Index SpatialIndex
+	// Kind is the query kind the decision was made for.
+	Kind Kind
 	// CostPerQuery is the estimated per-query I/O cost of every contender.
 	CostPerQuery map[string]float64
 	// Probed lists the contenders whose estimate came from a fresh
@@ -85,7 +105,7 @@ func (d Decision) String() string {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	s := fmt.Sprintf("route -> %s (", d.Index.Name())
+	s := fmt.Sprintf("route %s -> %s (", d.Kind, d.Index.Name())
 	for i, n := range names {
 		if i > 0 {
 			s += ", "
@@ -95,12 +115,13 @@ func (d Decision) String() string {
 	return s + " est. reads/query)"
 }
 
-// Plan estimates the per-query cost of each contender for the batch and
-// picks the cheapest. Probe executions update the learned history, so later
-// plans on similar workloads skip the probe. Concurrent first Plans probe
-// each unprofiled index exactly once: a per-index latch makes the
-// learn-or-probe step singleflight, so calibration history is never skewed
-// by duplicate probes.
+// Plan estimates the per-query Range cost of each contender for the batch
+// and picks the cheapest — the pre-Request surface, equivalent to PlanKind
+// with Range requests (it shares the (index, Range) history). Probe
+// executions update the learned history, so later plans on similar workloads
+// skip the probe. Concurrent first Plans probe each unprofiled index exactly
+// once: a per-(index, kind) latch makes the learn-or-probe step
+// singleflight, so calibration history is never skewed by duplicate probes.
 //
 // An empty batch cannot be probed, so it gets a deterministic default
 // decision with no side effects: contenders are costed from learned history
@@ -108,10 +129,24 @@ func (d Decision) String() string {
 // history at all the first registered index is chosen (registration order is
 // the documented tie-break).
 func (p *Planner) Plan(qs []geom.AABB) Decision {
-	d := Decision{CostPerQuery: make(map[string]float64, len(p.indexes))}
-	if len(qs) == 0 {
+	reqs := make([]Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = RangeRequest(q)
+	}
+	return p.PlanKind(Range, reqs)
+}
+
+// PlanKind estimates the per-query cost of each contender for requests of
+// one kind (using the kind's own cost history, probing with the sample's
+// first ProbeQueries requests where history is missing) and picks the
+// cheapest. The sample requests should all be of the given kind; others are
+// ignored by the probe. Empty samples get the deterministic no-probe default
+// of Plan.
+func (p *Planner) PlanKind(kind Kind, sample []Request) Decision {
+	d := Decision{Kind: kind, CostPerQuery: make(map[string]float64, len(p.indexes))}
+	if len(sample) == 0 {
 		for _, ix := range p.indexes {
-			cost, ok := p.learnedCost(ix.Name())
+			cost, ok := p.learnedCost(ix.Name(), kind)
 			if !ok {
 				continue
 			}
@@ -127,15 +162,15 @@ func (p *Planner) Plan(qs []geom.AABB) Decision {
 	}
 	for _, ix := range p.indexes {
 		name := ix.Name()
-		cost, ok := p.learnedCost(name)
+		cost, ok := p.learnedCost(name, kind)
 		if !ok {
-			if p.probeOnce(ix, qs) {
+			if p.probeOnce(ix, kind, sample) {
 				d.Probed = append(d.Probed, name)
 			}
-			cost, ok = p.learnedCost(name)
+			cost, ok = p.learnedCost(name, kind)
 		}
 		if !ok {
-			// Unreachable with a non-empty batch (a probe always observes at
+			// Unreachable with a non-empty sample (a probe always observes at
 			// least one query), kept as a guard: never fabricate a 0 cost.
 			continue
 		}
@@ -150,43 +185,44 @@ func (p *Planner) Plan(qs []geom.AABB) Decision {
 	return d
 }
 
-// learnedCost reads an index's mean observed cost under the lock.
-func (p *Planner) learnedCost(name string) (float64, bool) {
+// learnedCost reads an (index, kind) pair's mean observed cost under the
+// lock.
+func (p *Planner) learnedCost(name string, kind Kind) (float64, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	acc := p.learned[name]
+	acc := p.learned[plannerKey{name, kind}]
 	if acc == nil || acc.N() == 0 {
 		return 0, false
 	}
 	return acc.Mean(), true
 }
 
-// probeOnce runs the calibration probe for an unprofiled index exactly once
-// across concurrent Plans: the first caller probes while later callers wait
-// on the latch and then read the learned history. It reports whether this
-// call executed the probe.
-func (p *Planner) probeOnce(ix SpatialIndex, qs []geom.AABB) bool {
-	name := ix.Name()
+// probeOnce runs the calibration probe for an unprofiled (index, kind) pair
+// exactly once across concurrent plans: the first caller probes while later
+// callers wait on the latch and then read the learned history. It reports
+// whether this call executed the probe.
+func (p *Planner) probeOnce(ix SpatialIndex, kind Kind, sample []Request) bool {
+	key := plannerKey{ix.Name(), kind}
 	p.mu.Lock()
-	if acc := p.learned[name]; acc != nil && acc.N() > 0 {
+	if acc := p.learned[key]; acc != nil && acc.N() > 0 {
 		p.mu.Unlock()
 		return false
 	}
-	if ch, inflight := p.probes[name]; inflight {
+	if ch, inflight := p.probes[key]; inflight {
 		p.mu.Unlock()
 		<-ch
 		return false
 	}
 	ch := make(chan struct{})
-	p.probes[name] = ch
+	p.probes[key] = ch
 	p.mu.Unlock()
 	defer func() {
 		p.mu.Lock()
-		delete(p.probes, name)
+		delete(p.probes, key)
 		p.mu.Unlock()
 		close(ch)
 	}()
-	p.probe(ix, qs)
+	p.probe(ix, kind, sample)
 	return true
 }
 
@@ -194,8 +230,22 @@ func (p *Planner) probeOnce(ix SpatialIndex, qs []geom.AABB) bool {
 // sample is executed against the index's own cold store: an attached
 // PageSource (a shared BufferPool under measurement, say) is detached for
 // the probe and restored after, so planning never perturbs the pool
-// contents or counters the experiments report.
-func (p *Planner) probe(ix SpatialIndex, qs []geom.AABB) {
+// contents or counters the experiments report. Range probes execute through
+// the legacy BatchQuery path, non-range kinds through Do — both feed the
+// same (index, kind) accumulator with the same unified stats.
+func (p *Planner) probe(ix SpatialIndex, kind Kind, sample []Request) {
+	// One probe at a time per index: the source detach/restore below is
+	// configuration of the index's read path, not concurrent-safe state.
+	p.mu.Lock()
+	ex := p.probeEx[ix.Name()]
+	if ex == nil {
+		ex = &sync.Mutex{}
+		p.probeEx[ix.Name()] = ex
+	}
+	p.mu.Unlock()
+	ex.Lock()
+	defer ex.Unlock()
+
 	if pg, ok := ix.(Paged); ok {
 		if src := pg.Source(); src != nil {
 			pg.SetSource(nil)
@@ -212,11 +262,35 @@ func (p *Planner) probe(ix SpatialIndex, qs []geom.AABB) {
 	if n <= 0 {
 		n = 3
 	}
-	if n > len(qs) {
-		n = len(qs)
+	if kind == Range {
+		var boxes []geom.AABB
+		for _, r := range sample {
+			if r.Kind != Range {
+				continue
+			}
+			boxes = append(boxes, r.Box)
+			if len(boxes) == n {
+				break
+			}
+		}
+		p.ObserveKind(ix.Name(), kind, ix.BatchQuery(boxes, 1, nil))
+		return
 	}
-	sts := ix.BatchQuery(qs[:n], 1, nil)
-	p.Observe(ix.Name(), sts)
+	var sts []QueryStats
+	for _, r := range sample {
+		if r.Kind != kind {
+			continue
+		}
+		st, err := ix.Do(context.Background(), r, nil)
+		if err != nil {
+			continue // invalid sample requests contribute no history
+		}
+		sts = append(sts, st)
+		if len(sts) == n {
+			break
+		}
+	}
+	p.ObserveKind(ix.Name(), kind, sts)
 }
 
 // PlanSequence routes a walkthrough sequence: the per-step boxes are the
@@ -232,19 +306,25 @@ func (p *Planner) PlanSequence(seq *query.Sequence) Decision {
 	return p.Plan(boxes)
 }
 
-// Observe folds executed per-query stats into the index's learned history.
-func (p *Planner) Observe(name string, sts []QueryStats) {
+// Observe folds executed per-query range stats into the index's learned
+// history — the pre-Request surface, equivalent to ObserveKind with Range.
+func (p *Planner) Observe(name string, sts []QueryStats) { p.ObserveKind(name, Range, sts) }
+
+// ObserveKind folds executed per-query stats of one kind into the
+// (index, kind) pair's learned history.
+func (p *Planner) ObserveKind(name string, kind Kind, sts []QueryStats) {
+	key := plannerKey{name, kind}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	cost := p.learned[name]
+	cost := p.learned[key]
 	if cost == nil {
 		cost = &stats.Running{}
-		p.learned[name] = cost
+		p.learned[key] = cost
 	}
-	sel := p.selects[name]
+	sel := p.selects[key]
 	if sel == nil {
 		sel = &stats.Running{}
-		p.selects[name] = sel
+		p.selects[key] = sel
 	}
 	for i := range sts {
 		cost.Add(sts[i].Cost())
@@ -254,13 +334,18 @@ func (p *Planner) Observe(name string, sts []QueryStats) {
 	}
 }
 
-// Selectivity returns the learned mean selectivity (results per entry
+// Selectivity returns the learned mean range selectivity (results per entry
 // tested) of an index, and whether any history exists. The E-harness tables
 // can report it alongside cost.
 func (p *Planner) Selectivity(name string) (float64, bool) {
+	return p.SelectivityKind(name, Range)
+}
+
+// SelectivityKind is Selectivity for one query kind.
+func (p *Planner) SelectivityKind(name string, kind Kind) (float64, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	acc := p.selects[name]
+	acc := p.selects[plannerKey{name, kind}]
 	if acc == nil || acc.N() == 0 {
 		return 0, false
 	}

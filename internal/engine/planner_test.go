@@ -129,6 +129,78 @@ func TestPlannerConcurrentPlansProbeOnce(t *testing.T) {
 	}
 }
 
+// TestPlannerConcurrentKindProbesSerialize: probes of *different kinds* on
+// the same index must not race on the index's read-path configuration — the
+// per-(index, kind) latch admits one probe per kind concurrently, so probe
+// execution itself is serialized per index. Pre-fix, a Range and a KNN probe
+// raced on SetSource/restore (a -race report) and leaked probe traffic into
+// the attached pool.
+func TestPlannerConcurrentKindProbesSerialize(t *testing.T) {
+	items := testItems(t, 8, 8005)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+	queries := testQueries(vol, 12)
+
+	ix := engine.NewFlat(flat.DefaultOptions())
+	if err := ix.Build(items); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := pager.NewBufferPool(ix.Store(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetSource(pool)
+	p := engine.NewPlanner(ix)
+
+	kinds := []struct {
+		kind engine.Kind
+		reqs []engine.Request
+	}{
+		{engine.Range, nil},
+		{engine.KNN, nil},
+		{engine.Point, nil},
+		{engine.WithinDistance, nil},
+	}
+	for i := range kinds {
+		for _, q := range queries {
+			c := q.Center()
+			switch kinds[i].kind {
+			case engine.Range:
+				kinds[i].reqs = append(kinds[i].reqs, engine.RangeRequest(q))
+			case engine.KNN:
+				kinds[i].reqs = append(kinds[i].reqs, engine.KNNRequest(c, 4))
+			case engine.Point:
+				kinds[i].reqs = append(kinds[i].reqs, engine.PointRequest(c))
+			case engine.WithinDistance:
+				kinds[i].reqs = append(kinds[i].reqs, engine.WithinDistanceRequest(c, 10))
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		for _, kc := range kinds {
+			wg.Add(1)
+			go func(kind engine.Kind, reqs []engine.Request) {
+				defer wg.Done()
+				<-start
+				p.PlanKind(kind, reqs)
+			}(kc.kind, kc.reqs)
+		}
+	}
+	close(start)
+	wg.Wait()
+
+	if st := pool.Stats(); st != (pager.Stats{}) {
+		t.Fatalf("concurrent kind probes perturbed the attached pool: %+v", st)
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("concurrent kind probes populated the attached pool with %d pages", pool.Len())
+	}
+	if ix.Source() != pool {
+		t.Fatal("concurrent kind probes did not restore the attached source")
+	}
+}
+
 // TestPlannerProbeLeavesAttachedPoolUntouched: a calibration probe must run
 // against the index's cold store, leaving an attached BufferPool's cache and
 // counters exactly as they were, and must restore the attachment.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"neurospatial/internal/geom"
@@ -19,6 +20,7 @@ type RTree struct {
 	paged    *rtree.PagedTree
 	src      pager.PageSource
 	elemPage []pager.PageID // item ID -> leaf page
+	boxes    []geom.AABB    // item ID -> MBR (exact-distance refinement)
 }
 
 // NewRTree returns an unbuilt R-tree engine index with the given fanout
@@ -61,9 +63,10 @@ func (r *RTree) Build(items []rtree.Item) error {
 	return r.page()
 }
 
-// page lays the tree's nodes onto pages and indexes each item's leaf page.
+// page lays the tree's nodes onto pages and indexes each item's leaf page
+// and MBR.
 func (r *RTree) page() error {
-	r.paged, r.elemPage = nil, nil
+	r.paged, r.elemPage, r.boxes = nil, nil, nil
 	if r.tree.Size() == 0 {
 		return nil
 	}
@@ -73,6 +76,7 @@ func (r *RTree) page() error {
 	}
 	r.paged = p
 	r.elemPage = make([]pager.PageID, r.tree.Size())
+	r.boxes = make([]geom.AABB, r.tree.Size())
 	root, _ := r.tree.Root()
 	var walk func(v rtree.NodeView)
 	walk = func(v rtree.NodeView) {
@@ -81,6 +85,7 @@ func (r *RTree) page() error {
 			for _, it := range v.Items() {
 				if int(it.ID) < len(r.elemPage) {
 					r.elemPage[it.ID] = pg
+					r.boxes[it.ID] = it.Box
 				}
 			}
 			return
@@ -130,13 +135,140 @@ func (r *RTree) query(q geom.AABB, emit func(int32)) QueryStats {
 	return fromRTree(r.tree.Query(q, visit))
 }
 
+// rangeIDs runs the native descent collecting ids. With a cancelable
+// context the descent reads node pages through the paged layout (the
+// traversal — and therefore the stats record — is identical to the unpaged
+// one), so cancellation is checked at every node-page read.
+func (r *RTree) rangeIDs(ctx context.Context, q geom.AABB) ([]int32, QueryStats, error) {
+	var (
+		ids []int32
+		st  QueryStats
+	)
+	collect := func(it rtree.Item) { ids = append(ids, it.ID) }
+	if r.paged != nil && (r.src != nil || cancelable(ctx)) {
+		base := r.src
+		if base == nil {
+			base = r.paged.Store()
+		}
+		src := wrapCtxSource(ctx, base)
+		err := catchCancel(func() {
+			st = fromRTree(r.paged.QueryVia(q, src, collect))
+		})
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		return ids, st, nil
+	}
+	st = fromRTree(r.tree.Query(q, collect))
+	return ids, st, nil
+}
+
+// Do implements SpatialIndex. Range, Point and WithinDistance run as
+// filtered descents (Point stabs with a degenerate box, WithinDistance
+// descends the sphere's bounding box and refines with the exact Dist2Point
+// test). KNN wraps the tree's native best-first search (rtree.Tree.KNN) and
+// surfaces its native statistics in the unified record — NodesPerLevel
+// carries the per-level access breakdown and PagesRead its total under the
+// one-node-per-page convention. Boundary ties are resolved to the canonical
+// (Dist2, ID) order by widening the native search until the (k+1)-st
+// distance strictly exceeds the k-th (ties are measure-zero on real
+// coordinates, so the first probe almost always suffices); the record is the
+// widest search executed. Cancellation is checked between native calls (the
+// KNN traversal is RAM-resident — it performs no page reads to check at).
+func (r *RTree) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
+	if err := req.Validate(); err != nil {
+		return QueryStats{}, err
+	}
+	if visit == nil {
+		visit = func(Hit) {}
+	}
+	if r.tree == nil || r.tree.Size() == 0 {
+		return QueryStats{}, ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return QueryStats{}, err
+	}
+	switch req.Kind {
+	case Range, Point:
+		q := req.Box
+		if req.Kind == Point {
+			q = geom.Box(req.Center, req.Center)
+		}
+		ids, st, err := r.rangeIDs(ctx, q)
+		if err != nil {
+			return QueryStats{}, err
+		}
+		emitIDHits(ids, visit)
+		return st, nil
+	case WithinDistance:
+		ids, st, err := r.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius))
+		if err != nil {
+			return QueryStats{}, err
+		}
+		boxOf := func(id int32) geom.AABB { return r.boxes[id] }
+		results, tested := withinRefine(ids, boxOf, req.Center, req.Radius, visit)
+		st.Results = results
+		st.EntriesTested += tested
+		return st, nil
+	case KNN:
+		return r.doKNN(ctx, req.Center, req.K, visit)
+	}
+	return QueryStats{}, &RequestError{Kind: req.Kind, Field: "Kind", Reason: "is not a known query kind"}
+}
+
+// doKNN wraps rtree.Tree.KNN with the canonical tie resolution.
+func (r *RTree) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit)) (QueryStats, error) {
+	size := r.tree.Size()
+	// Probe one past k: when the (k+1)-st distance strictly exceeds the k-th,
+	// the candidate set provably contains every item tied with the k-th and
+	// the canonical top-k is decided. Otherwise widen geometrically.
+	kk := k + 1
+	if kk > size || kk < 0 { // kk < 0: k+1 overflowed on an absurd K
+		kk = size
+	}
+	items, nst := r.tree.KNN(center, kk)
+	for len(items) == kk && kk < size && kk > k {
+		lastD := items[len(items)-1].Box.Dist2Point(center)
+		kthD := items[k-1].Box.Dist2Point(center)
+		if lastD > kthD {
+			break
+		}
+		if err := ctxErr(ctx); err != nil {
+			return QueryStats{}, err
+		}
+		kk *= 2
+		if kk > size || kk < 0 {
+			kk = size
+		}
+		items, nst = r.tree.KNN(center, kk)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return QueryStats{}, err
+	}
+	cands := make([]Hit, len(items))
+	for i, it := range items {
+		cands[i] = Hit{ID: it.ID, Dist2: it.Box.Dist2Point(center)}
+	}
+	hits := selectKNN(cands, k)
+	st := fromRTree(nst)
+	st.Results = int64(len(hits))
+	for _, h := range hits {
+		visit(h)
+	}
+	return st, nil
+}
+
 // Query implements SpatialIndex, reading node pages through the configured
 // source when one is attached.
+//
+// Deprecated: route new call sites through Session.Do with a Range request.
 func (r *RTree) Query(q geom.AABB, visit func(int32)) QueryStats {
 	return r.query(q, visit)
 }
 
 // BatchQuery implements SpatialIndex via the shared deterministic executor.
+//
+// Deprecated: route new call sites through Session.DoBatch.
 func (r *RTree) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
 	return batchQuery(workers, qs, r.query, visit)
 }

@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"neurospatial/internal/parallel"
+)
+
+// Session is the engine's front door: every query — any Kind, any contender,
+// serial or batched — enters through Open / Do / DoBatch. A session serves
+// requests either from one fixed SpatialIndex or through a Planner that
+// routes each request by its kind's learned cost statistics, and it is where
+// context cancellation enters the execution stack: Do and DoBatch accept a
+// context.Context that the index traversals below observe at page-read
+// granularity, so a canceled batch aborts at the next page, not the next
+// query.
+//
+// Sessions are safe for concurrent use as long as the underlying indexes'
+// configuration (Paged.SetSource, Build) is not mutated concurrently — the
+// same contract the indexes themselves carry.
+type Session struct {
+	index   SpatialIndex
+	planner *Planner
+	workers int
+}
+
+// SessionOption configures Open.
+type SessionOption func(*Session)
+
+// WithIndex serves every request from one fixed contender.
+func WithIndex(ix SpatialIndex) SessionOption { return func(s *Session) { s.index = ix } }
+
+// WithPlanner routes each request per kind through the planner's cost model.
+func WithPlanner(p *Planner) SessionOption { return func(s *Session) { s.planner = p } }
+
+// WithWorkers sets the default DoBatch pool size used when a batch passes
+// workers == 0 (the repository-wide semantics apply: 1 serial, > 1 that many
+// workers, negative one per CPU).
+func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n } }
+
+// Open opens a query session. Exactly one routing mode must be configured:
+// a fixed index (WithIndex) or a planner (WithPlanner).
+func Open(opts ...SessionOption) (*Session, error) {
+	s := &Session{workers: 1}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.index == nil && s.planner == nil {
+		return nil, fmt.Errorf("engine: Open needs WithIndex or WithPlanner")
+	}
+	if s.index != nil && s.planner != nil {
+		return nil, fmt.Errorf("engine: Open takes WithIndex or WithPlanner, not both")
+	}
+	if s.planner != nil && len(s.planner.Indexes()) == 0 {
+		return nil, fmt.Errorf("engine: Open: planner has no contenders")
+	}
+	return s, nil
+}
+
+// route picks the serving index for requests of one kind, using the given
+// same-kind requests as the planner's calibration sample.
+func (s *Session) route(kind Kind, sample []Request) SpatialIndex {
+	if s.index != nil {
+		return s.index
+	}
+	return s.planner.PlanKind(kind, sample).Index
+}
+
+// observe feeds executed stats back into the planner (fixed-index sessions
+// learn nothing).
+func (s *Session) observe(name string, kind Kind, sts []QueryStats) {
+	if s.planner != nil {
+		s.planner.ObserveKind(name, kind, sts)
+	}
+}
+
+// Do executes one request and returns its result. The request is validated
+// first (*RequestError on malformed input, never a panic); ctx cancellation
+// or deadline expiry returns ctx.Err() with no hits.
+func (s *Session) Do(ctx context.Context, req Request) (Result, error) {
+	if err := req.Validate(); err != nil {
+		return Result{}, err
+	}
+	// Observe cancellation before routing: planning an unprofiled kind runs
+	// real calibration probes, which a dead context should not pay for.
+	if err := ctxErr(ctx); err != nil {
+		return Result{}, err
+	}
+	ix := s.route(req.Kind, []Request{req})
+	res := Result{Request: req, Index: ix.Name()}
+	st, err := ix.Do(ctx, req, func(h Hit) { res.Hits = append(res.Hits, h) })
+	if err != nil {
+		return Result{}, err
+	}
+	res.Stats = st
+	s.observe(res.Index, req.Kind, []QueryStats{st})
+	return res, nil
+}
+
+// DoBatch executes a batch of requests — kinds may be mixed freely — on the
+// shared deterministic executor and returns one Result per request, in
+// request order. Routing is per kind: a planner-backed session plans each
+// distinct kind once for the batch (probing any unprofiled contender with
+// the kind's first requests), so a mixed workload can serve its range scans
+// and its kNN gathers from different contenders.
+//
+// workers follows the repository-wide semantics; 0 selects the session's
+// default. The output is deterministic and all-or-nothing: on success the
+// results are identical — hit for hit, stat for stat — for any worker count;
+// on cancellation DoBatch stops before completing the batch (in-flight
+// requests abort at their next page read) and returns (nil, ctx.Err()).
+func (s *Session) DoBatch(ctx context.Context, reqs []Request, workers int) ([]Result, error) {
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	// Observe cancellation before routing: planning unprofiled kinds runs
+	// real calibration probes, which a dead context should not pay for.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if workers == 0 {
+		workers = s.workers
+	}
+
+	// Route once per distinct kind, in first-appearance order (deterministic
+	// probing: the kind's own requests are its calibration sample).
+	routed := make(map[Kind]SpatialIndex)
+	byKind := make(map[Kind][]Request)
+	var kinds []Kind
+	for _, r := range reqs {
+		if _, ok := byKind[r.Kind]; !ok {
+			kinds = append(kinds, r.Kind)
+		}
+		byKind[r.Kind] = append(byKind[r.Kind], r)
+	}
+	for _, k := range kinds {
+		routed[k] = s.route(k, byKind[k])
+	}
+
+	results := make([]Result, len(reqs))
+	for i := range reqs {
+		results[i] = Result{Request: reqs[i], Index: routed[reqs[i].Kind].Name()}
+	}
+	sts, err := parallel.BatchCtx(ctx, workers, len(reqs),
+		func(qi int, emit func(Hit)) (QueryStats, error) {
+			return routed[reqs[qi].Kind].Do(ctx, reqs[qi], emit)
+		},
+		func(qi int, h Hit) { results[qi].Hits = append(results[qi].Hits, h) })
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Stats = sts[i]
+	}
+	if s.planner != nil {
+		for _, k := range kinds {
+			var kindStats []QueryStats
+			for i := range reqs {
+				if reqs[i].Kind == k {
+					kindStats = append(kindStats, sts[i])
+				}
+			}
+			s.observe(routed[k].Name(), k, kindStats)
+		}
+	}
+	return results, nil
+}
+
+// Index returns the fixed contender of a WithIndex session (nil for
+// planner-routed sessions).
+func (s *Session) Index() SpatialIndex { return s.index }
+
+// Planner returns the planner of a WithPlanner session (nil for fixed-index
+// sessions).
+func (s *Session) Planner() *Planner { return s.planner }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -280,7 +281,137 @@ func (s *Sharded) query(q geom.AABB, emit func(int32)) QueryStats {
 	return st
 }
 
+// scatter runs one sub-request on every shard accepted by keep (in shard
+// order), translating local hits to global IDs via toGlobal, and returns the
+// summed stats with ShardsTouched set. The sub-indexes observe ctx at their
+// own page-read granularity.
+func (s *Sharded) scatter(ctx context.Context, sub Request, keep func(sh *shardState) bool,
+	emit func(shardIdx int, h Hit)) (QueryStats, error) {
+
+	var subs []QueryStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if !keep(sh) {
+			continue
+		}
+		st, err := sh.sub.Do(ctx, sub, func(h Hit) { emit(i, h) })
+		if err != nil {
+			return QueryStats{}, err
+		}
+		subs = append(subs, st)
+	}
+	st := Aggregate(subs)
+	st.ShardsTouched = int64(len(subs))
+	return st, nil
+}
+
+// Do implements SpatialIndex: every kind scatters to the shards that can
+// contribute and gathers into the canonical order. Range and Point fan out
+// to the shards whose bounds intersect the box; WithinDistance to the shards
+// whose bounds pass the exact Dist2Point sphere test. KNN is a
+// bound-tightening gather: shards are visited in ascending distance from the
+// query point, each contributes its local top-k through the shared (Dist2,
+// ID) accumulator, and the fan-out stops as soon as the next shard's bound
+// exceeds the current k-th distance — ShardsTouched records how many shards
+// the gather actually consulted.
+func (s *Sharded) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
+	if err := req.Validate(); err != nil {
+		return QueryStats{}, err
+	}
+	if visit == nil {
+		visit = func(Hit) {}
+	}
+	if s.n == 0 {
+		return QueryStats{}, ctxErr(ctx)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return QueryStats{}, err
+	}
+	switch req.Kind {
+	case Range, Point:
+		q := req.Box
+		if req.Kind == Point {
+			q = geom.Box(req.Center, req.Center)
+		}
+		var hits []Hit
+		st, err := s.scatter(ctx, req, func(sh *shardState) bool { return sh.bounds.Intersects(q) },
+			func(i int, h Hit) { hits = append(hits, Hit{ID: s.shards[i].global[h.ID]}) })
+		if err != nil {
+			return QueryStats{}, err
+		}
+		sort.Slice(hits, func(a, b int) bool { return hits[a].ID < hits[b].ID })
+		for _, h := range hits {
+			visit(h)
+		}
+		return st, nil
+	case WithinDistance:
+		r2 := req.Radius * req.Radius
+		var hits []Hit
+		st, err := s.scatter(ctx, req,
+			func(sh *shardState) bool { return sh.bounds.Dist2Point(req.Center) <= r2 },
+			func(i int, h Hit) { hits = append(hits, Hit{ID: s.shards[i].global[h.ID], Dist2: h.Dist2}) })
+		if err != nil {
+			return QueryStats{}, err
+		}
+		sort.Slice(hits, func(a, b int) bool { return hits[a].ID < hits[b].ID })
+		for _, h := range hits {
+			visit(h)
+		}
+		return st, nil
+	case KNN:
+		return s.doKNN(ctx, req, visit)
+	}
+	return QueryStats{}, &RequestError{Kind: req.Kind, Field: "Kind", Reason: "is not a known query kind"}
+}
+
+// doKNN is the sharded bound-tightening kNN gather.
+func (s *Sharded) doKNN(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
+	type shardBound struct {
+		d2 float64
+		i  int
+	}
+	order := make([]shardBound, len(s.shards))
+	for i := range s.shards {
+		order[i] = shardBound{s.shards[i].bounds.Dist2Point(req.Center), i}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].d2 != order[b].d2 {
+			return order[a].d2 < order[b].d2
+		}
+		return order[a].i < order[b].i
+	})
+	acc := newKNNAcc(req.K)
+	var subs []QueryStats
+	for _, sb := range order {
+		if acc.Full() && sb.d2 > acc.Bound() {
+			break
+		}
+		sh := &s.shards[sb.i]
+		// Each shard contributes its local top-k; local IDs ascend with
+		// global IDs within a shard, so the local tie-break agrees with the
+		// global (Dist2, ID) order and the union provably contains the
+		// canonical top-k.
+		st, err := sh.sub.Do(ctx, req, func(h Hit) {
+			acc.Offer(Hit{ID: sh.global[h.ID], Dist2: h.Dist2})
+		})
+		if err != nil {
+			return QueryStats{}, err
+		}
+		subs = append(subs, st)
+	}
+	st := Aggregate(subs)
+	st.ShardsTouched = int64(len(subs))
+	hits := acc.Hits()
+	st.Results = int64(len(hits))
+	for _, h := range hits {
+		visit(h)
+	}
+	return st, nil
+}
+
 // Query implements SpatialIndex; hits are emitted in ascending global ID.
+//
+// Deprecated: route new call sites through Session.Do with a Range request.
 func (s *Sharded) Query(q geom.AABB, visit func(int32)) QueryStats {
 	if visit == nil {
 		visit = func(int32) {}
@@ -290,6 +421,8 @@ func (s *Sharded) Query(q geom.AABB, visit func(int32)) QueryStats {
 
 // BatchQuery implements SpatialIndex via the shared deterministic executor:
 // queries are the slots, each slot scatters over its shards and gathers.
+//
+// Deprecated: route new call sites through Session.DoBatch.
 func (s *Sharded) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
 	return batchQuery(workers, qs, s.query, visit)
 }

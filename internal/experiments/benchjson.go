@@ -35,11 +35,12 @@ type BenchConfigs struct {
 	E4 E4Config
 	E7 E7Config
 	E8 E8Config
+	E9 E9Config
 }
 
 // DefaultBenchConfigs returns the EXPERIMENTS.md-scale configurations.
 func DefaultBenchConfigs() BenchConfigs {
-	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7(), E8: DefaultE8()}
+	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7(), E8: DefaultE8(), E9: DefaultE9()}
 }
 
 // QuickBenchConfigs returns reduced configurations sized for a CI smoke
@@ -58,13 +59,17 @@ func QuickBenchConfigs() BenchConfigs {
 	c.E8.Queries = 32
 	c.E8.ShardCounts = []int{1, 4}
 	c.E8.WorkerCounts = []int{1, 2}
+	c.E9.Neurons = 64
+	c.E9.Requests = 32
+	c.E9.WorkerCounts = []int{1, 2}
 	return c
 }
 
-// RunBenchJSON executes E1, E4, E7 and E8 with the given configurations and
-// writes the headline numbers as indented JSON to w.
+// RunBenchJSON executes E1, E4, E7, E8 and E9 with the given configurations
+// and writes the headline numbers as indented JSON to w. Schema 3 added the
+// E9 mixed-workload headlines (per-kind totals and planner routing).
 func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
-	report := BenchReport{Schema: 2, Engine: []string{"flat", "rtree", "grid", "sharded"}}
+	report := BenchReport{Schema: 3, Engine: []string{"flat", "rtree", "grid", "sharded"}}
 
 	e1, err := RunE1(cfgs.E1)
 	if err != nil {
@@ -153,6 +158,31 @@ func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
 			"planner_routed_shard": routedSharded,
 		},
 	})
+
+	e9, err := RunE9(cfgs.E9)
+	if err != nil {
+		return err
+	}
+	if len(e9.Rows) == 0 || len(e9.Kinds) == 0 {
+		return fmt.Errorf("experiments: bench JSON: E9 produced no rows (empty WorkerCounts?)")
+	}
+	e9last := e9.Rows[len(e9.Rows)-1] // widest worker count
+	e9m := map[string]float64{
+		"requests":         float64(cfgs.E9.Requests),
+		"workers":          float64(e9last.Workers),
+		"speedup":          e9last.Speedup,
+		"time_ms":          float64(e9last.Time) / float64(time.Millisecond),
+		"total_pages_read": float64(e9last.PagesRead),
+		"total_results":    float64(e9last.Results),
+		"kinds":            float64(len(e9.Kinds)),
+	}
+	for _, k := range e9.Kinds {
+		e9m[k.Kind.String()+"_results"] = float64(k.Results)
+		e9m[k.Kind.String()+"_pages"] = float64(k.PagesRead)
+		e9m[k.Kind.String()+"_est_cost"] = k.Cost
+		e9m[k.Kind.String()+"_routed_"+k.Index] = 1
+	}
+	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E9", Metrics: e9m})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -245,6 +245,54 @@ func TestRunE8ShardDifferential(t *testing.T) {
 	}
 }
 
+// TestRunE9SessionMixedWorkload pins the mixed-workload runner: the Session
+// front door serves all four kinds, rows are worker-count invariant (the
+// runner itself fails otherwise), every kind appears in the per-kind summary
+// with a routing decision, and the tables render.
+func TestRunE9SessionMixedWorkload(t *testing.T) {
+	cfg := E9Config{
+		Neurons: 24, Edge: 250, Requests: 16, QueryRadius: 25, K: 4, WithinRadius: 15,
+		WorkerCounts: []int{1, 2, 4},
+		Seed:         29,
+	}
+	res, err := RunE9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.WorkerCounts) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.WorkerCounts))
+	}
+	for _, r := range res.Rows {
+		// Hit-for-hit equality per row is enforced by the runner itself;
+		// totals must agree too. (PagesRead may drift between rows: the
+		// planner keeps learning and may re-route a kind mid-sweep.)
+		if r.Results != res.Rows[0].Results {
+			t.Errorf("workers=%d: %d results differ from serial %d",
+				r.Workers, r.Results, res.Rows[0].Results)
+		}
+	}
+	if len(res.Kinds) != 4 || len(res.Decisions) != 4 {
+		t.Fatalf("per-kind summary covered %d kinds / %d decisions, want 4", len(res.Kinds), len(res.Decisions))
+	}
+	for i, k := range res.Kinds {
+		if k.Requests != cfg.Requests/4 {
+			t.Errorf("kind %s: %d requests, want %d", k.Kind, k.Requests, cfg.Requests/4)
+		}
+		if k.Index == "" || res.Decisions[i].Index == nil {
+			t.Errorf("kind %s: missing routing decision", k.Kind)
+		}
+	}
+	if !strings.Contains(E9Table(res.Rows).String(), "workers") {
+		t.Error("E9 table malformed")
+	}
+	if !strings.Contains(E9KindTable(res).String(), "routed to") {
+		t.Error("E9 kind table malformed")
+	}
+	if !strings.Contains(E9RoutingTable(res).String(), "knn") {
+		t.Error("E9 routing table malformed")
+	}
+}
+
 // TestRunE4OverShardedIndex pins the E4 walkthrough harness over the sharded
 // store: per method, the element totals must equal the flat-served run — the
 // prefetchers see the same pages through the global shard remap.

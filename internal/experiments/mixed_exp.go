@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"neurospatial/internal/engine"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/stats"
+)
+
+// E9Config parameterizes the mixed-workload experiment: the Request/Session
+// front door serving an interleaved stream of range, kNN, point-stabbing and
+// within-distance queries through the planner's per-kind routing. It is not
+// a figure of the paper; it extends the reproduction along the ROADMAP's
+// "as many scenarios as you can imagine" axis (cf. Mitos's single
+// query-evaluation front-end over heterogeneous retrieval components,
+// PAPERS.md).
+type E9Config struct {
+	// Neurons is the model size.
+	Neurons int
+	// Edge is the volume edge.
+	Edge float64
+	// Requests is the batch size; kinds are interleaved round-robin
+	// (range, knn, point, within, range, ...).
+	Requests int
+	// QueryRadius is the range-query half-extent.
+	QueryRadius float64
+	// K is the kNN neighbor count.
+	K int
+	// WithinRadius is the within-distance sphere radius.
+	WithinRadius float64
+	// WorkerCounts lists the execution pool sizes to sweep.
+	WorkerCounts []int
+	// Seed drives construction and request placement.
+	Seed int64
+	// Workers is the circuit-construction worker count (repository-wide
+	// semantics; the Default* configs select -1).
+	Workers int
+}
+
+// DefaultE9 returns the configuration used in EXPERIMENTS.md.
+func DefaultE9() E9Config {
+	return E9Config{
+		Neurons:      192,
+		Edge:         300,
+		Requests:     96,
+		QueryRadius:  25,
+		K:            8,
+		WithinRadius: 20,
+		WorkerCounts: []int{1, 2, 4, 8},
+		Seed:         17,
+		Workers:      -1,
+	}
+}
+
+// E9Row is one worker-count point of the sweep.
+type E9Row struct {
+	// Workers is the execution pool size.
+	Workers int
+	// Time is the wall-clock time to drain the batch.
+	Time time.Duration
+	// Speedup is relative to the 1-worker row.
+	Speedup float64
+	// PagesRead is the batch's total data-page reads. Unlike the hit
+	// stream, it may vary between rows: the planner keeps learning from
+	// each run and may re-route a kind to a cheaper contender mid-sweep —
+	// the output stays identical (canonical per-kind order), only the cost
+	// profile moves.
+	PagesRead int64
+	// Results is the total hit count (identical across all rows — the
+	// runner fails otherwise).
+	Results int64
+}
+
+// E9KindRow summarizes one request kind of the mixed batch.
+type E9KindRow struct {
+	// Kind is the query kind.
+	Kind engine.Kind
+	// Requests is how many requests of this kind the batch held.
+	Requests int
+	// Index names the contender the planner routed the kind to.
+	Index string
+	// Cost is the planner's estimated per-query cost of the routed
+	// contender after the batch.
+	Cost float64
+	// Results, PagesRead and IndexReads are the kind's totals.
+	Results, PagesRead, IndexReads int64
+}
+
+// E9Result bundles the worker sweep with the per-kind routing evidence.
+type E9Result struct {
+	// Rows holds the worker sweep.
+	Rows []E9Row
+	// Kinds summarizes each kind of the mixed batch.
+	Kinds []E9KindRow
+	// Decisions is the planner's post-execution decision per kind, over the
+	// full contender set (flat, rtree, grid, sharded).
+	Decisions []engine.Decision
+}
+
+// mixedRequests builds a deterministic interleaved request stream around the
+// middle of the volume.
+func mixedRequests(vol geom.AABB, cfg E9Config) []engine.Request {
+	rng := newRand(cfg.Seed)
+	c := vol.Center()
+	span := vol.Size().Scale(0.25)
+	out := make([]engine.Request, cfg.Requests)
+	for i := range out {
+		p := geom.V(
+			c.X+(rng.Float64()*2-1)*span.X,
+			c.Y+(rng.Float64()*2-1)*span.Y,
+			c.Z+(rng.Float64()*2-1)*span.Z,
+		)
+		switch i % 4 {
+		case 0:
+			out[i] = engine.RangeRequest(geom.BoxAround(p, cfg.QueryRadius))
+		case 1:
+			out[i] = engine.KNNRequest(p, cfg.K)
+		case 2:
+			out[i] = engine.PointRequest(p)
+		case 3:
+			out[i] = engine.WithinDistanceRequest(p, cfg.WithinRadius)
+		}
+	}
+	return out
+}
+
+// RunE9 executes the mixed-workload sweep through the model's Session. Every
+// row re-runs the same batch; the runner verifies the rows are hit-for-hit
+// identical to the serial baseline (the DoBatch determinism guarantee), so a
+// row can only exist if the parallel execution matched the serial one.
+func RunE9(cfg E9Config) (*E9Result, error) {
+	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E9: %w", err)
+	}
+	reqs := mixedRequests(m.Circuit.Params.Volume, cfg)
+	sess := m.Session()
+	ctx := context.Background()
+
+	base, err := sess.DoBatch(ctx, reqs, 1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E9 baseline: %w", err)
+	}
+
+	res := &E9Result{}
+	for _, w := range cfg.WorkerCounts {
+		start := time.Now()
+		got, err := sess.DoBatch(ctx, reqs, w)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E9 workers=%d: %w", w, err)
+		}
+		var pages, results int64
+		for i := range got {
+			if len(got[i].Hits) != len(base[i].Hits) {
+				return nil, fmt.Errorf("experiments: E9 workers=%d request %d: %d hits, serial %d",
+					w, i, len(got[i].Hits), len(base[i].Hits))
+			}
+			for j := range got[i].Hits {
+				if got[i].Hits[j] != base[i].Hits[j] {
+					return nil, fmt.Errorf("experiments: E9 workers=%d request %d hit %d diverged from serial",
+						w, i, j)
+				}
+			}
+			pages += got[i].Stats.PagesRead
+			results += got[i].Stats.Results
+		}
+		row := E9Row{Workers: w, Time: elapsed, Speedup: 1, PagesRead: pages, Results: results}
+		if len(res.Rows) > 0 {
+			row.Speedup = float64(res.Rows[0].Time) / float64(row.Time)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Per-kind summary and routing evidence, from the serial baseline and
+	// the planner's now-learned history (empty sample: no fresh probes).
+	for _, kind := range engine.Kinds() {
+		kr := E9KindRow{Kind: kind}
+		for i := range base {
+			if base[i].Request.Kind != kind {
+				continue
+			}
+			kr.Requests++
+			kr.Index = base[i].Index
+			kr.Results += base[i].Stats.Results
+			kr.PagesRead += base[i].Stats.PagesRead
+			kr.IndexReads += base[i].Stats.IndexReads
+		}
+		if kr.Requests == 0 {
+			continue
+		}
+		d := m.Engine.PlanKind(kind, nil)
+		kr.Cost = d.CostPerQuery[kr.Index]
+		res.Kinds = append(res.Kinds, kr)
+		res.Decisions = append(res.Decisions, d)
+	}
+	return res, nil
+}
+
+// E9Table renders the worker sweep.
+func E9Table(rows []E9Row) *stats.Table {
+	tb := stats.NewTable("E9 (north star): mixed range/kNN/point/within workload through the Session front door"+
+		"\n(identical output per row — the DoBatch determinism guarantee)",
+		"workers", "time", "speedup", "pages", "results")
+	for _, r := range rows {
+		tb.AddRow(r.Workers, stats.Dur(r.Time), fmt.Sprintf("%.2fx", r.Speedup), r.PagesRead, r.Results)
+	}
+	return tb
+}
+
+// E9KindTable renders the per-kind summary.
+func E9KindTable(res *E9Result) *stats.Table {
+	tb := stats.NewTable("E9 per-kind summary (serial baseline)",
+		"kind", "requests", "routed to", "est. reads/query", "results", "pages", "index reads")
+	for _, k := range res.Kinds {
+		tb.AddRow(k.Kind.String(), k.Requests, k.Index, fmt.Sprintf("%.1f", k.Cost),
+			k.Results, k.PagesRead, k.IndexReads)
+	}
+	return tb
+}
+
+// E9RoutingTable renders the planner's per-kind decision across the full
+// contender set — the routing-table panel of the mixed workload.
+func E9RoutingTable(res *E9Result) *stats.Table {
+	tb := stats.NewTable("E9 routing: planner decision per kind across contenders",
+		"kind", "contender", "est. reads/query", "chosen")
+	for _, d := range res.Decisions {
+		for _, name := range []string{"flat", "rtree", "grid", "sharded"} {
+			cost, ok := d.CostPerQuery[name]
+			if !ok {
+				continue
+			}
+			chosen := ""
+			if d.Index != nil && d.Index.Name() == name {
+				chosen = "<-"
+			}
+			tb.AddRow(d.Kind.String(), name, fmt.Sprintf("%.1f", cost), chosen)
+		}
+	}
+	return tb
+}
+
+// RunSessionDemo builds a small model and serves a handful of requests of
+// the named kind through the model's planner-routed Session — the cmd
+// drivers' -kind/-k/-radius front-door demo.
+func RunSessionDemo(kindName string, k int, radius float64, workers int) (*stats.Table, error) {
+	kind, err := engine.ParseKind(kindName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := buildModel(96, 300, 23, workers)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: session demo: %w", err)
+	}
+	rng := newRand(23)
+	vol := m.Circuit.Params.Volume
+	c := vol.Center()
+	span := vol.Size().Scale(0.25)
+	reqs := make([]engine.Request, 6)
+	for i := range reqs {
+		p := geom.V(
+			c.X+(rng.Float64()*2-1)*span.X,
+			c.Y+(rng.Float64()*2-1)*span.Y,
+			c.Z+(rng.Float64()*2-1)*span.Z,
+		)
+		switch kind {
+		case engine.Range:
+			reqs[i] = engine.RangeRequest(geom.BoxAround(p, radius))
+		case engine.KNN:
+			reqs[i] = engine.KNNRequest(p, k)
+		case engine.Point:
+			reqs[i] = engine.PointRequest(p)
+		case engine.WithinDistance:
+			reqs[i] = engine.WithinDistanceRequest(p, radius)
+		}
+	}
+	results, err := m.DoBatch(context.Background(), reqs, 1)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable(fmt.Sprintf("session demo: %d %s requests through the planner-routed front door", len(reqs), kind),
+		"request", "routed to", "results", "pages", "index reads", "entries tested")
+	for _, r := range results {
+		tb.AddRow(r.Request.String(), r.Index, r.Stats.Results, r.Stats.PagesRead,
+			r.Stats.IndexReads, r.Stats.EntriesTested)
+	}
+	return tb, nil
+}

@@ -188,6 +188,10 @@ func (idx *Index) Options() Options { return idx.opts }
 // PageBox returns the MBR of page p.
 func (idx *Index) PageBox(p pager.PageID) geom.AABB { return idx.pageBox[p] }
 
+// ItemBox returns the MBR of item id — the exact-geometry handle the
+// engine's distance-based query kinds (kNN, within-distance) refine against.
+func (idx *Index) ItemBox(id int32) geom.AABB { return idx.boxes[id] }
+
 // PageOf returns the page an item is laid out on.
 func (idx *Index) PageOf(id int32) pager.PageID { return idx.pageOf[id] }
 

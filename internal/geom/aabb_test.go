@@ -208,6 +208,67 @@ func TestQuickClampDist(t *testing.T) {
 	}
 }
 
+// Property: Dist2Point is zero iff the box contains the point — the
+// correctness hinge of the engine's kNN and within-distance kinds (a hit at
+// distance zero must be exactly a stabbing hit).
+func TestQuickDist2PointZeroIffContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		b := randBox(rng, 20)
+		p := randVec(rng, 40)
+		if (b.Dist2Point(p) == 0) != b.Contains(p) {
+			t.Fatalf("Dist2Point=%v but Contains=%v for %v %v", b.Dist2Point(p), b.Contains(p), b, p)
+		}
+		// Points sampled inside the box are at distance zero, including the
+		// corners themselves.
+		inside := b.Clamp(randVec(rng, 40))
+		if b.Dist2Point(inside) != 0 {
+			t.Fatalf("clamped point %v at distance %v from %v", inside, b.Dist2Point(inside), b)
+		}
+	}
+	// Exact boundary: a face point is contained, distance zero.
+	b := Box(V(0, 0, 0), V(2, 3, 4))
+	for _, p := range []Vec{V(0, 1, 1), V(2, 3, 4), V(1, 0, 4)} {
+		if d := b.Dist2Point(p); d != 0 || !b.Contains(p) {
+			t.Fatalf("boundary point %v: dist %v contains %v", p, d, b.Contains(p))
+		}
+	}
+}
+
+// Property: Dist2Box of a degenerate (point) box equals Dist2Point, and
+// Dist2Box lower-bounds the squared distance between any pair of contained
+// points — the pruning-bound property the kNN scans rely on.
+func TestQuickDist2BoxPointConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		b := randBox(rng, 20)
+		p := randVec(rng, 40)
+		pt := Box(p, p)
+		if got, want := b.Dist2Box(pt), b.Dist2Point(p); math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("Dist2Box(point)=%v Dist2Point=%v for %v %v", got, want, b, p)
+		}
+		// Lower bound: for sampled points inside each box, the pairwise
+		// squared distance is never below Dist2Box.
+		o := randBox(rng, 20)
+		d := b.Dist2Box(o)
+		pi, pj := b.Clamp(randVec(rng, 40)), o.Clamp(randVec(rng, 40))
+		if pd := pi.Dist2(pj); pd < d-1e-9*(1+d) {
+			t.Fatalf("contained points at %v below Dist2Box=%v for %v %v", pd, d, b, o)
+		}
+	}
+	// Exactly touching boxes are at distance zero (face, edge and corner).
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	for _, o := range []AABB{
+		Box(V(1, 0, 0), V(2, 1, 1)),
+		Box(V(1, 1, 0), V(2, 2, 1)),
+		Box(V(1, 1, 1), V(2, 2, 2)),
+	} {
+		if d := a.Dist2Box(o); d != 0 {
+			t.Fatalf("touching boxes %v %v at distance %v", a, o, d)
+		}
+	}
+}
+
 func TestTranslateAndExtendPoint(t *testing.T) {
 	b := Box(V(0, 0, 0), V(1, 1, 1))
 	if got := b.Translate(V(2, -1, 3)); got != Box(V(2, -1, 3), V(3, 0, 4)) {

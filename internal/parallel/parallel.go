@@ -27,6 +27,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -213,6 +214,79 @@ func Batch[S, H any](workers, n int, run func(qi int, emit func(H)) S,
 		}
 	}
 	return out
+}
+
+// BatchCtx is Batch with context cancellation and per-slot errors — the
+// executor under the engine's Session.DoBatch. The determinism contract is
+// all-or-nothing: on success the visits are exactly the serial loop's output
+// in slot order (the Batch guarantee); on failure nothing is visited and the
+// error is deterministic.
+//
+// Cancellation is checked before every slot in every worker (and the slot
+// runners themselves check at page-read granularity via their page sources),
+// so a canceled batch stops promptly: in-flight slots abort at their next
+// page read, unstarted slots never run. A canceled ctx always wins the error:
+// BatchCtx returns (nil, ctx.Err()). Slot errors unrelated to ctx do not stop
+// other slots (they are expected to be rare — request validation happens
+// before execution); after the pool drains, the error of the lowest-indexed
+// failed slot is returned, so the reported error does not depend on
+// scheduling.
+func BatchCtx[S, H any](ctx context.Context, workers, n int,
+	run func(qi int, emit func(H)) (S, error),
+	visit func(qi int, h H)) ([]S, error) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]S, n)
+	if n == 0 {
+		return out, nil
+	}
+	errs := make([]error, n)
+	var bufs [][]H
+	if visit != nil {
+		bufs = make([][]H, n)
+	}
+	runSlot := func(qi int) {
+		if ctx.Err() != nil {
+			return
+		}
+		emit := func(H) {}
+		if visit != nil {
+			emit = func(h H) { bufs[qi] = append(bufs[qi], h) }
+		}
+		out[qi], errs[qi] = run(qi, emit)
+	}
+	w := 1
+	if workers != 0 && workers != 1 {
+		w = Workers(workers)
+	}
+	if w <= 1 || n <= 1 {
+		for qi := 0; qi < n; qi++ {
+			runSlot(qi)
+		}
+	} else {
+		ForEach(w, n, func(_, qi int) { runSlot(qi) })
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for qi := range errs {
+		if errs[qi] != nil {
+			return nil, errs[qi]
+		}
+	}
+	if visit != nil {
+		for qi := range bufs {
+			for _, h := range bufs[qi] {
+				visit(qi, h)
+			}
+		}
+	}
+	return out, nil
 }
 
 // Map runs fn for every slot in [0, n) across the pool and returns the
