@@ -1,0 +1,51 @@
+package engine_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"neurospatial/internal/engine"
+	"neurospatial/internal/geom"
+)
+
+// Scratch repro: a planner-routed session serving a profiled Range workload
+// concurrently with a first-time KNN plan (which probes, toggling
+// Sharded.probeCold) — is the read path racy?
+func TestScratchProbeVsQueryRace(t *testing.T) {
+	items := mkItems(512)
+	sh := engine.NewSharded(engine.ShardedOptions{Shards: 4, PoolPages: 8})
+	if err := sh.Build(items); err != nil {
+		t.Fatal(err)
+	}
+	p := engine.NewPlanner(sh)
+	sess, err := engine.Open(engine.WithPlanner(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rangeReq := engine.RangeRequest(geom.Box(geom.V(0, 0, 0), geom.V(50, 50, 50)))
+	// Profile Range so later Range Dos don't probe.
+	if _, err := sess.Do(ctx, rangeReq); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := sess.Do(ctx, rangeReq); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		// First KNN plan: probes the sharded index, toggling probeCold.
+		if _, err := sess.Do(ctx, engine.KNNRequest(geom.V(10, 10, 10), 5)); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+}
