@@ -7,17 +7,28 @@
 // Usage:
 //
 //	go run ./cmd/datagen -out circuit.nsc [-neurons N] [-edge E] [-seed S] [-layered]
+//	go run ./cmd/datagen -out circuit.nsc -churn 3   # also simulate 3 mutation
+//	                                                 # batches on the generated
+//	                                                 # dataset and report the
+//	                                                 # maintenance cost
 //	go run ./cmd/datagen -info circuit.nsc
+//
+// -info and -out are mutually exclusive, and -churn applies only with -out;
+// contradictory combinations are rejected with a one-line usage error
+// instead of one flag silently winning.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 
 	"neurospatial/internal/circuit"
+	"neurospatial/internal/engine"
 	"neurospatial/internal/geom"
+	"neurospatial/internal/rtree"
 	"neurospatial/internal/stats"
 )
 
@@ -31,7 +42,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	layered := flag.Bool("layered", false, "use the cortical layer density profile")
 	workers := flag.Int("workers", -1, "morphology generation workers (0 or 1: serial; negative: one per CPU)")
+	churn := flag.Int("churn", 0, "with -out: simulate this many mutation batches on the generated dataset and report the maintenance cost")
 	flag.Parse()
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "datagen: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(2)
+	}
+	if *info != "" && *out != "" {
+		usageErr("-info and -out are mutually exclusive")
+	}
+	if *churn < 0 {
+		usageErr("-churn needs a non-negative batch count (got %d)", *churn)
+	}
+	if *churn > 0 && *out == "" {
+		usageErr("-churn applies only with -out (there is no dataset to mutate)")
+	}
 
 	switch {
 	case *info != "":
@@ -39,7 +65,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *out != "":
-		if err := generate(*out, *neurons, *edge, *seed, *layered, *workers); err != nil {
+		if err := generate(*out, *neurons, *edge, *seed, *layered, *workers, *churn); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -48,7 +74,7 @@ func main() {
 	}
 }
 
-func generate(path string, neurons int, edge float64, seed int64, layered bool, workers int) error {
+func generate(path string, neurons int, edge float64, seed int64, layered bool, workers, churn int) error {
 	p := circuit.DefaultParams()
 	p.Neurons = neurons
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(edge, edge, edge))
@@ -78,7 +104,59 @@ func generate(path string, neurons int, edge float64, seed int64, layered bool, 
 	}
 	fmt.Printf("wrote %s: %d neurons, %s elements, %s on disk (density %.4f elems/µm³)\n",
 		path, neurons, stats.Count(int64(len(c.Elements))), stats.Bytes(st.Size()), c.Density())
+	if churn > 0 {
+		return churnReport(c, seed, churn)
+	}
 	return nil
+}
+
+// churnReport simulates batched mutations against a Dataset built over the
+// generated circuit and prints the maintenance cost — what keeping this
+// dataset's indexes current would cost per update batch, without a full
+// rebuild. The written file is the pristine epoch-0 circuit; the churn is a
+// simulation on top of it.
+func churnReport(c *circuit.Circuit, seed int64, batches int) error {
+	items := make([]rtree.Item, len(c.Elements))
+	for i := range c.Elements {
+		items[i] = rtree.Item{Box: c.Elements[i].Bounds(), ID: c.Elements[i].ID}
+	}
+	ds, err := engine.NewDataset(items, engine.DatasetOptions{Contenders: []string{"flat"}})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vol := c.Params.Volume
+	size := vol.Size()
+	live := make([]int32, len(items))
+	for i := range live {
+		live[i] = int32(i)
+	}
+	for b := 0; b < batches; b++ {
+		tx := ds.Begin()
+		for i := 0; i < 64; i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				p := geom.V(
+					vol.Min.X+rng.Float64()*size.X,
+					vol.Min.Y+rng.Float64()*size.Y,
+					vol.Min.Z+rng.Float64()*size.Z,
+				)
+				live = append(live, tx.Insert(geom.BoxAround(p, 1+rng.Float64()*4)))
+			} else {
+				j := rng.Intn(len(live))
+				tx.Delete(live[j])
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	st := ds.Stats()
+	tb := stats.NewTable(fmt.Sprintf("simulated churn: %d batches of 64 ops over the generated dataset", batches),
+		"epoch", "live", "delta", "tombstones", "compactions", "layout shared/patched/appended")
+	tb.AddRow(st.Epoch, st.Live, st.DeltaEntries, st.Tombstones, st.Compactions,
+		fmt.Sprintf("%d/%d/%d", st.Cow.Shared, st.Cow.Patched, st.Cow.Appended))
+	return tb.Render(os.Stdout)
 }
 
 func printInfo(path string) error {

@@ -11,8 +11,12 @@
 //	go run ./cmd/flatbench -batch     # E7: batched concurrent-query worker sweep
 //	go run ./cmd/flatbench -shards -1 # E8: sharded scatter-gather sweep + routing
 //	go run ./cmd/flatbench -shards 4  # E8 pinned to one shard count
+//	go run ./cmd/flatbench -shards 4 -index rtree  # E8 with R-tree sub-indexes
 //	go run ./cmd/flatbench -mixed     # E9: mixed range/kNN/point/within workload
 //	                                  # through the Session front door + routing
+//	go run ./cmd/flatbench -churn     # E10: interleaved updates and queries
+//	                                  # through the mutable Dataset (snapshot
+//	                                  # isolation + worker invariance enforced)
 //	go run ./cmd/flatbench -all       # everything
 //
 //	go run ./cmd/flatbench -kind knn -k 8       # one-off Session demo: a handful
@@ -20,8 +24,14 @@
 //	                                  # planner-routed, with per-request stats
 //
 //	go run ./cmd/flatbench -json BENCH_engine.json [-quick]
-//	                                  # machine-readable E1/E4/E7/E8/E9 headline
-//	                                  # numbers (the CI artifact, schema 3)
+//	                                  # machine-readable E1/E4/E7/E8/E9/E10
+//	                                  # headline numbers (the CI artifact,
+//	                                  # schema 4)
+//
+// Contradictory flag combinations (-k without -kind knn, -radius with a
+// kind that has no radius, -index without -shards, -quick without -json)
+// are rejected with a one-line usage error instead of being silently
+// ignored.
 //
 // The -workers flag follows the repository-wide convention (see README):
 // 0 or 1 run serially, values > 1 use that many workers, negative values
@@ -45,15 +55,39 @@ func main() {
 	scale := flag.Bool("scale", false, "run E6 (scaling)")
 	batch := flag.Bool("batch", false, "run E7 (batched concurrent queries)")
 	shards := flag.Int("shards", 0, "run E8 (sharded scatter-gather): > 0 pins the shard count, -1 runs the default sweep")
+	index := flag.String("index", "", "with -shards: the E8 per-shard contender (flat, rtree, grid)")
 	mixed := flag.Bool("mixed", false, "run E9 (mixed range/kNN/point/within workload through the Session front door)")
+	churn := flag.Bool("churn", false, "run E10 (interleaved updates and queries through the mutable Dataset)")
 	all := flag.Bool("all", false, "run every FLAT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
-	jsonOut := flag.String("json", "", "write E1/E4/E7/E8/E9 headline numbers as JSON to this path and exit")
+	jsonOut := flag.String("json", "", "write E1/E4/E7/E8/E9/E10 headline numbers as JSON to this path and exit")
 	quick := flag.Bool("quick", false, "with -json: use the reduced CI-scale configurations")
 	kind := flag.String("kind", "", "run a one-off Session demo of this query kind (range, knn, point, within) and exit")
 	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
 	radius := flag.Float64("radius", 20, "with -kind range/within: the query radius")
 	flag.Parse()
+
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "flatbench: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(2)
+	}
+	if set["k"] && *kind != "knn" {
+		usageErr("-k applies only to -kind knn (got -kind %q)", *kind)
+	}
+	if set["radius"] && *kind != "range" && *kind != "within" {
+		usageErr("-radius applies only to -kind range or within (got -kind %q)", *kind)
+	}
+	if set["quick"] && *jsonOut == "" {
+		usageErr("-quick applies only with -json")
+	}
+	if set["index"] && *shards == 0 {
+		usageErr("-index selects the E8 per-shard contender; pass -shards too")
+	}
+	if set["index"] && *index != "flat" && *index != "rtree" && *index != "grid" {
+		usageErr("-index must be flat, rtree or grid (got %q)", *index)
+	}
 
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut, *quick, *workers); err != nil {
@@ -72,7 +106,7 @@ func main() {
 		return
 	}
 
-	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && *shards == 0)
+	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && !*churn && *shards == 0)
 	if runDensity {
 		cfg := experiments.DefaultE1()
 		cfg.Workers = *workers
@@ -127,6 +161,9 @@ func main() {
 		if *shards > 0 {
 			cfg.ShardCounts = []int{*shards}
 		}
+		if *index != "" {
+			cfg.Index = *index
+		}
 		res, err := experiments.RunE8(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -156,6 +193,22 @@ func main() {
 		}
 		fmt.Println()
 		if err := experiments.E9RoutingTable(res).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *churn {
+		cfg := experiments.DefaultE10()
+		cfg.Workers = *workers
+		res, err := experiments.RunE10(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E10Table(res.Rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := experiments.E10RoutingTable(res).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -18,11 +18,20 @@
 //
 //	go run ./cmd/neurodemo [-neurons N] [-station 1|2|3] [-workers W]
 //	                       [-kind range|knn|point|within] [-k K] [-radius R]
+//	                       [-churn B]
 //
 // Station 1 ends with the engine's Session front door: the query the -kind
 // flag selects (default knn) runs planner-routed through engine.Session and
 // its per-request statistics are printed — the "one front door, any query
-// kind" face of the unified engine.
+// kind" face of the unified engine. With -churn B, station 1 additionally
+// demonstrates the mutable Dataset lifecycle: B batched mutations are
+// committed while a pre-churn session stays pinned to its epoch, and the
+// pinned-vs-current answers are printed side by side (snapshot isolation,
+// live).
+//
+// Contradictory flag combinations (-k without -kind knn, -radius with a
+// kind that has no radius, -station outside 1..3) are rejected with a
+// one-line usage error instead of being silently ignored.
 //
 // The -workers flag follows the repository-wide convention (see README):
 // 0 or 1 run serially, values > 1 use that many workers, negative values
@@ -36,6 +45,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"math/rand"
 	"os"
 	"time"
 
@@ -59,7 +69,27 @@ func main() {
 	kindName := flag.String("kind", "knn", "query kind of station 1's Session showcase (range, knn, point, within)")
 	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
 	radius := flag.Float64("radius", 20, "with -kind range/within: the query radius")
+	churn := flag.Int("churn", 0, "station 1: also demo the mutable Dataset with this many mutation batches")
 	flag.Parse()
+
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "neurodemo: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(2)
+	}
+	if set["k"] && *kindName != "knn" {
+		usageErr("-k applies only to -kind knn (got -kind %q)", *kindName)
+	}
+	if set["radius"] && *kindName != "range" && *kindName != "within" {
+		usageErr("-radius applies only to -kind range or within (got -kind %q)", *kindName)
+	}
+	if set["station"] && (*station < 0 || *station > 3) {
+		usageErr("-station must be 1, 2 or 3 (0 runs all; got %d)", *station)
+	}
+	if set["churn"] && *churn <= 0 {
+		usageErr("-churn needs a positive batch count (got %d)", *churn)
+	}
 
 	p := circuit.DefaultParams()
 	p.Neurons = *neurons
@@ -75,6 +105,9 @@ func main() {
 
 	if *station == 0 || *station == 1 {
 		station1(model, *kindName, *k, *radius)
+		if *churn > 0 {
+			station1Churn(model, *churn)
+		}
 	}
 	if *station == 0 || *station == 2 {
 		station2(model)
@@ -115,10 +148,17 @@ func station1(model *core.Model, kindName string, k int, radius float64) {
 	tb.Render(os.Stdout)
 	fmt.Printf("both retrieved %d elements\n", cmp.Results)
 
-	// The engine's planner routes a batch of such queries to the cheapest
+	// The session's planner routes a batch of such queries to the cheapest
 	// contender after calibrating each one on a small sample.
-	batch := []geom.AABB{q, q.Expand(-10), q.Expand(10)}
-	_, decision := model.Engine.Run(batch, 1, nil)
+	batch := []engine.Request{
+		engine.RangeRequest(q),
+		engine.RangeRequest(q.Expand(-10)),
+		engine.RangeRequest(q.Expand(10)),
+	}
+	if _, err := model.DoBatch(context.Background(), batch, 1); err != nil {
+		log.Fatal(err)
+	}
+	decision := model.Session().Planner().PlanKind(engine.Range, nil)
 	fmt.Printf("engine planner: %s\n\n", decision)
 
 	// Figure 4: the crawl order, each page labeled by retrieval order.
@@ -168,6 +208,75 @@ func station1(model *core.Model, kindName string, k int, radius float64) {
 			res.Hits[0].ID, math.Sqrt(res.Hits[0].Dist2))
 	}
 	fmt.Println()
+}
+
+// station1Churn demonstrates the mutable Dataset lifecycle: batched
+// mutations commit new snapshot epochs while a pre-churn session stays
+// pinned — the audience sees the pinned and current answers diverge as the
+// "tissue keeps growing".
+func station1Churn(model *core.Model, batches int) {
+	fmt.Println("--- station 1b: the model keeps growing (mutable Dataset) ---")
+	ctx := context.Background()
+	center := model.Circuit.Params.Volume.Center()
+	req := engine.WithinDistanceRequest(center, 30)
+
+	pinned, err := model.OpenSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pinned.Close()
+	before, err := pinned.Do(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	vol := model.Circuit.Params.Volume
+	size := vol.Size()
+	for b := 0; b < batches; b++ {
+		if _, err := model.Mutate(func(tx *engine.Tx) error {
+			for i := 0; i < 16; i++ {
+				p := geom.V(
+					vol.Min.X+rng.Float64()*size.X,
+					vol.Min.Y+rng.Float64()*size.Y,
+					vol.Min.Z+rng.Float64()*size.Z,
+				)
+				tx.Insert(geom.BoxAround(p, 1+rng.Float64()*3))
+			}
+			tx.Delete(int32(b)) // retire one original element per batch
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	after, err := model.Do(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := pinned.Do(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := model.Dataset.Stats()
+	tb := stats.NewTable(fmt.Sprintf("dataset after %d commits (epoch %d)", st.Commits, st.Epoch),
+		"live", "delta", "tombstones", "layout shared/patched/appended")
+	tb.AddRow(st.Live, st.DeltaEntries, st.Tombstones,
+		fmt.Sprintf("%d/%d/%d", st.Cow.Shared, st.Cow.Patched, st.Cow.Appended))
+	tb.Render(os.Stdout)
+
+	tb2 := stats.NewTable("snapshot isolation, live: the same query, two epochs",
+		"session", "epoch", "results", "delta tested", "tombs filtered")
+	tb2.AddRow("pinned pre-churn", pinned.Snapshot().Epoch(), len(again.Hits),
+		again.Stats.DeltaEntries, again.Stats.Tombstones)
+	tb2.AddRow("current", model.Session().Snapshot().Epoch(), len(after.Hits),
+		after.Stats.DeltaEntries, after.Stats.Tombstones)
+	tb2.Render(os.Stdout)
+	if len(again.Hits) != len(before.Hits) {
+		log.Fatalf("pinned session drifted: %d hits, had %d", len(again.Hits), len(before.Hits))
+	}
+	fmt.Printf("the pinned session replayed its epoch exactly (%d hits) while %d commits landed\n\n",
+		len(before.Hits), st.Commits)
 }
 
 func station2(model *core.Model) {

@@ -6,6 +6,7 @@
 //
 //	go run ./cmd/scoutbench            # E4: speedup comparison
 //	go run ./cmd/scoutbench -pruning   # E3: candidate pruning
+//	go run ./cmd/scoutbench -index grid     # E4 served by another contender
 //	go run ./cmd/scoutbench -shards 4  # E4 over the sharded engine index:
 //	                                   # the same walkthroughs + prefetchers
 //	                                   # (SCOUT included) served by a
@@ -15,6 +16,14 @@
 //	go run ./cmd/scoutbench -kind knn -k 8  # one-off Session demo: a handful of
 //	                                   # requests of that kind through the
 //	                                   # planner-routed engine front door
+//	go run ./cmd/scoutbench -churn 3   # mutable-dataset demo: 3 mutation
+//	                                   # batches, then the maintenance panel
+//	                                   # and a mixed batch from the churned
+//	                                   # snapshot
+//
+// Contradictory flag combinations (-shards with -index ≠ sharded, -k
+// without -kind knn, -radius with a kind that has no radius) are rejected
+// with a one-line usage error instead of being silently ignored.
 //
 // The -workers flag follows the repository-wide convention (see README):
 // 0 or 1 run serially, values > 1 use that many workers, negative values
@@ -38,12 +47,49 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the walkthrough-length sweep (the 'up to 15x' series)")
 	all := flag.Bool("all", false, "run every SCOUT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
+	index := flag.String("index", "", "engine contender serving the E4 walkthroughs (flat, rtree, grid, sharded)")
 	shards := flag.Int("shards", 0, "serve E4 walkthroughs from the sharded engine index with this shard count (0: unsharded FLAT)")
 	kind := flag.String("kind", "", "run a one-off Session demo of this query kind (range, knn, point, within) and exit")
 	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
 	radius := flag.Float64("radius", 20, "with -kind range/within: the query radius")
+	churn := flag.Int("churn", 0, "run the mutable-dataset demo with this many mutation batches and exit")
 	flag.Parse()
 
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "scoutbench: %s\n", fmt.Sprintf(format, args...))
+		os.Exit(2)
+	}
+	if set["shards"] && set["index"] && *index != "sharded" {
+		usageErr("-shards configures the sharded contender; it contradicts -index %q", *index)
+	}
+	if set["index"] && *index != "flat" && *index != "rtree" && *index != "grid" && *index != "sharded" {
+		usageErr("-index must be flat, rtree, grid or sharded (got %q)", *index)
+	}
+	if set["k"] && *kind != "knn" {
+		usageErr("-k applies only to -kind knn (got -kind %q)", *kind)
+	}
+	if set["radius"] && *kind != "range" && *kind != "within" {
+		usageErr("-radius applies only to -kind range or within (got -kind %q)", *kind)
+	}
+	if set["churn"] && *churn <= 0 {
+		usageErr("-churn needs a positive batch count (got %d)", *churn)
+	}
+
+	if *churn > 0 {
+		tables, err := experiments.RunChurnDemo(*churn, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tb := range tables {
+			if err := tb.Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
 	if *kind != "" {
 		tb, err := experiments.RunSessionDemo(*kind, *k, *radius, *workers)
 		if err != nil {
@@ -58,6 +104,9 @@ func main() {
 	if *all || (!*pruning && !*sweep) {
 		cfg := experiments.DefaultE4()
 		cfg.Workers = *workers
+		if *index != "" {
+			cfg.Index = *index
+		}
 		if *shards > 0 {
 			cfg.Index = "sharded"
 			cfg.Shards = *shards
@@ -86,6 +135,9 @@ func main() {
 	if *all || *sweep {
 		cfg := experiments.DefaultE4()
 		cfg.Workers = *workers
+		if *index != "" {
+			cfg.Index = *index
+		}
 		if *shards > 0 {
 			cfg.Index = "sharded"
 			cfg.Shards = *shards

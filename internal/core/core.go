@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"neurospatial/internal/circuit"
@@ -46,6 +47,11 @@ type Options struct {
 	// Shards is the spatial shard count of the sharded scatter-gather
 	// contender. Values <= 0 select 4.
 	Shards int
+	// DatasetCompactMin and DatasetCompactRatio tune the model dataset's
+	// auto-compaction trigger (see engine.DatasetOptions); zero values keep
+	// the engine defaults.
+	DatasetCompactMin   int
+	DatasetCompactRatio float64
 }
 
 // DefaultOptions returns the configuration used by the experiments.
@@ -62,34 +68,126 @@ type Model struct {
 	// RTree is the element-level R-tree baseline, with fanout equal to the
 	// FLAT page size so node reads and page reads are comparable.
 	RTree *rtree.Tree
-	// Engine is the unified query layer over the circuit: the FLAT, R-tree
-	// and grid contenders behind one engine.SpatialIndex interface, with the
-	// stats-driven planner routing batches between them. The experiment
-	// harnesses and cmd drivers query through it; Flat and RTree above
-	// remain as direct handles for construction-level tooling.
+	// Engine is the unified query layer over the circuit as built: the FLAT,
+	// R-tree, grid and sharded contenders behind one engine.SpatialIndex
+	// interface, with the stats-driven planner routing batches between them.
+	// The walkthrough/prefetch harnesses and the legacy experiment tables
+	// query through it; it serves the initial build (epoch 0) and is not
+	// affected by Mutate — mutable reads go through Session/Do/DoBatch.
 	Engine *engine.Planner
-	// session is the model's query front door: a planner-routed
-	// engine.Session serving every request kind.
+	// Dataset is the model's mutable ownership layer: the same four
+	// contenders as epoch-0 bases of an engine.Dataset, so batched mutations
+	// (Mutate) publish new snapshot epochs and sessions pin consistent
+	// views. Compaction rebuilds fresh contender instances; Engine, Flat and
+	// RTree above keep serving the initial build.
+	Dataset *engine.Dataset
+	// session is the model's query front door: a Session pinned to the
+	// Dataset's latest snapshot, re-pinned (under sessMu) after every
+	// Mutate/Compact.
+	sessMu  sync.RWMutex
 	session *engine.Session
 	opts    Options
 }
 
-// Session returns the model's query front door: a planner-routed
-// engine.Session over all four contenders. All request kinds (range, kNN,
-// point stabbing, within-distance) execute through it with context
-// cancellation; per-kind routing sharpens as the session observes executed
-// costs.
-func (m *Model) Session() *engine.Session { return m.session }
+// Session returns the model's query front door: an engine.Session pinned to
+// the Dataset's latest committed snapshot, planner-routed over all four
+// contender views. All request kinds (range, kNN, point stabbing,
+// within-distance) execute through it with context cancellation; per-kind
+// routing sharpens as the session observes executed costs. The session is
+// replaced (re-pinned) by Mutate and Compact; use OpenSession for a view
+// that must stay frozen while the model mutates.
+//
+// Session, Do, DoBatch, Mutate and Compact are safe for concurrent use: a
+// query holds the session it started with (pinned snapshots are immutable,
+// so a concurrently landing commit cannot disturb it). Note the pin
+// accounting is released when Mutate swaps the default session out, so
+// Dataset.Stats().Pinned is advisory for in-flight default-session queries.
+func (m *Model) Session() *engine.Session {
+	m.sessMu.RLock()
+	defer m.sessMu.RUnlock()
+	return m.session
+}
+
+// OpenSession opens a new snapshot-pinned session on the model's Dataset:
+// it sees the current epoch, consistently, no matter how many Mutate calls
+// land afterwards. The caller owns it and must Close it.
+func (m *Model) OpenSession() (*engine.Session, error) {
+	return engine.Open(engine.WithDataset(m.Dataset))
+}
+
+// Mutate applies one batched mutation to the model's dataset: apply buffers
+// Insert/Delete/Update operations on the transaction, and a nil error
+// commits them atomically, publishing (and returning) a new snapshot epoch.
+// The model's default Session is re-pinned to it; sessions opened earlier
+// keep their epochs. A non-nil error from apply rolls the batch back.
+//
+// Mutations change what the engine serves, not the Circuit: elements stay
+// the geometric ground truth of the initial build (joins and walkthrough
+// harnesses read them directly), while the dataset tracks the evolving item
+// set the query front door answers for.
+func (m *Model) Mutate(apply func(tx *engine.Tx) error) (*engine.Snapshot, error) {
+	tx := m.Dataset.Begin()
+	if err := apply(tx); err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	snap, err := tx.Commit()
+	if snap != nil {
+		// A snapshot was published even if err != nil (a committed batch
+		// whose auto-compaction failed — see Tx.Commit); the default session
+		// must still advance to it.
+		if rerr := m.repin(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return snap, err
+}
+
+// Compact folds the dataset's delta overlay into a fresh base build (see
+// engine.Dataset.Compact) and re-pins the model's default session.
+func (m *Model) Compact() (*engine.Snapshot, error) {
+	snap, err := m.Dataset.Compact()
+	if err != nil {
+		return nil, err
+	}
+	return snap, m.repin()
+}
+
+// repin replaces the default session with one pinned to the latest
+// snapshot. Concurrent Mutates may race here, so the swap is epoch-guarded:
+// a session pinned to an older epoch never replaces a newer one (the loser
+// of the race closes its own session instead). The replaced session is
+// closed after the swap; a query that already fetched it keeps working (its
+// snapshot stays alive — Close only drops the advisory pin count).
+func (m *Model) repin() error {
+	sess, err := engine.Open(engine.WithDataset(m.Dataset))
+	if err != nil {
+		return fmt.Errorf("core: re-pinning session: %w", err)
+	}
+	m.sessMu.Lock()
+	old := m.session
+	if old != nil && old.Snapshot().Epoch() >= sess.Snapshot().Epoch() {
+		m.sessMu.Unlock()
+		sess.Close()
+		return nil
+	}
+	m.session = sess
+	m.sessMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
 
 // Do executes one typed request through the model's session.
 func (m *Model) Do(ctx context.Context, req engine.Request) (engine.Result, error) {
-	return m.session.Do(ctx, req)
+	return m.Session().Do(ctx, req)
 }
 
 // DoBatch executes a (possibly mixed-kind) request batch through the
 // model's session with the repository-wide workers semantics.
 func (m *Model) DoBatch(ctx context.Context, reqs []engine.Request, workers int) ([]engine.Result, error) {
-	return m.session.DoBatch(ctx, reqs, workers)
+	return m.Session().DoBatch(ctx, reqs, workers)
 }
 
 // EngineIndex returns the named engine contender ("flat", "rtree", "grid",
@@ -142,12 +240,29 @@ func NewModel(c *circuit.Circuit, opts Options) (*Model, error) {
 	if err := es.Build(items); err != nil {
 		return nil, fmt.Errorf("core: building sharded index: %w", err)
 	}
-	planner := engine.NewPlanner(engine.WrapFlat(f), ert, eg, es)
-	sess, err := engine.Open(engine.WithPlanner(planner))
+	eflat := engine.WrapFlat(f)
+	planner := engine.NewPlanner(eflat, ert, eg, es)
+	// The same contender instances double as the dataset's epoch-0 bases:
+	// snapshots share them read-only, and compactions build fresh ones from
+	// the options below.
+	ds, err := engine.NewDataset(items, engine.DatasetOptions{
+		Contenders:   []string{"flat", "rtree", "grid", "sharded"},
+		Flat:         opts.Flat,
+		RTreeFanout:  opts.RTreeFanout,
+		Grid:         engine.GridOptions{PageSize: opts.Flat.PageSize},
+		Shards:       opts.Shards,
+		CompactMin:   opts.DatasetCompactMin,
+		CompactRatio: opts.DatasetCompactRatio,
+		Bases:        []engine.SpatialIndex{eflat, ert, eg, es},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: opening session: %w", err)
+		return nil, fmt.Errorf("core: building dataset: %w", err)
 	}
-	return &Model{Circuit: c, Flat: f, RTree: rt, Engine: planner, session: sess, opts: opts}, nil
+	m := &Model{Circuit: c, Flat: f, RTree: rt, Engine: planner, Dataset: ds, opts: opts}
+	if err := m.repin(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Segment returns the capsule geometry of an element.
@@ -185,20 +300,25 @@ type QueryComparison struct {
 }
 
 // CompareRangeQuery runs the same box-filter query on the engine's FLAT and
-// R-tree contenders and returns both cost profiles. It panics if the two
-// indexes disagree on the result — they never should.
+// R-tree contenders — through the Request front door — and returns both cost
+// profiles. It panics if the two indexes disagree on the result — they never
+// should.
 func (m *Model) CompareRangeQuery(q geom.AABB) QueryComparison {
 	var cmp QueryComparison
 	eflat, ertree := m.Engine.Index("flat"), m.Engine.Index("rtree")
-	start := time.Now()
-	flatCount := 0
-	cmp.FlatStats = eflat.Query(q, func(int32) { flatCount++ })
-	cmp.FlatTime = time.Since(start)
-
-	start = time.Now()
-	treeCount := 0
-	cmp.RTreeStats = ertree.Query(q, func(int32) { treeCount++ })
-	cmp.RTreeTime = time.Since(start)
+	req := engine.RangeRequest(q)
+	run := func(ix engine.SpatialIndex) (engine.QueryStats, int, time.Duration) {
+		start := time.Now()
+		count := 0
+		st, err := ix.Do(context.Background(), req, func(engine.Hit) { count++ })
+		if err != nil { // unreachable: the request is valid and ctx background
+			panic(fmt.Sprintf("core: CompareRangeQuery on %s: %v", ix.Name(), err))
+		}
+		return st, count, time.Since(start)
+	}
+	var flatCount, treeCount int
+	cmp.FlatStats, flatCount, cmp.FlatTime = run(eflat)
+	cmp.RTreeStats, treeCount, cmp.RTreeTime = run(ertree)
 
 	if flatCount != treeCount {
 		panic(fmt.Sprintf("core: FLAT (%d) and R-tree (%d) disagree on %v",

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"neurospatial/internal/circuit"
+	"neurospatial/internal/engine"
 	"neurospatial/internal/geom"
 )
 
@@ -224,5 +228,150 @@ func TestSegmentAccessor(t *testing.T) {
 		if m.Segment(id) != m.Circuit.Elements[id].Shape {
 			t.Errorf("Segment(%d) mismatch", id)
 		}
+	}
+}
+
+// TestModelMutateAndSessions: the model's Dataset applies batched mutations,
+// the default session re-pins to the new epoch, and an explicitly opened
+// session stays frozen on its own.
+func TestModelMutateAndSessions(t *testing.T) {
+	m := tinyModel(t, 6)
+	ctx := context.Background()
+	center := m.Circuit.Params.Volume.Center()
+	req := engine.WithinDistanceRequest(center, 30)
+
+	pinned, err := m.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinned.Close()
+	before, err := pinned.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var newID int32
+	snap, err := m.Mutate(func(tx *engine.Tx) error {
+		newID = tx.Insert(geom.BoxAround(center, 1))
+		tx.Delete(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", snap.Epoch())
+	}
+	if m.Session().Snapshot().Epoch() != 1 {
+		t.Fatal("default session not re-pinned")
+	}
+
+	// The default session sees the insert; the pinned one does not.
+	after, err := m.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range after.Hits {
+		if h.ID == newID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mutated session missed the inserted item")
+	}
+	still, err := pinned.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(still.Hits) != len(before.Hits) {
+		t.Fatalf("pinned session drifted: %d hits, had %d", len(still.Hits), len(before.Hits))
+	}
+	for i := range still.Hits {
+		if still.Hits[i] != before.Hits[i] {
+			t.Fatal("pinned session hit stream drifted")
+		}
+	}
+
+	// A failed apply rolls back without publishing an epoch.
+	if _, err := m.Mutate(func(tx *engine.Tx) error {
+		tx.Delete(1)
+		return fmt.Errorf("change of heart")
+	}); err == nil {
+		t.Fatal("failing apply committed")
+	}
+	if got := m.Dataset.Stats().Epoch; got != 1 {
+		t.Fatalf("rolled-back mutate advanced the epoch to %d", got)
+	}
+
+	// Compact folds the overlay; the front door still answers identically.
+	preCompact, err := m.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	postCompact, err := m.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(postCompact.Hits) != len(preCompact.Hits) {
+		t.Fatalf("compaction changed results: %d vs %d", len(postCompact.Hits), len(preCompact.Hits))
+	}
+	for i := range postCompact.Hits {
+		if postCompact.Hits[i] != preCompact.Hits[i] {
+			t.Fatal("compaction changed the hit stream")
+		}
+	}
+	if st := m.Dataset.Stats(); st.DeltaEntries != 0 || st.Tombstones != 0 {
+		t.Fatalf("compaction left overlay: %+v", st)
+	}
+}
+
+// TestModelMutateConcurrentWithQueries: Mutate re-pins the default session
+// while queries are in flight — the pointer swap is synchronized and a query
+// that already fetched the old session keeps working (immutable snapshot).
+func TestModelMutateConcurrentWithQueries(t *testing.T) {
+	m := tinyModel(t, 6)
+	ctx := context.Background()
+	center := m.Circuit.Params.Volume.Center()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // mutator
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 20; i++ {
+			if _, err := m.Mutate(func(tx *engine.Tx) error {
+				tx.Insert(geom.BoxAround(center, 1))
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() { // readers through the default session
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := m.Do(ctx, engine.WithinDistanceRequest(center, 20)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Dataset.Stats().Epoch; got != 20 {
+		t.Fatalf("epoch = %d, want 20", got)
 	}
 }

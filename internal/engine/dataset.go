@@ -1,0 +1,578 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/parallel"
+	"neurospatial/internal/rtree"
+)
+
+// DatasetOptions configures a mutable Dataset.
+type DatasetOptions struct {
+	// Contenders names the index kinds every snapshot builds and serves
+	// ("flat", "rtree", "grid", "sharded"); empty selects just "flat".
+	// Duplicate names are rejected — the per-snapshot planner routes by name.
+	Contenders []string
+	// Flat configures the FLAT contender (and per-shard FLATs).
+	Flat flat.Options
+	// RTreeFanout configures the R-tree contender; <= 0 selects the default.
+	RTreeFanout int
+	// Grid configures the grid contender.
+	Grid GridOptions
+	// Shards is the shard count of the sharded contender; <= 0 selects 4.
+	Shards int
+	// ShardIndex names the sharded contender's per-shard sub-index; empty
+	// selects "flat".
+	ShardIndex string
+	// PageSize is the snapshot layout's page capacity; <= 0 selects the FLAT
+	// page size (so layout page counts are comparable to FLAT's).
+	PageSize int
+	// CompactRatio triggers an automatic compaction after a commit when
+	// (delta + tombstones) exceeds this fraction of the live item count;
+	// <= 0 selects 0.25.
+	CompactRatio float64
+	// CompactMin is the minimum pending (delta + tombstones) count before
+	// auto-compaction is considered; <= 0 selects 64. Keeping it above the
+	// batch size avoids compacting after every small commit.
+	CompactMin int
+	// DisableAutoCompact turns the size/ratio trigger off; Compact can still
+	// be called explicitly.
+	DisableAutoCompact bool
+	// Workers is the contender-rebuild pool size used by compaction
+	// (repository-wide semantics; 0 selects one worker per CPU).
+	Workers int
+
+	// Bases, when non-nil, provides pre-built contender wrappers for the
+	// initial snapshot, aligned 1:1 with Contenders and built over exactly
+	// the initial item set (dense IDs). NewModel uses it to share the
+	// model's contender instances instead of building them twice.
+	// Compactions always build fresh instances from the options above.
+	Bases []SpatialIndex
+}
+
+func (o DatasetOptions) sanitize() DatasetOptions {
+	if len(o.Contenders) == 0 {
+		o.Contenders = []string{"flat"}
+	}
+	if o.Flat.PageSize <= 0 {
+		o.Flat = flat.DefaultOptions()
+	}
+	if o.PageSize <= 0 {
+		o.PageSize = o.Flat.PageSize
+	}
+	if o.CompactRatio <= 0 {
+		o.CompactRatio = 0.25
+	}
+	if o.CompactMin <= 0 {
+		o.CompactMin = 64
+	}
+	return o
+}
+
+// newIndex constructs one fresh contender of the named kind.
+func (o DatasetOptions) newIndex(name string) (SpatialIndex, error) {
+	switch name {
+	case "flat":
+		return NewFlat(o.Flat), nil
+	case "rtree":
+		return NewRTree(o.RTreeFanout), nil
+	case "grid":
+		return NewGrid(o.Grid), nil
+	case "sharded":
+		return NewSharded(ShardedOptions{
+			Shards: o.Shards, Index: o.ShardIndex,
+			Flat: o.Flat, RTreeFanout: o.RTreeFanout, Grid: o.Grid,
+		}), nil
+	}
+	return nil, fmt.Errorf("engine: unknown dataset contender %q (have flat, rtree, grid, sharded)", name)
+}
+
+// DatasetStats is a point-in-time summary of a Dataset's state and its
+// maintenance history.
+type DatasetStats struct {
+	// Epoch is the current snapshot's sequence number.
+	Epoch int
+	// Live is the current live item count.
+	Live int
+	// DeltaEntries and Tombstones are the current overlay sizes.
+	DeltaEntries, Tombstones int
+	// Pinned counts sessions still pinned to the current snapshot.
+	Pinned int
+	// Commits, Compactions and AutoCompactions count maintenance events;
+	// automatic compactions are included in Compactions.
+	Commits, Compactions, AutoCompactions int64
+	// Inserts, Deletes and Updates count applied operations.
+	Inserts, Deletes, Updates int64
+	// LayoutPages is the current snapshot layout's page count.
+	LayoutPages int
+	// Cow is the cumulative copy-on-write accounting over all commits: how
+	// many layout pages were shared versus patched/appended — the
+	// incremental-maintenance win.
+	Cow pager.CowStats
+}
+
+// Dataset is the engine's mutable ownership model: writers apply batched
+// mutations (Begin / Insert / Delete / Update / Commit) that produce
+// immutable Snapshot epochs, and readers pin an epoch (Session.Open with
+// WithDataset) so every Do/DoBatch sees a consistent view while later
+// commits land — the per-update maintenance trade of answering queries under
+// updates: a commit never rebuilds an index, it re-derives the (bounded)
+// overlay copy-on-write — O(overlay + batch) work plus O(touched pages) of
+// layout remapping — and query latency stays flat because the overlay is
+// bounded by the compaction trigger.
+//
+// Commit appends to the delta overlay and tombstone set copy-on-write; the
+// base contender indexes are untouched ("unchanged on disk") until a
+// size/ratio-triggered — or explicit — Compact folds the overlay down,
+// rebuilding the bases over the live item set via the existing Build path on
+// the parallel pool.
+//
+// All Dataset methods are safe for concurrent use; Commit is serialized
+// internally, readers never block writers (they hold immutable snapshots).
+// Item IDs are stable global IDs: the initial items keep theirs, Insert
+// allocates fresh ones, and neither Compact nor Delete renumbers anything.
+type Dataset struct {
+	// writeMu serializes writers (Commit, Compact). Slow work — overlay
+	// derivation, compaction's index rebuilds — happens under writeMu only,
+	// so readers are never blocked by it.
+	writeMu sync.Mutex
+	// mu guards the published state (cur and the counters); it is held only
+	// for pointer swaps and counter updates, never across builds.
+	mu     sync.Mutex
+	opts   DatasetOptions
+	cur    *Snapshot
+	nextID atomic.Int32
+
+	commits, compactions, autoCompactions int64
+	inserts, deletes, updates             int64
+	cowTotal                              pager.CowStats
+}
+
+// NewDataset builds the initial snapshot (epoch 0) over items, which must
+// have dense IDs in [0, len(items)) — the same contract as SpatialIndex.Build.
+func NewDataset(items []rtree.Item, opts DatasetOptions) (*Dataset, error) {
+	opts = opts.sanitize()
+	seen := make(map[string]bool, len(opts.Contenders))
+	for _, name := range opts.Contenders {
+		if seen[name] {
+			return nil, fmt.Errorf("engine: duplicate dataset contender %q", name)
+		}
+		seen[name] = true
+		if _, err := opts.newIndex(name); err != nil {
+			return nil, err
+		}
+	}
+	base := make([]rtree.Item, len(items))
+	taken := make([]bool, len(items))
+	for _, it := range items {
+		if it.ID < 0 || int(it.ID) >= len(items) {
+			return nil, fmt.Errorf("engine: dataset item ID %d not dense in [0,%d)", it.ID, len(items))
+		}
+		if taken[it.ID] {
+			return nil, fmt.Errorf("engine: duplicate dataset item ID %d", it.ID)
+		}
+		taken[it.ID] = true
+		base[it.ID] = it
+	}
+	if opts.Bases != nil {
+		if len(opts.Bases) != len(opts.Contenders) {
+			return nil, fmt.Errorf("engine: %d pre-built bases for %d contenders", len(opts.Bases), len(opts.Contenders))
+		}
+		for i, b := range opts.Bases {
+			if b.Name() != opts.Contenders[i] {
+				return nil, fmt.Errorf("engine: pre-built base %d is %q, want %q", i, b.Name(), opts.Contenders[i])
+			}
+			if b.NumItems() != len(items) {
+				return nil, fmt.Errorf("engine: pre-built base %q holds %d items, want %d", b.Name(), b.NumItems(), len(items))
+			}
+		}
+	}
+
+	d := &Dataset{opts: opts}
+	d.nextID.Store(int32(len(items)))
+
+	bases := opts.Bases
+	d.opts.Bases = nil // snapshots after epoch 0 never reuse them
+	if bases == nil {
+		var err error
+		if bases, err = d.buildBases(base); err != nil {
+			return nil, err
+		}
+	}
+	layout := d.buildLayout(base)
+	d.cur = newSnapshot(0, d.opts, base, bases, nil, nil, layout, layout.NumPages(), pager.CowStats{})
+	return d, nil
+}
+
+// buildBases constructs and builds every configured contender over items
+// (ascending global-ID order), relabeled to dense local IDs, on the parallel
+// pool. Returns nil for an empty item set — every contender requires at
+// least one item, and the overlay serves empty bases fine.
+func (d *Dataset) buildBases(items []rtree.Item) ([]SpatialIndex, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	local := make([]rtree.Item, len(items))
+	for l, it := range items {
+		local[l] = rtree.Item{Box: it.Box, ID: int32(l)}
+	}
+	bases := make([]SpatialIndex, len(d.opts.Contenders))
+	errs := make([]error, len(d.opts.Contenders))
+	parallel.ForEach(d.opts.Workers, len(d.opts.Contenders), func(_, i int) {
+		ix, err := d.opts.newIndex(d.opts.Contenders[i])
+		if err == nil {
+			err = ix.Build(local)
+		}
+		bases[i], errs[i] = ix, err
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: building %s base: %w", d.opts.Contenders[i], err)
+		}
+	}
+	return bases, nil
+}
+
+// buildLayout lays the items' global IDs onto fresh pages in base order.
+func (d *Dataset) buildLayout(items []rtree.Item) *pager.Store {
+	b, err := pager.NewBuilder(d.opts.PageSize)
+	if err != nil { // unreachable: sanitize guarantees a positive page size
+		panic(err)
+	}
+	for _, it := range items {
+		b.Add(it.ID)
+	}
+	return b.Build()
+}
+
+// Current returns the current snapshot without pinning it.
+func (d *Dataset) Current() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cur
+}
+
+// Acquire pins and returns the current snapshot. The caller must Release it
+// (Session.Open with WithDataset does both for you).
+func (d *Dataset) Acquire() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cur.acquire()
+	return d.cur
+}
+
+// Stats returns a point-in-time summary.
+func (d *Dataset) Stats() DatasetStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DatasetStats{
+		Epoch:           d.cur.epoch,
+		Live:            d.cur.live,
+		DeltaEntries:    len(d.cur.delta),
+		Tombstones:      len(d.cur.tombs),
+		Pinned:          d.cur.Pins(),
+		Commits:         d.commits,
+		Compactions:     d.compactions,
+		AutoCompactions: d.autoCompactions,
+		Inserts:         d.inserts,
+		Deletes:         d.deletes,
+		Updates:         d.updates,
+		LayoutPages:     d.cur.layout.NumPages(),
+		Cow:             d.cowTotal,
+	}
+}
+
+// opKind tags one buffered mutation.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opUpdate
+)
+
+// Tx is one batched mutation: buffer operations, then Commit applies them
+// atomically (all or nothing) and publishes a new snapshot epoch. A Tx is for
+// one goroutine; concurrent transactions may be open at once — their Commits
+// serialize, and validation runs against the snapshot current at commit time
+// (last committer wins on delete/delete conflicts: the second Commit fails).
+type Tx struct {
+	ds   *Dataset
+	ops  []txOp
+	done bool
+}
+
+type txOp struct {
+	kind opKind
+	id   int32
+	box  geom.AABB
+}
+
+// Begin opens a mutation batch.
+func (d *Dataset) Begin() *Tx { return &Tx{ds: d} }
+
+// Insert buffers a new item and returns its allocated global ID. IDs are
+// allocated immediately (so a batch can reference its own inserts) and are
+// not reused if the transaction rolls back.
+func (t *Tx) Insert(box geom.AABB) int32 {
+	id := t.ds.nextID.Add(1) - 1
+	t.ops = append(t.ops, txOp{kind: opInsert, id: id, box: box})
+	return id
+}
+
+// Delete buffers the removal of item id.
+func (t *Tx) Delete(id int32) {
+	t.ops = append(t.ops, txOp{kind: opDelete, id: id})
+}
+
+// Update buffers a box change of item id.
+func (t *Tx) Update(id int32, box geom.AABB) {
+	t.ops = append(t.ops, txOp{kind: opUpdate, id: id, box: box})
+}
+
+// Len returns the number of buffered operations.
+func (t *Tx) Len() int { return len(t.ops) }
+
+// Rollback discards the batch. Allocated Insert IDs are not reused.
+func (t *Tx) Rollback() { t.done = true }
+
+// badBox rejects boxes no index can serve (NaN coordinates poison every
+// comparison; Min > Max is the empty box). Degenerate (point) boxes are fine.
+func badBox(b geom.AABB) error {
+	if vecHasNaN(b.Min) || vecHasNaN(b.Max) {
+		return errors.New("box has NaN coordinates")
+	}
+	if b.IsEmpty() {
+		return errors.New("box is empty (Min > Max on some axis)")
+	}
+	return nil
+}
+
+// Commit validates and applies the batch against the current snapshot,
+// publishing a new epoch. On any invalid operation (delete or update of an
+// item that is not live, malformed box) the whole batch is rejected and the
+// dataset is unchanged — a nil snapshot with a non-nil error. Commit may
+// additionally run an automatic compaction (see DatasetOptions); if that
+// compaction fails, the committed (uncompacted) snapshot is still published
+// and returned alongside the error — a non-nil snapshot with a non-nil
+// error means the batch IS applied and must not be retried; the overlay
+// simply stays pending for the next compaction attempt.
+func (t *Tx) Commit() (*Snapshot, error) {
+	if t.done {
+		return nil, errors.New("engine: Commit on a finished Tx")
+	}
+	t.done = true
+	d := t.ds
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	prev := d.Current() // stable: only writers replace it, and we are the writer
+
+	// Working copies of the overlay (copy-on-write: prev stays immutable).
+	deltaM := make(map[int32]geom.AABB, len(prev.delta)+len(t.ops))
+	for _, it := range prev.delta {
+		deltaM[it.ID] = it.Box
+	}
+	tombs := make(map[int32]struct{}, len(prev.tombs)+len(t.ops))
+	for id := range prev.tombs {
+		tombs[id] = struct{}{}
+	}
+	newTombs := make(map[int32]struct{}) // this batch's base deletions, for the layout patch
+	var nIns, nDel, nUpd int64
+
+	liveInBase := func(id int32) bool {
+		if _, ok := prev.baseLocal(id); !ok {
+			return false
+		}
+		_, dead := tombs[id]
+		return !dead
+	}
+	for i, op := range t.ops {
+		switch op.kind {
+		case opInsert:
+			if err := badBox(op.box); err != nil {
+				return nil, fmt.Errorf("engine: commit op %d: insert %d: %v", i, op.id, err)
+			}
+			deltaM[op.id] = op.box
+			nIns++
+		case opDelete:
+			if _, ok := deltaM[op.id]; ok {
+				delete(deltaM, op.id)
+			} else if liveInBase(op.id) {
+				tombs[op.id] = struct{}{}
+				newTombs[op.id] = struct{}{}
+			} else {
+				return nil, fmt.Errorf("engine: commit op %d: delete of item %d, which is not live", i, op.id)
+			}
+			nDel++
+		case opUpdate:
+			if err := badBox(op.box); err != nil {
+				return nil, fmt.Errorf("engine: commit op %d: update %d: %v", i, op.id, err)
+			}
+			if _, ok := deltaM[op.id]; ok {
+				deltaM[op.id] = op.box
+			} else if liveInBase(op.id) {
+				tombs[op.id] = struct{}{}
+				newTombs[op.id] = struct{}{}
+				deltaM[op.id] = op.box
+			} else {
+				return nil, fmt.Errorf("engine: commit op %d: update of item %d, which is not live", i, op.id)
+			}
+			nUpd++
+		}
+	}
+
+	delta := make([]rtree.Item, 0, len(deltaM))
+	for id, box := range deltaM {
+		delta = append(delta, rtree.Item{Box: box, ID: id})
+	}
+	sort.Slice(delta, func(a, b int) bool { return delta[a].ID < delta[b].ID })
+
+	layout, nBasePages, cow := d.remapLayout(prev, tombs, newTombs, delta)
+	snap := newSnapshot(prev.epoch+1, d.opts, prev.baseItems, prev.bases, delta, tombs,
+		layout, nBasePages, cow)
+	d.mu.Lock()
+	d.cur = snap
+	d.commits++
+	d.inserts += nIns
+	d.deletes += nDel
+	d.updates += nUpd
+	d.cowTotal.Add(cow)
+	d.mu.Unlock()
+
+	if !d.opts.DisableAutoCompact {
+		pending := len(delta) + len(tombs)
+		if pending >= d.opts.CompactMin &&
+			float64(pending) > d.opts.CompactRatio*float64(maxInt(snap.live, 1)) {
+			compacted, err := d.compactUnderWrite()
+			if err != nil {
+				// The batch is committed and stays committed; only the fold
+				// failed. Report both facts (see the contract above).
+				return snap, fmt.Errorf("engine: batch committed (epoch %d), but auto-compaction failed: %w",
+					snap.epoch, err)
+			}
+			d.mu.Lock()
+			d.autoCompactions++
+			d.mu.Unlock()
+			return compacted, nil
+		}
+	}
+	return snap, nil
+}
+
+// remapLayout derives the new epoch's item-page layout from the previous one
+// copy-on-write: base pages stay shared unless a newly tombstoned base item
+// sits on them (those are patched in place), the previous delta tail is
+// dropped, and the new delta is appended in C-sized pages.
+func (d *Dataset) remapLayout(prev *Snapshot, tombs, newTombs map[int32]struct{},
+	delta []rtree.Item) (*pager.Store, int, pager.CowStats) {
+
+	c := pager.NewCow(prev.layout)
+	c.Truncate(prev.nBasePages)
+	touched := make(map[pager.PageID]bool)
+	for id := range newTombs {
+		if l, ok := prev.baseLocal(id); ok {
+			touched[pager.PageID(l/d.opts.PageSize)] = true
+		}
+	}
+	pages := make([]pager.PageID, 0, len(touched))
+	for p := range touched {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(a, b int) bool { return pages[a] < pages[b] })
+	for _, p := range pages {
+		// Patch against the full tombstone set: earlier epochs' dead entries
+		// are already gone from their (previously patched) pages.
+		_ = c.Patch(p, func(id int32) bool { _, dead := tombs[id]; return !dead })
+	}
+	for lo := 0; lo < len(delta); lo += d.opts.PageSize {
+		hi := lo + d.opts.PageSize
+		if hi > len(delta) {
+			hi = len(delta)
+		}
+		ids := make([]int32, 0, hi-lo)
+		for _, it := range delta[lo:hi] {
+			ids = append(ids, it.ID)
+		}
+		if _, err := c.Append(ids); err != nil { // unreachable: chunks fit the capacity
+			panic(err)
+		}
+	}
+	layout, cow := c.Build()
+	return layout, prev.nBasePages, cow
+}
+
+// Compact folds the overlay into a new base: the live item set is
+// re-collected, the contender indexes are rebuilt over it via their normal
+// Build path on the parallel pool, the layout is laid out fresh, and a new
+// epoch with an empty delta and tombstone set is published. Pinned readers
+// keep their epochs, and the rebuild itself blocks only other writers —
+// Acquire/Current/Stats (and therefore Session.Open) stay responsive
+// throughout. A no-op (empty overlay) returns the current snapshot
+// unchanged.
+func (d *Dataset) Compact() (*Snapshot, error) {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	return d.compactUnderWrite()
+}
+
+// compactUnderWrite requires writeMu (and not mu) to be held: the merge and
+// index rebuilds read only the immutable previous snapshot, and the result
+// is published under mu at the end.
+func (d *Dataset) compactUnderWrite() (*Snapshot, error) {
+	prev := d.Current()
+	if len(prev.delta) == 0 && len(prev.tombs) == 0 {
+		return prev, nil
+	}
+	// Merge live base items with the delta, ascending global ID (both inputs
+	// are sorted, IDs disjoint).
+	merged := make([]rtree.Item, 0, prev.live)
+	i, j := 0, 0
+	for i < len(prev.baseItems) || j < len(prev.delta) {
+		if i < len(prev.baseItems) {
+			if _, dead := prev.tombs[prev.baseItems[i].ID]; dead {
+				i++
+				continue
+			}
+		}
+		switch {
+		case i == len(prev.baseItems):
+			merged = append(merged, prev.delta[j])
+			j++
+		case j == len(prev.delta):
+			merged = append(merged, prev.baseItems[i])
+			i++
+		case prev.baseItems[i].ID < prev.delta[j].ID:
+			merged = append(merged, prev.baseItems[i])
+			i++
+		default:
+			merged = append(merged, prev.delta[j])
+			j++
+		}
+	}
+	bases, err := d.buildBases(merged)
+	if err != nil {
+		return nil, err
+	}
+	layout := d.buildLayout(merged)
+	snap := newSnapshot(prev.epoch+1, d.opts, merged, bases, nil, nil,
+		layout, layout.NumPages(), pager.CowStats{})
+	d.mu.Lock()
+	d.cur = snap
+	d.compactions++
+	d.mu.Unlock()
+	return snap, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -65,6 +65,14 @@ type QueryStats struct {
 	// ShardsTouched counts the spatial shards the query fanned out to
 	// (0 for unsharded indexes).
 	ShardsTouched int64
+	// DeltaEntries counts delta-overlay entries tested when the query ran
+	// through a Dataset snapshot (0 on raw indexes and freshly compacted
+	// snapshots). Delta entries are RAM-resident, so they are reported
+	// separately from EntriesTested and carry no page cost.
+	DeltaEntries int64
+	// Tombstones counts base-index hits the snapshot overlay discarded as
+	// deleted (0 on raw indexes) — the read-side price of deferred deletes.
+	Tombstones int64
 	// NodesPerLevel is the R-tree's per-level node-access breakdown
 	// (leaves first; nil for other indexes).
 	NodesPerLevel []int64
@@ -102,6 +110,8 @@ func Aggregate(sts []QueryStats) QueryStats {
 		out.Results += sts[i].Results
 		out.Reseeds += sts[i].Reseeds
 		out.ShardsTouched += sts[i].ShardsTouched
+		out.DeltaEntries += sts[i].DeltaEntries
+		out.Tombstones += sts[i].Tombstones
 		for l, c := range sts[i].NodesPerLevel {
 			out.NodesPerLevel[l] += c
 		}

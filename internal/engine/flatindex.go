@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"neurospatial/internal/flat"
 	"neurospatial/internal/geom"
@@ -19,6 +20,10 @@ type Flat struct {
 	opts flat.Options
 	idx  *flat.Index
 	src  pager.PageSource
+	// probeMu is the per-instance probe-execution lock (see planner.go):
+	// planners sharing this instance serialize their calibration probes on
+	// it, since a probe detaches and restores src.
+	probeMu sync.Mutex
 }
 
 // NewFlat returns an unbuilt FLAT engine index with the given options.
@@ -245,6 +250,9 @@ func (f *Flat) PagesInRange(q geom.AABB) []pager.PageID {
 
 // SetSource implements Paged.
 func (f *Flat) SetSource(src pager.PageSource) { f.src = src }
+
+// probeLock implements the planner's probeLocker hook.
+func (f *Flat) probeLock() *sync.Mutex { return &f.probeMu }
 
 // Source implements Paged.
 func (f *Flat) Source() pager.PageSource { return f.src }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/grid"
@@ -51,6 +52,8 @@ type Grid struct {
 	store   *pager.Store
 	pageOf  []pager.PageID
 	src     pager.PageSource
+	// probeMu is the per-instance probe-execution lock (see planner.go).
+	probeMu sync.Mutex
 }
 
 // NewGrid returns an unbuilt grid engine index.
@@ -325,6 +328,9 @@ func (gx *Grid) PagesInRange(q geom.AABB) []pager.PageID {
 
 // SetSource implements Paged.
 func (gx *Grid) SetSource(src pager.PageSource) { gx.src = src }
+
+// probeLock implements the planner's probeLocker hook.
+func (gx *Grid) probeLock() *sync.Mutex { return &gx.probeMu }
 
 // Source implements Paged.
 func (gx *Grid) Source() pager.PageSource { return gx.src }

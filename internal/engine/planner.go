@@ -41,11 +41,14 @@ type Planner struct {
 	learned map[plannerKey]*stats.Running // per-query Cost() history
 	selects map[plannerKey]*stats.Running // per-query selectivity (results/entries)
 	probes  map[plannerKey]chan struct{}  // in-flight probe latches
-	// probeEx serializes probe *execution* per index: the latch above is
-	// per (index, kind), but a probe temporarily rewires the index's read
-	// path (SetSource detach, Sharded.probeCold), so two kinds probing the
-	// same contender concurrently would race on that configuration and leak
-	// probe traffic into an attached pool.
+	// probeEx serializes probe *execution* for indexes that do not carry
+	// their own instance lock (see probeLocker): the latch above is per
+	// (index, kind), but a probe temporarily rewires the index's read path
+	// (SetSource detach, Sharded.probeCold), so two kinds probing the same
+	// contender concurrently would race on that configuration and leak
+	// probe traffic into an attached pool. Engine-owned contenders use
+	// their per-instance lock instead, which also serializes probes from
+	// *different* planners sharing the instance.
 	probeEx map[string]*sync.Mutex
 }
 
@@ -54,6 +57,23 @@ type Planner struct {
 type plannerKey struct {
 	name string
 	kind Kind
+}
+
+// baseProber lets an index wrapper expose the underlying index whose read
+// path a calibration probe must detach (snapshot views implement it).
+type baseProber interface {
+	probeBase() SpatialIndex
+}
+
+// probeLocker exposes an index instance's probe-execution lock. The probe's
+// source detach/restore mutates the instance's read-path configuration, so
+// exclusion must be per *instance*, not per Planner: distinct planners share
+// index instances (every Dataset snapshot's planner shares its epoch's
+// bases, and core.Model shares the epoch-0 bases with Model.Engine). All
+// engine contenders implement it; foreign SpatialIndex implementations fall
+// back to the planner-local lock.
+type probeLocker interface {
+	probeLock() *sync.Mutex
 }
 
 // NewPlanner returns a planner over the given contenders, in priority order
@@ -230,23 +250,41 @@ func (p *Planner) probeOnce(ix SpatialIndex, kind Kind, sample []Request) bool {
 // sample is executed against the index's own cold store: an attached
 // PageSource (a shared BufferPool under measurement, say) is detached for
 // the probe and restored after, so planning never perturbs the pool
-// contents or counters the experiments report. Range probes execute through
-// the legacy BatchQuery path, non-range kinds through Do — both feed the
-// same (index, kind) accumulator with the same unified stats.
+// contents or counters the experiments report. Every kind probes through
+// Do — the Request front door — so the deprecated Query/BatchQuery wrappers
+// are exercised only by their own regression tests; per-query stats are
+// identical either way (the wrappers and Do share the index traversals).
 func (p *Planner) probe(ix SpatialIndex, kind Kind, sample []Request) {
-	// One probe at a time per index: the source detach/restore below is
-	// configuration of the index's read path, not concurrent-safe state.
-	p.mu.Lock()
-	ex := p.probeEx[ix.Name()]
-	if ex == nil {
-		ex = &sync.Mutex{}
-		p.probeEx[ix.Name()] = ex
+	// A snapshot view is not Paged itself, but its page reads are its base
+	// index's: detach at the base so probing a dataset session never warms a
+	// pool the base shares with other surfaces.
+	target := ix
+	if bp, ok := target.(baseProber); ok {
+		if base := bp.probeBase(); base != nil {
+			target = base
+		}
 	}
-	p.mu.Unlock()
+	// One probe at a time per index *instance*: the source detach/restore
+	// below is configuration of the index's read path, not concurrent-safe
+	// state — and several planners can share one instance (per-snapshot
+	// planners, Model.Engine), so the lock lives on the instance where the
+	// contender provides one, with a planner-local fallback otherwise.
+	var ex *sync.Mutex
+	if pl, ok := target.(probeLocker); ok {
+		ex = pl.probeLock()
+	} else {
+		p.mu.Lock()
+		ex = p.probeEx[ix.Name()]
+		if ex == nil {
+			ex = &sync.Mutex{}
+			p.probeEx[ix.Name()] = ex
+		}
+		p.mu.Unlock()
+	}
 	ex.Lock()
 	defer ex.Unlock()
 
-	if pg, ok := ix.(Paged); ok {
+	if pg, ok := target.(Paged); ok {
 		if src := pg.Source(); src != nil {
 			pg.SetSource(nil)
 			defer pg.SetSource(src)
@@ -254,27 +292,13 @@ func (p *Planner) probe(ix SpatialIndex, kind Kind, sample []Request) {
 	}
 	// The sharded index additionally carries internal per-shard pools;
 	// route the probe around those too.
-	if sh, ok := ix.(*Sharded); ok {
+	if sh, ok := target.(*Sharded); ok {
 		sh.setProbeCold(true)
 		defer sh.setProbeCold(false)
 	}
 	n := p.ProbeQueries
 	if n <= 0 {
 		n = 3
-	}
-	if kind == Range {
-		var boxes []geom.AABB
-		for _, r := range sample {
-			if r.Kind != Range {
-				continue
-			}
-			boxes = append(boxes, r.Box)
-			if len(boxes) == n {
-				break
-			}
-		}
-		p.ObserveKind(ix.Name(), kind, ix.BatchQuery(boxes, 1, nil))
-		return
 	}
 	var sts []QueryStats
 	for _, r := range sample {
@@ -356,6 +380,11 @@ func (p *Planner) SelectivityKind(name string, kind Kind) (float64, bool) {
 // deterministic executor, feeds the observed stats back, and returns both.
 // The emitted hits are exactly those of a direct serial loop of
 // Index.Query calls on the chosen index.
+//
+// Deprecated: Run is the pre-Request batch surface (native hit order, range
+// only); new call sites should route through Session.DoBatch, which adds
+// cancellation, mixed kinds and the canonical order. Kept — with its own
+// regression tests — for external compatibility.
 func (p *Planner) Run(qs []geom.AABB, workers int, visit func(qi int, id int32)) ([]QueryStats, Decision) {
 	d := p.Plan(qs)
 	sts := d.Index.BatchQuery(qs, workers, visit)

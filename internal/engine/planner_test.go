@@ -6,6 +6,7 @@ package engine_test
 // and calibration probes must not perturb an attached buffer pool.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -16,29 +17,30 @@ import (
 	"neurospatial/internal/pager"
 )
 
-// countingIndex wraps a SpatialIndex and counts BatchQuery invocations (the
-// probe path); a configurable delay widens the pre-fix double-probe window.
+// countingIndex wraps a SpatialIndex and counts Do invocations (the probe
+// path executes the calibration sample through Do); a configurable delay
+// widens the pre-fix double-probe window.
 type countingIndex struct {
 	engine.SpatialIndex
-	mu      sync.Mutex
-	batches int
-	delay   time.Duration
+	mu    sync.Mutex
+	dos   int
+	delay time.Duration
 }
 
-func (c *countingIndex) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []engine.QueryStats {
+func (c *countingIndex) Do(ctx context.Context, req engine.Request, visit func(engine.Hit)) (engine.QueryStats, error) {
 	c.mu.Lock()
-	c.batches++
+	c.dos++
 	c.mu.Unlock()
 	if c.delay > 0 {
 		time.Sleep(c.delay)
 	}
-	return c.SpatialIndex.BatchQuery(qs, workers, visit)
+	return c.SpatialIndex.Do(ctx, req, visit)
 }
 
-func (c *countingIndex) batchCalls() int {
+func (c *countingIndex) doCalls() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.batches
+	return c.dos
 }
 
 // TestPlannerEmptyBatchDefault: Plan(nil) and Plan of an empty slice must
@@ -117,8 +119,10 @@ func TestPlannerConcurrentPlansProbeOnce(t *testing.T) {
 	close(start)
 	wg.Wait()
 
-	if got := counting.batchCalls(); got != 1 {
-		t.Fatalf("%d concurrent first Plans executed %d probes, want exactly 1", goroutines, got)
+	// One probe executes ProbeQueries (3) sample requests through Do.
+	if got := counting.doCalls(); got != 3 {
+		t.Fatalf("%d concurrent first Plans executed %d probe queries, want exactly 3 (one probe)",
+			goroutines, got)
 	}
 	total := 0
 	for _, n := range probed {

@@ -9,11 +9,11 @@ import (
 	"neurospatial/internal/geom"
 )
 
-// Scratch repro: a planner-routed session serving a profiled Range workload
-// concurrently with a first-time KNN plan (which probes, toggling
-// Sharded.probeCold) — is the read path racy?
-func TestScratchProbeVsQueryRace(t *testing.T) {
-	items := mkItems(512)
+// A planner-routed session serving a profiled Range workload concurrently
+// with a first-time KNN plan (which probes, toggling Sharded.probeCold): the
+// probe-execution lock must keep the read path race-free.
+func TestProbeVsQueryRace(t *testing.T) {
+	items := testItems(t, 10, 4242)
 	sh := engine.NewSharded(engine.ShardedOptions{Shards: 4, PoolPages: 8})
 	if err := sh.Build(items); err != nil {
 		t.Fatal(err)

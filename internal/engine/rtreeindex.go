@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/pager"
@@ -21,6 +22,8 @@ type RTree struct {
 	src      pager.PageSource
 	elemPage []pager.PageID // item ID -> leaf page
 	boxes    []geom.AABB    // item ID -> MBR (exact-distance refinement)
+	// probeMu is the per-instance probe-execution lock (see planner.go).
+	probeMu sync.Mutex
 }
 
 // NewRTree returns an unbuilt R-tree engine index with the given fanout
@@ -308,6 +311,9 @@ func (r *RTree) PagesInRange(q geom.AABB) []pager.PageID {
 
 // SetSource implements Paged.
 func (r *RTree) SetSource(src pager.PageSource) { r.src = src }
+
+// probeLock implements the planner's probeLocker hook.
+func (r *RTree) probeLock() *sync.Mutex { return &r.probeMu }
 
 // Source implements Paged.
 func (r *RTree) Source() pager.PageSource { return r.src }

@@ -3,26 +3,39 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"neurospatial/internal/parallel"
 )
 
 // Session is the engine's front door: every query — any Kind, any contender,
 // serial or batched — enters through Open / Do / DoBatch. A session serves
-// requests either from one fixed SpatialIndex or through a Planner that
-// routes each request by its kind's learned cost statistics, and it is where
-// context cancellation enters the execution stack: Do and DoBatch accept a
-// context.Context that the index traversals below observe at page-read
-// granularity, so a canceled batch aborts at the next page, not the next
-// query.
+// requests from one fixed SpatialIndex, through a Planner that routes each
+// request by its kind's learned cost statistics, or from a pinned Dataset
+// snapshot (WithDataset) — and it is where context cancellation enters the
+// execution stack: Do and DoBatch accept a context.Context that the index
+// traversals below observe at page-read granularity, so a canceled batch
+// aborts at the next page, not the next query.
+//
+// A dataset session pins the snapshot current at Open time: every Do and
+// DoBatch sees that epoch's consistent item set, no matter how many commits
+// land afterwards. Requests route through the snapshot's own planner (or a
+// fixed contender view when WithIndexName is given); Close releases the pin.
 //
 // Sessions are safe for concurrent use as long as the underlying indexes'
 // configuration (Paged.SetSource, Build) is not mutated concurrently — the
-// same contract the indexes themselves carry.
+// same contract the indexes themselves carry. Dataset sessions read immutable
+// snapshots, so they are additionally safe against concurrent Dataset
+// commits — that is the point of them.
 type Session struct {
-	index   SpatialIndex
-	planner *Planner
-	workers int
+	index     SpatialIndex
+	planner   *Planner
+	dataset   *Dataset
+	snap      *Snapshot
+	fixedView SpatialIndex
+	indexName string
+	workers   int
+	closed    atomic.Bool
 }
 
 // SessionOption configures Open.
@@ -34,28 +47,82 @@ func WithIndex(ix SpatialIndex) SessionOption { return func(s *Session) { s.inde
 // WithPlanner routes each request per kind through the planner's cost model.
 func WithPlanner(p *Planner) SessionOption { return func(s *Session) { s.planner = p } }
 
+// WithDataset pins the dataset's current snapshot for the session's
+// lifetime: the session serves that epoch — consistently — while later
+// commits land. Call Close to release the pin. Requests route through the
+// pinned snapshot's per-snapshot planner unless WithIndexName fixes a
+// contender.
+func WithDataset(d *Dataset) SessionOption { return func(s *Session) { s.dataset = d } }
+
+// WithIndexName fixes the serving contender of a WithDataset session to the
+// named snapshot view ("flat", "rtree", "grid", "sharded") instead of
+// planner routing.
+func WithIndexName(name string) SessionOption { return func(s *Session) { s.indexName = name } }
+
 // WithWorkers sets the default DoBatch pool size used when a batch passes
 // workers == 0 (the repository-wide semantics apply: 1 serial, > 1 that many
 // workers, negative one per CPU).
 func WithWorkers(n int) SessionOption { return func(s *Session) { s.workers = n } }
 
-// Open opens a query session. Exactly one routing mode must be configured:
-// a fixed index (WithIndex) or a planner (WithPlanner).
+// Open opens a query session. Exactly one routing mode must be configured: a
+// fixed index (WithIndex), a planner (WithPlanner), or a dataset snapshot
+// (WithDataset, optionally narrowed by WithIndexName).
 func Open(opts ...SessionOption) (*Session, error) {
 	s := &Session{workers: 1}
 	for _, opt := range opts {
 		opt(s)
 	}
-	if s.index == nil && s.planner == nil {
-		return nil, fmt.Errorf("engine: Open needs WithIndex or WithPlanner")
+	modes := 0
+	for _, on := range []bool{s.index != nil, s.planner != nil, s.dataset != nil} {
+		if on {
+			modes++
+		}
 	}
-	if s.index != nil && s.planner != nil {
-		return nil, fmt.Errorf("engine: Open takes WithIndex or WithPlanner, not both")
+	if modes != 1 {
+		return nil, fmt.Errorf("engine: Open takes exactly one of WithIndex, WithPlanner or WithDataset")
+	}
+	if s.indexName != "" && s.dataset == nil {
+		return nil, fmt.Errorf("engine: WithIndexName requires WithDataset")
 	}
 	if s.planner != nil && len(s.planner.Indexes()) == 0 {
 		return nil, fmt.Errorf("engine: Open: planner has no contenders")
 	}
+	if s.dataset != nil {
+		s.snap = s.dataset.Acquire()
+		if s.indexName != "" {
+			if s.fixedView = s.snap.Index(s.indexName); s.fixedView == nil {
+				s.snap.Release()
+				return nil, fmt.Errorf("engine: Open: snapshot has no contender %q (have %v)",
+					s.indexName, s.dataset.opts.Contenders)
+			}
+		}
+	}
 	return s, nil
+}
+
+// Close releases a dataset session's snapshot pin. It is idempotent — and
+// safe against concurrent Close calls — and a no-op for fixed-index and
+// planner sessions. A closed session must not serve further requests.
+func (s *Session) Close() {
+	if s.snap != nil && s.closed.CompareAndSwap(false, true) {
+		s.snap.Release()
+	}
+}
+
+// Snapshot returns the pinned snapshot of a WithDataset session (nil
+// otherwise). Its epoch is frozen: commits after Open do not change what the
+// session reads.
+func (s *Session) Snapshot() *Snapshot { return s.snap }
+
+// routingPlanner returns the planner consulted for routing, if any.
+func (s *Session) routingPlanner() *Planner {
+	if s.planner != nil {
+		return s.planner
+	}
+	if s.snap != nil && s.fixedView == nil {
+		return s.snap.Planner()
+	}
+	return nil
 }
 
 // route picks the serving index for requests of one kind, using the given
@@ -64,14 +131,17 @@ func (s *Session) route(kind Kind, sample []Request) SpatialIndex {
 	if s.index != nil {
 		return s.index
 	}
-	return s.planner.PlanKind(kind, sample).Index
+	if s.fixedView != nil {
+		return s.fixedView
+	}
+	return s.routingPlanner().PlanKind(kind, sample).Index
 }
 
-// observe feeds executed stats back into the planner (fixed-index sessions
-// learn nothing).
+// observe feeds executed stats back into the routing planner (fixed-index
+// and fixed-view sessions learn nothing).
 func (s *Session) observe(name string, kind Kind, sts []QueryStats) {
-	if s.planner != nil {
-		s.planner.ObserveKind(name, kind, sts)
+	if p := s.routingPlanner(); p != nil {
+		p.ObserveKind(name, kind, sts)
 	}
 }
 
@@ -155,7 +225,7 @@ func (s *Session) DoBatch(ctx context.Context, reqs []Request, workers int) ([]R
 	for i := range results {
 		results[i].Stats = sts[i]
 	}
-	if s.planner != nil {
+	if s.routingPlanner() != nil {
 		for _, k := range kinds {
 			var kindStats []QueryStats
 			for i := range reqs {
@@ -169,10 +239,17 @@ func (s *Session) DoBatch(ctx context.Context, reqs []Request, workers int) ([]R
 	return results, nil
 }
 
-// Index returns the fixed contender of a WithIndex session (nil for
+// Index returns the fixed contender of a WithIndex session, or the fixed
+// snapshot view of a WithDataset+WithIndexName session (nil for
 // planner-routed sessions).
-func (s *Session) Index() SpatialIndex { return s.index }
+func (s *Session) Index() SpatialIndex {
+	if s.index != nil {
+		return s.index
+	}
+	return s.fixedView
+}
 
-// Planner returns the planner of a WithPlanner session (nil for fixed-index
-// sessions).
-func (s *Session) Planner() *Planner { return s.planner }
+// Planner returns the planner that routes this session's requests: the
+// WithPlanner planner, or a dataset session's per-snapshot planner (nil for
+// fixed-index and fixed-view sessions).
+func (s *Session) Planner() *Planner { return s.routingPlanner() }

@@ -101,6 +101,9 @@ type Sharded struct {
 	probeCold bool
 	// pqMu serializes PagedQuery's temporary source swap.
 	pqMu sync.Mutex
+	// probeMu is the per-instance probe-execution lock (see planner.go);
+	// it also guards probeCold toggles across planners sharing the instance.
+	probeMu sync.Mutex
 }
 
 // NewSharded returns an unbuilt sharded index.
@@ -472,6 +475,9 @@ func (s *Sharded) PagesInRange(q geom.AABB) []pager.PageID {
 // SetSource implements Paged: src addresses the global page space and
 // overrides the per-shard pools while attached.
 func (s *Sharded) SetSource(src pager.PageSource) { s.src = src }
+
+// probeLock implements the planner's probeLocker hook.
+func (s *Sharded) probeLock() *sync.Mutex { return &s.probeMu }
 
 // Source implements Paged.
 func (s *Sharded) Source() pager.PageSource { return s.src }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"neurospatial/internal/engine"
+	"neurospatial/internal/geom"
 	"neurospatial/internal/stats"
 )
 
@@ -29,6 +31,36 @@ type E7Config struct {
 	// semantics; the Default* configs select -1). Distinct from
 	// WorkerCounts, which sweeps the query-execution pool.
 	Workers int
+}
+
+// rangeRequests wraps query boxes as Range requests for the Session surface.
+func rangeRequests(queries []geom.AABB) []engine.Request {
+	reqs := make([]engine.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = engine.RangeRequest(q)
+	}
+	return reqs
+}
+
+// sessionBatchTotals opens a fixed-index Session over ix, drains reqs at the
+// given worker count, and returns the batch's aggregated stats and
+// wall-clock time — the shared measurement step of the E7 and E8 sweeps.
+func sessionBatchTotals(ix engine.SpatialIndex, reqs []engine.Request, workers int) (engine.QueryStats, time.Duration, error) {
+	sess, err := engine.Open(engine.WithIndex(ix))
+	if err != nil {
+		return engine.QueryStats{}, 0, err
+	}
+	start := time.Now()
+	results, err := sess.DoBatch(context.Background(), reqs, workers)
+	elapsed := time.Since(start)
+	if err != nil {
+		return engine.QueryStats{}, 0, err
+	}
+	sts := make([]engine.QueryStats, len(results))
+	for i := range results {
+		sts[i] = results[i].Stats
+	}
+	return engine.Aggregate(sts), elapsed, nil
 }
 
 // DefaultE7 returns the configuration used in EXPERIMENTS.md.
@@ -59,28 +91,29 @@ type E7Row struct {
 	Results int64
 }
 
-// RunE7 executes the worker sweep over the engine contenders. Every row
-// re-runs the same batch through the shared deterministic executor; the
-// runner verifies that result totals and page accounting are identical
-// across worker counts before reporting, so a row can only exist if the
-// parallel execution matched the serial one.
+// RunE7 executes the worker sweep over the engine contenders, each behind a
+// fixed-index Session (the Request front door). Every row re-runs the same
+// batch through the shared deterministic executor; the runner verifies that
+// result totals and page accounting are identical across worker counts
+// before reporting, so a row can only exist if the parallel execution
+// matched the serial one.
 func RunE7(cfg E7Config) ([]E7Row, error) {
 	m, err := buildModel(cfg.Neurons, cfg.Edge, cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E7: %w", err)
 	}
-	eflat, ertree := m.Engine.Index("flat"), m.Engine.Index("rtree")
 	queries := centerQueries(m.Circuit.Params.Volume, cfg.Queries, cfg.QueryRadius, cfg.Seed)
+	reqs := rangeRequests(queries)
 	var rows []E7Row
 	for _, w := range cfg.WorkerCounts {
-		start := time.Now()
-		fsts := eflat.BatchQuery(queries, w, nil)
-		flatTime := time.Since(start)
-		start = time.Now()
-		rsts := ertree.BatchQuery(queries, w, nil)
-		rtreeTime := time.Since(start)
-		fagg := engine.Aggregate(fsts)
-		ragg := engine.Aggregate(rsts)
+		fagg, flatTime, err := sessionBatchTotals(m.Engine.Index("flat"), reqs, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E7 flat workers=%d: %w", w, err)
+		}
+		ragg, rtreeTime, err := sessionBatchTotals(m.Engine.Index("rtree"), reqs, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E7 rtree workers=%d: %w", w, err)
+		}
 		if fagg.Results != ragg.Results {
 			return nil, fmt.Errorf("experiments: E7: workers=%d: FLAT found %d results, R-tree %d",
 				w, fagg.Results, ragg.Results)

@@ -31,16 +31,18 @@ type BenchReport struct {
 // BenchConfigs bundles the experiment configurations the JSON bench mode
 // runs. QuickBenchConfigs scales them down for CI.
 type BenchConfigs struct {
-	E1 E1Config
-	E4 E4Config
-	E7 E7Config
-	E8 E8Config
-	E9 E9Config
+	E1  E1Config
+	E4  E4Config
+	E7  E7Config
+	E8  E8Config
+	E9  E9Config
+	E10 E10Config
 }
 
 // DefaultBenchConfigs returns the EXPERIMENTS.md-scale configurations.
 func DefaultBenchConfigs() BenchConfigs {
-	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7(), E8: DefaultE8(), E9: DefaultE9()}
+	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7(), E8: DefaultE8(),
+		E9: DefaultE9(), E10: DefaultE10()}
 }
 
 // QuickBenchConfigs returns reduced configurations sized for a CI smoke
@@ -62,14 +64,23 @@ func QuickBenchConfigs() BenchConfigs {
 	c.E9.Neurons = 64
 	c.E9.Requests = 32
 	c.E9.WorkerCounts = []int{1, 2}
+	c.E10.Neurons = 32
+	c.E10.Rounds = 3
+	c.E10.Ops = 32
+	c.E10.Requests = 16
+	c.E10.UpdateRates = []float64{0, 1}
+	c.E10.CompactMin = 32
+	c.E10.CompactRatio = 0.01
 	return c
 }
 
-// RunBenchJSON executes E1, E4, E7, E8 and E9 with the given configurations
-// and writes the headline numbers as indented JSON to w. Schema 3 added the
-// E9 mixed-workload headlines (per-kind totals and planner routing).
+// RunBenchJSON executes E1, E4, E7, E8, E9 and E10 with the given
+// configurations and writes the headline numbers as indented JSON to w.
+// Schema 3 added the E9 mixed-workload headlines (per-kind totals and
+// planner routing); schema 4 adds the E10 churn headlines (update-rate
+// sweep, overlay work, compactions, copy-on-write layout reuse).
 func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
-	report := BenchReport{Schema: 3, Engine: []string{"flat", "rtree", "grid", "sharded"}}
+	report := BenchReport{Schema: 4, Engine: []string{"flat", "rtree", "grid", "sharded"}}
 
 	e1, err := RunE1(cfgs.E1)
 	if err != nil {
@@ -183,6 +194,39 @@ func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
 		e9m[k.Kind.String()+"_routed_"+k.Index] = 1
 	}
 	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E9", Metrics: e9m})
+
+	e10, err := RunE10(cfgs.E10)
+	if err != nil {
+		return err
+	}
+	if len(e10.Rows) == 0 {
+		return fmt.Errorf("experiments: bench JSON: E10 produced no rows (empty UpdateRates?)")
+	}
+	e10last := e10.Rows[len(e10.Rows)-1] // highest update rate
+	e10m := map[string]float64{
+		"update_rate":       e10last.Rate,
+		"rounds":            float64(cfgs.E10.Rounds),
+		"ops_applied":       float64(e10last.OpsApplied),
+		"mutate_ms":         float64(e10last.MutateTime) / float64(time.Millisecond),
+		"query_ms":          float64(e10last.QueryTime) / float64(time.Millisecond),
+		"total_pages_read":  float64(e10last.PagesRead),
+		"total_results":     float64(e10last.Results),
+		"delta_tested":      float64(e10last.DeltaEntries),
+		"tombs_filtered":    float64(e10last.Tombstones),
+		"final_epoch":       float64(e10last.Epoch),
+		"compactions":       float64(e10last.Compactions),
+		"layout_shared":     float64(e10last.Cow.Shared),
+		"layout_patched":    float64(e10last.Cow.Patched),
+		"layout_appended":   float64(e10last.Cow.Appended),
+		"isolation_upheld":  1, // the runner fails the sweep otherwise
+		"workers_invariant": 1, // likewise
+	}
+	for _, rr := range e10.Routing {
+		if rr.Rate == e10last.Rate && rr.Index != "" {
+			e10m[rr.Kind.String()+"_routed_"+rr.Index] = 1
+		}
+	}
+	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E10", Metrics: e10m})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

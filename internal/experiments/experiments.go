@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -179,7 +180,10 @@ func RunE1(cfg E1Config) ([]E1Row, error) {
 			row.RTreeSTRReads += float64(cmp.RTreeStats.PagesRead)
 			row.FlatTime += cmp.FlatTime
 			row.RTreeTime += cmp.RTreeTime
-			dynStats := dyn.Query(q, func(int32) {})
+			dynStats, err := dyn.Do(context.Background(), engine.RangeRequest(q), nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E1 dynamic-tree query: %w", err)
+			}
 			row.RTreeDynReads += float64(dynStats.PagesRead)
 		}
 		k := float64(len(queries))
@@ -270,11 +274,18 @@ func RunE2(cfg E2Config) ([]E2Row, error) {
 	}
 	eflat, ertree := m.Engine.Index("flat"), m.Engine.Index("rtree")
 	center := m.Circuit.Params.Volume.Center()
+	ctx := context.Background()
 	var rows []E2Row
 	for _, r := range cfg.Radii {
 		q := geom.BoxAround(center, r)
-		fs := eflat.Query(q, func(int32) {})
-		ts := ertree.Query(q, func(int32) {})
+		fs, err := eflat.Do(ctx, engine.RangeRequest(q), nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 FLAT query: %w", err)
+		}
+		ts, err := ertree.Do(ctx, engine.RangeRequest(q), nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 R-tree query: %w", err)
+		}
 		rows = append(rows, E2Row{
 			Radius:        r,
 			Results:       fs.Results,

@@ -337,3 +337,69 @@ func TestRunE4OverShardedIndex(t *testing.T) {
 		t.Error("sharded-served walkthrough issued no demand reads")
 	}
 }
+
+// TestRunE10ChurnSweep pins the interleaved update/query runner: the runner
+// itself enforces worker invariance and snapshot isolation per round (it
+// errors otherwise); here we additionally check the sweep's shape — churn
+// applies ops, overlay work surfaces in the stats, the rate-0 baseline stays
+// clean, and the routing table covers every (rate, kind) cell.
+func TestRunE10ChurnSweep(t *testing.T) {
+	cfg := E10Config{
+		Neurons: 24, Edge: 250, Rounds: 3, Ops: 24, Requests: 16,
+		QueryRadius: 25, K: 4, WithinRadius: 15,
+		UpdateRates: []float64{0, 1},
+		CompactMin:  24, CompactRatio: 0.01,
+		Seed: 41,
+	}
+	res, err := RunE10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	baseline, churned := res.Rows[0], res.Rows[1]
+	if baseline.Rate != 0 || baseline.OpsApplied != 0 || baseline.Epoch != 0 {
+		t.Fatalf("rate-0 baseline mutated: %+v", baseline)
+	}
+	if baseline.DeltaEntries != 0 || baseline.Tombstones != 0 {
+		t.Fatalf("rate-0 baseline paid overlay work: %+v", baseline)
+	}
+	if churned.OpsApplied == 0 || churned.Epoch == 0 {
+		t.Fatalf("churned run applied nothing: %+v", churned)
+	}
+	if churned.Compactions == 0 {
+		t.Errorf("churned run never compacted (CompactMin %d, %d ops)", cfg.CompactMin, churned.OpsApplied)
+	}
+	if churned.Cow.Shared == 0 {
+		t.Errorf("no layout pages shared across commits: %+v", churned.Cow)
+	}
+	if len(res.Routing) != 2*4 {
+		t.Fatalf("routing rows = %d, want 8", len(res.Routing))
+	}
+	for _, r := range res.Routing {
+		if r.Index == "" {
+			t.Errorf("rate %.2f kind %s: no routing decision", r.Rate, r.Kind)
+		}
+	}
+	if !strings.Contains(E10Table(res.Rows).String(), "compactions") {
+		t.Error("E10 table malformed")
+	}
+	if !strings.Contains(E10RoutingTable(res).String(), "knn") {
+		t.Error("E10 routing table malformed")
+	}
+}
+
+// TestRunChurnDemo smoke-tests the drivers' -churn panel.
+func TestRunChurnDemo(t *testing.T) {
+	tables, err := RunChurnDemo(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if !strings.Contains(tables[0].String(), "epoch") || !strings.Contains(tables[1].String(), "routed to") {
+		t.Error("churn demo tables malformed")
+	}
+}

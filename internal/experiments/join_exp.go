@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"neurospatial/internal/engine"
 	"neurospatial/internal/join"
 	"neurospatial/internal/stats"
 	"neurospatial/internal/touch"
@@ -238,7 +240,10 @@ func RunE6(cfg E6Config) ([]E6Row, error) {
 			SeedHeight: m.Flat.SeedTreeHeight(),
 		}
 		for _, q := range queries {
-			st := eflat.Query(q, func(int32) {})
+			st, err := eflat.Do(context.Background(), engine.RangeRequest(q), nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E6 query: %w", err)
+			}
 			row.QueryReads += float64(st.TotalReads())
 			row.QueryResults += float64(st.Results)
 		}

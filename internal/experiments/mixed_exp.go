@@ -176,7 +176,9 @@ func RunE9(cfg E9Config) (*E9Result, error) {
 	}
 
 	// Per-kind summary and routing evidence, from the serial baseline and
-	// the planner's now-learned history (empty sample: no fresh probes).
+	// the session planner's now-learned history (empty sample: no fresh
+	// probes). The session routes through its pinned snapshot's planner —
+	// the per-snapshot cost inputs — so that is where the history lives.
 	for _, kind := range engine.Kinds() {
 		kr := E9KindRow{Kind: kind}
 		for i := range base {
@@ -192,7 +194,7 @@ func RunE9(cfg E9Config) (*E9Result, error) {
 		if kr.Requests == 0 {
 			continue
 		}
-		d := m.Engine.PlanKind(kind, nil)
+		d := sess.Planner().PlanKind(kind, nil)
 		kr.Cost = d.CostPerQuery[kr.Index]
 		res.Kinds = append(res.Kinds, kr)
 		res.Decisions = append(res.Decisions, d)

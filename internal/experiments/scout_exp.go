@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"neurospatial/internal/circuit"
 	"neurospatial/internal/core"
+	"neurospatial/internal/engine"
 	"neurospatial/internal/geom"
 	"neurospatial/internal/prefetch"
 	"neurospatial/internal/query"
@@ -91,7 +93,10 @@ func RunE3(cfg E3Config) ([]E3Row, error) {
 		for stepIdx, st := range seq.Steps {
 			ctx.History = append(ctx.History, st.Box)
 			var result []int32
-			eflat.Query(st.Box, func(id int32) { result = append(result, id) })
+			if _, err := eflat.Do(context.Background(), engine.RangeRequest(st.Box),
+				func(h engine.Hit) { result = append(result, h.ID) }); err != nil {
+				return nil, fmt.Errorf("experiments: E3 step query: %w", err)
+			}
 			s.Predict(ctx, st.Box, result, 64)
 			// The unpruned structure count: a fresh SCOUT each step keeps
 			// all structures (its Reset drops history).

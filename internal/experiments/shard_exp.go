@@ -106,13 +106,18 @@ func RunE8(cfg E8Config) (*E8Result, error) {
 		items[i] = rtree.Item{Box: m.Circuit.Elements[i].Bounds(), ID: m.Circuit.Elements[i].ID}
 	}
 	queries := centerQueries(m.Circuit.Params.Volume, cfg.Queries, cfg.QueryRadius, cfg.Seed)
+	reqs := rangeRequests(queries)
 
 	// Unsharded baseline result total, from the matching engine contender.
 	base, err := m.EngineIndex(cfg.Index)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: E8: %w", err)
 	}
-	baseTotal := engine.Aggregate(base.BatchQuery(queries, 1, nil)).Results
+	baseAgg, _, err := sessionBatchTotals(base, reqs, 1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E8 baseline: %w", err)
+	}
+	baseTotal := baseAgg.Results
 
 	res := &E8Result{}
 	for _, k := range cfg.ShardCounts {
@@ -123,10 +128,10 @@ func RunE8(cfg E8Config) (*E8Result, error) {
 		var first E8Row
 		haveFirst := false
 		for _, w := range cfg.WorkerCounts {
-			start := time.Now()
-			sts := sh.BatchQuery(queries, w, nil)
-			elapsed := time.Since(start)
-			agg := engine.Aggregate(sts)
+			agg, elapsed, err := sessionBatchTotals(sh, reqs, w)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: E8 shards=%d workers=%d: %w", k, w, err)
+			}
 			if agg.Results != baseTotal {
 				return nil, fmt.Errorf("experiments: E8 shards=%d workers=%d: %d results, unsharded %d",
 					k, w, agg.Results, baseTotal)

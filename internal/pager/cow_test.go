@@ -1,0 +1,153 @@
+package pager
+
+import (
+	"reflect"
+	"testing"
+)
+
+func buildTestStore(t *testing.T, capacity int, pages ...[]int32) *Store {
+	t.Helper()
+	b, err := NewBuilder(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pg := range pages {
+		for _, id := range pg {
+			b.Add(id)
+		}
+		b.FlushPage()
+	}
+	return b.Build()
+}
+
+func TestCowShareAll(t *testing.T) {
+	base := buildTestStore(t, 4, []int32{0, 1, 2, 3}, []int32{4, 5}, []int32{6})
+	out, st := NewCow(base).Build()
+	if st != (CowStats{Shared: 3}) {
+		t.Fatalf("stats = %+v, want 3 shared", st)
+	}
+	if out.NumPages() != 3 || out.Capacity() != 4 {
+		t.Fatalf("out: %d pages cap %d", out.NumPages(), out.Capacity())
+	}
+	for p := 0; p < 3; p++ {
+		if !reflect.DeepEqual(out.Page(PageID(p)), base.Page(PageID(p))) {
+			t.Fatalf("page %d diverged", p)
+		}
+	}
+}
+
+func TestCowPatchDropsEntriesInPlace(t *testing.T) {
+	base := buildTestStore(t, 4, []int32{0, 1, 2, 3}, []int32{4, 5, 6})
+	c := NewCow(base)
+	if err := c.Patch(1, func(id int32) bool { return id != 5 }); err != nil {
+		t.Fatal(err)
+	}
+	// Patching the same page twice counts once.
+	if err := c.Patch(1, func(id int32) bool { return id != 6 }); err != nil {
+		t.Fatal(err)
+	}
+	out, st := c.Build()
+	if st != (CowStats{Shared: 1, Patched: 1}) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := out.Page(1); !reflect.DeepEqual(got, []int32{4}) {
+		t.Fatalf("patched page = %v", got)
+	}
+	// The base store is untouched.
+	if got := base.Page(1); !reflect.DeepEqual(got, []int32{4, 5, 6}) {
+		t.Fatalf("base page mutated: %v", got)
+	}
+	// A no-op patch keeps the page shared.
+	c2 := NewCow(base)
+	if err := c2.Patch(0, func(int32) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if _, st2 := c2.Build(); st2 != (CowStats{Shared: 2}) {
+		t.Fatalf("no-op patch stats = %+v", st2)
+	}
+}
+
+func TestCowTruncateAndAppend(t *testing.T) {
+	base := buildTestStore(t, 3, []int32{0, 1, 2}, []int32{3, 4}, []int32{5})
+	c := NewCow(base)
+	c.Truncate(1)
+	p, err := c.Append([]int32{9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("appended page id = %d, want 1", p)
+	}
+	out, st := c.Build()
+	if st != (CowStats{Shared: 1, Dropped: 2, Appended: 1}) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if out.NumPages() != 2 {
+		t.Fatalf("pages = %d", out.NumPages())
+	}
+	if got := out.Page(1); !reflect.DeepEqual(got, []int32{9, 10}) {
+		t.Fatalf("appended page = %v", got)
+	}
+	// An append after truncating below the base page count must not be
+	// miscounted as a patch.
+	if st.Patched != 0 {
+		t.Fatalf("append counted as patch: %+v", st)
+	}
+}
+
+func TestCowErrors(t *testing.T) {
+	base := buildTestStore(t, 2, []int32{0, 1})
+	c := NewCow(base)
+	if err := c.Patch(5, func(int32) bool { return true }); err == nil {
+		t.Fatal("out-of-range Patch succeeded")
+	}
+	if _, err := c.Append([]int32{1, 2, 3}); err == nil {
+		t.Fatal("over-capacity Append succeeded")
+	}
+}
+
+// TestCowChainedEpochs mirrors the snapshot-commit usage: each epoch derives
+// from the previous layout, patching tombstoned base pages and rewriting the
+// delta tail, and untouched base pages stay shared across every epoch.
+func TestCowChainedEpochs(t *testing.T) {
+	layout := buildTestStore(t, 2, []int32{0, 1}, []int32{2, 3}, []int32{4, 5})
+	nBase := 3
+	dead := map[int32]bool{}
+
+	kill := func(id int32, deltaPages ...[]int32) CowStats {
+		dead[id] = true
+		c := NewCow(layout)
+		c.Truncate(nBase)
+		if err := c.Patch(PageID(id/2), func(e int32) bool { return !dead[e] }); err != nil {
+			t.Fatal(err)
+		}
+		for _, dp := range deltaPages {
+			if _, err := c.Append(dp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var st CowStats
+		layout, st = c.Build()
+		return st
+	}
+
+	st1 := kill(3, []int32{100})
+	if st1.Shared != 2 || st1.Patched != 1 || st1.Appended != 1 {
+		t.Fatalf("epoch 1 stats = %+v", st1)
+	}
+	st2 := kill(2, []int32{100, 101})
+	// Page 1 was already a patched copy last epoch; patching it again still
+	// counts, pages 0 and 2 remain shared, old delta page dropped.
+	if st2.Shared != 2 || st2.Patched != 1 || st2.Dropped != 1 || st2.Appended != 1 {
+		t.Fatalf("epoch 2 stats = %+v", st2)
+	}
+	if got := layout.Page(1); len(got) != 0 {
+		t.Fatalf("page 1 not emptied: %v", got)
+	}
+	if got := layout.Page(3); !reflect.DeepEqual(got, []int32{100, 101}) {
+		t.Fatalf("delta page = %v", got)
+	}
+	if got := layout.Page(0); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("shared page mutated: %v", got)
+	}
+}
