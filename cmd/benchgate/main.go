@@ -1,0 +1,150 @@
+// Command benchgate compares two BENCH_engine.json reports and fails loudly
+// when a deterministic headline count regresses. It is the CI trend gate: the
+// bench-report job restores the previous run's artifact, regenerates the
+// report, and benchgate refuses >20% growth in any page-read/result metric.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate -old prev/BENCH_engine.json -new BENCH_engine.json
+//	go run ./cmd/benchgate -old prev.json -new cur.json -threshold 0.1
+//
+// Only metrics whose names contain "pages", "reads" or "results" are gated:
+// those are deterministic counts under the fixed experiment seeds, so growth
+// is a real read-path regression, not noise. Wall-clock, speedup and
+// allocation metrics are reported but never gated — they move with the
+// runner hardware. A missing -old file passes with a notice (the first run
+// has no baseline); a missing -new file is an error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// report mirrors the BENCH_engine.json layout (experiments.BenchReport);
+// decoded structurally so benchgate works across schema versions.
+type report struct {
+	Schema    int `json:"schema"`
+	Headlines []struct {
+		Experiment string             `json:"experiment"`
+		Metrics    map[string]float64 `json:"metrics"`
+	} `json:"headlines"`
+}
+
+func readReport(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// gated reports whether a metric is a deterministic count the gate enforces.
+func gated(name string) bool {
+	n := strings.ToLower(name)
+	return strings.Contains(n, "pages") || strings.Contains(n, "reads") || strings.Contains(n, "result")
+}
+
+func (r report) metrics() map[string]float64 {
+	out := make(map[string]float64)
+	for _, h := range r.Headlines {
+		for name, v := range h.Metrics {
+			out[h.Experiment+"."+name] = v
+		}
+	}
+	return out
+}
+
+// compare diffs the gated metrics of two reports. failures are >threshold
+// relative increases; notes record decreases and disappeared metrics (worth a
+// look, never blocking — a config change or a genuine optimisation).
+func compare(oldR, newR report, threshold float64) (failures, notes []string) {
+	oldM, newM := oldR.metrics(), newR.metrics()
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !gated(k) {
+			continue
+		}
+		ov := oldM[k]
+		nv, ok := newM[k]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("metric %s disappeared (was %g)", k, ov))
+			continue
+		}
+		if ov == 0 {
+			if nv != 0 {
+				notes = append(notes, fmt.Sprintf("metric %s appeared at %g (baseline 0)", k, nv))
+			}
+			continue
+		}
+		rel := (nv - ov) / ov
+		switch {
+		case rel > threshold:
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%%: %g -> %g", k, rel*100, ov, nv))
+		case rel < -threshold:
+			notes = append(notes, fmt.Sprintf("%s improved %.1f%%: %g -> %g (verify it is intentional)", k, -rel*100, ov, nv))
+		}
+	}
+	return failures, notes
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	oldPath := flag.String("old", "", "previous BENCH_engine.json (missing file: pass with a notice)")
+	newPath := flag.String("new", "", "current BENCH_engine.json")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated relative growth of a gated metric")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("both -old and -new are required")
+	}
+
+	newR, err := readReport(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldR, err := readReport(*oldPath)
+	if os.IsNotExist(err) {
+		fmt.Printf("benchgate: no baseline at %s — first run, passing\n", *oldPath)
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	failures, notes := compare(oldR, newR, *threshold)
+	for _, n := range notes {
+		fmt.Printf("benchgate: note: %s\n", n)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d gated metrics within %.0f%% of baseline (schema %d -> %d)\n",
+		len(gatedCount(oldR)), *threshold*100, oldR.Schema, newR.Schema)
+}
+
+func gatedCount(r report) []string {
+	var out []string
+	for k := range r.metrics() {
+		if gated(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkReport(metrics map[string]float64) report {
+	var r report
+	r.Schema = 5
+	r.Headlines = append(r.Headlines, struct {
+		Experiment string             `json:"experiment"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}{Experiment: "E1", Metrics: metrics})
+	return r
+}
+
+func TestCompareGatesCountRegressions(t *testing.T) {
+	oldR := mkReport(map[string]float64{
+		"densest_flat_pages": 100,
+		"total_results":      5000,
+		"flat_time_ms":       10,
+		"speedup":            3.2,
+	})
+
+	// Within threshold: pass, no notes.
+	newR := mkReport(map[string]float64{
+		"densest_flat_pages": 110,
+		"total_results":      5000,
+		"flat_time_ms":       400, // time is never gated
+		"speedup":            0.1, // neither is speedup
+	})
+	failures, notes := compare(oldR, newR, 0.20)
+	if len(failures) != 0 || len(notes) != 0 {
+		t.Fatalf("within-threshold diff reported failures %v notes %v", failures, notes)
+	}
+
+	// Pages regressing past the threshold: fail, naming the metric.
+	newR = mkReport(map[string]float64{
+		"densest_flat_pages": 130,
+		"total_results":      5000,
+	})
+	failures, _ = compare(oldR, newR, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "densest_flat_pages") {
+		t.Fatalf("30%% pages growth not gated: %v", failures)
+	}
+
+	// Result-count collapse: a note (suspicious, not blocking).
+	newR = mkReport(map[string]float64{
+		"densest_flat_pages": 100,
+		"total_results":      100,
+	})
+	failures, notes = compare(oldR, newR, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("improvement treated as regression: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "total_results") {
+		t.Fatalf("98%% result drop not noted: %v", notes)
+	}
+
+	// Disappeared gated metric: noted.
+	newR = mkReport(map[string]float64{"total_results": 5000})
+	_, notes = compare(oldR, newR, 0.20)
+	if len(notes) != 1 || !strings.Contains(notes[0], "disappeared") {
+		t.Fatalf("missing metric not noted: %v", notes)
+	}
+}
+
+func TestGatedSelectsDeterministicCounts(t *testing.T) {
+	for name, want := range map[string]bool{
+		"densest_flat_pages":      true,
+		"total_pages_read":        true,
+		"densest_rtree_str_reads": true,
+		"flat_limit_pages":        true,
+		"result_size":             true,
+		"flat_time_ms":            false,
+		"speedup":                 false,
+		"flat_full_alloc_mb":      false,
+		"range_routed_flat":       false,
+	} {
+		if gated(name) != want {
+			t.Errorf("gated(%q) = %v, want %v", name, !want, want)
+		}
+	}
+}

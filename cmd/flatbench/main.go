@@ -17,21 +17,27 @@
 //	go run ./cmd/flatbench -churn     # E10: interleaved updates and queries
 //	                                  # through the mutable Dataset (snapshot
 //	                                  # isolation + worker invariance enforced)
+//	go run ./cmd/flatbench -stream    # E11: streaming first page vs full drain
+//	                                  # (early-stop + O(Limit) allocation proof)
 //	go run ./cmd/flatbench -all       # everything
 //
 //	go run ./cmd/flatbench -kind knn -k 8       # one-off Session demo: a handful
 //	go run ./cmd/flatbench -kind within -radius 20  # of requests of that kind,
 //	                                  # planner-routed, with per-request stats
+//	go run ./cmd/flatbench -kind range -limit 16    # paging demo: walk the kind's
+//	                                  # result in cursor pages of 16
+//	go run ./cmd/flatbench -kind range -limit 16 -cursor nsc1:...
+//	                                  # resume the walk from a printed cursor
 //
 //	go run ./cmd/flatbench -json BENCH_engine.json [-quick]
-//	                                  # machine-readable E1/E4/E7/E8/E9/E10
+//	                                  # machine-readable E1/E4/E7/E8/E9/E10/E11
 //	                                  # headline numbers (the CI artifact,
-//	                                  # schema 4)
+//	                                  # schema 5)
 //
 // Contradictory flag combinations (-k without -kind knn, -radius with a
-// kind that has no radius, -index without -shards, -quick without -json)
-// are rejected with a one-line usage error instead of being silently
-// ignored.
+// kind that has no radius, -limit without -kind, -cursor without -limit,
+// -index without -shards, -quick without -json) are rejected with a one-line
+// usage error instead of being silently ignored.
 //
 // The -workers flag follows the repository-wide convention (see README):
 // 0 or 1 run serially, values > 1 use that many workers, negative values
@@ -46,6 +52,7 @@ import (
 	"os"
 
 	"neurospatial/internal/experiments"
+	"neurospatial/internal/stats"
 )
 
 func main() {
@@ -58,13 +65,16 @@ func main() {
 	index := flag.String("index", "", "with -shards: the E8 per-shard contender (flat, rtree, grid)")
 	mixed := flag.Bool("mixed", false, "run E9 (mixed range/kNN/point/within workload through the Session front door)")
 	churn := flag.Bool("churn", false, "run E10 (interleaved updates and queries through the mutable Dataset)")
+	stream := flag.Bool("stream", false, "run E11 (streaming first page vs full drain)")
 	all := flag.Bool("all", false, "run every FLAT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
-	jsonOut := flag.String("json", "", "write E1/E4/E7/E8/E9/E10 headline numbers as JSON to this path and exit")
+	jsonOut := flag.String("json", "", "write E1/E4/E7/E8/E9/E10/E11 headline numbers as JSON to this path and exit")
 	quick := flag.Bool("quick", false, "with -json: use the reduced CI-scale configurations")
 	kind := flag.String("kind", "", "run a one-off Session demo of this query kind (range, knn, point, within) and exit")
 	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
 	radius := flag.Float64("radius", 20, "with -kind range/within: the query radius")
+	limit := flag.Int("limit", 0, "with -kind: page the demo's result in cursor pages of this size")
+	cursor := flag.String("cursor", "", "with -kind and -limit: resume the page walk from this cursor token")
 	flag.Parse()
 
 	set := make(map[string]bool)
@@ -88,6 +98,12 @@ func main() {
 	if set["index"] && *index != "flat" && *index != "rtree" && *index != "grid" {
 		usageErr("-index must be flat, rtree or grid (got %q)", *index)
 	}
+	if set["limit"] && *kind == "" {
+		usageErr("-limit pages the -kind demo; pass -kind too")
+	}
+	if set["cursor"] && !set["limit"] {
+		usageErr("-cursor resumes a -limit page walk; pass -kind and -limit too")
+	}
 
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut, *quick, *workers); err != nil {
@@ -96,7 +112,13 @@ func main() {
 		return
 	}
 	if *kind != "" {
-		tb, err := experiments.RunSessionDemo(*kind, *k, *radius, *workers)
+		var tb *stats.Table
+		var err error
+		if *limit > 0 {
+			tb, err = experiments.RunPagingDemo(*kind, *k, *radius, *limit, *cursor, *workers)
+		} else {
+			tb, err = experiments.RunSessionDemo(*kind, *k, *radius, *workers)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -106,7 +128,7 @@ func main() {
 		return
 	}
 
-	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && !*churn && *shards == 0)
+	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && !*churn && !*stream && *shards == 0)
 	if runDensity {
 		cfg := experiments.DefaultE1()
 		cfg.Workers = *workers
@@ -209,6 +231,16 @@ func main() {
 		}
 		fmt.Println()
 		if err := experiments.E10RoutingTable(res).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *stream {
+		rows, err := experiments.RunE11(experiments.DefaultE11())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E11Table(rows).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

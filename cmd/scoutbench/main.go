@@ -16,14 +16,18 @@
 //	go run ./cmd/scoutbench -kind knn -k 8  # one-off Session demo: a handful of
 //	                                   # requests of that kind through the
 //	                                   # planner-routed engine front door
+//	go run ./cmd/scoutbench -kind range -limit 16   # paging demo: walk the
+//	                                   # kind's result in cursor pages of 16
+//	                                   # (-cursor resumes a printed token)
 //	go run ./cmd/scoutbench -churn 3   # mutable-dataset demo: 3 mutation
 //	                                   # batches, then the maintenance panel
 //	                                   # and a mixed batch from the churned
 //	                                   # snapshot
 //
 // Contradictory flag combinations (-shards with -index ≠ sharded, -k
-// without -kind knn, -radius with a kind that has no radius) are rejected
-// with a one-line usage error instead of being silently ignored.
+// without -kind knn, -radius with a kind that has no radius, -limit without
+// -kind, -cursor without -limit) are rejected with a one-line usage error
+// instead of being silently ignored.
 //
 // The -workers flag follows the repository-wide convention (see README):
 // 0 or 1 run serially, values > 1 use that many workers, negative values
@@ -38,6 +42,7 @@ import (
 	"os"
 
 	"neurospatial/internal/experiments"
+	"neurospatial/internal/stats"
 )
 
 func main() {
@@ -52,6 +57,8 @@ func main() {
 	kind := flag.String("kind", "", "run a one-off Session demo of this query kind (range, knn, point, within) and exit")
 	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
 	radius := flag.Float64("radius", 20, "with -kind range/within: the query radius")
+	limit := flag.Int("limit", 0, "with -kind: page the demo's result in cursor pages of this size")
+	cursor := flag.String("cursor", "", "with -kind and -limit: resume the page walk from this cursor token")
 	churn := flag.Int("churn", 0, "run the mutable-dataset demo with this many mutation batches and exit")
 	flag.Parse()
 
@@ -76,6 +83,12 @@ func main() {
 	if set["churn"] && *churn <= 0 {
 		usageErr("-churn needs a positive batch count (got %d)", *churn)
 	}
+	if set["limit"] && *kind == "" {
+		usageErr("-limit pages the -kind demo; pass -kind too")
+	}
+	if set["cursor"] && !set["limit"] {
+		usageErr("-cursor resumes a -limit page walk; pass -kind and -limit too")
+	}
 
 	if *churn > 0 {
 		tables, err := experiments.RunChurnDemo(*churn, *workers)
@@ -91,7 +104,13 @@ func main() {
 		return
 	}
 	if *kind != "" {
-		tb, err := experiments.RunSessionDemo(*kind, *k, *radius, *workers)
+		var tb *stats.Table
+		var err error
+		if *limit > 0 {
+			tb, err = experiments.RunPagingDemo(*kind, *k, *radius, *limit, *cursor, *workers)
+		} else {
+			tb, err = experiments.RunSessionDemo(*kind, *k, *radius, *workers)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -179,13 +179,21 @@ func (m *Model) repin() error {
 	return nil
 }
 
-// Do executes one typed request through the model's session.
+// Do executes one typed request through the model's session. Pagination
+// fields pass straight through: a Limit/Offset/Cursor request runs on the
+// lazy streaming pipeline of the pinned snapshot's routed contender, and the
+// returned Result carries the next page's cursor when the page filled its
+// Limit. Cursors minted here stay valid across Mutate/Compact for any
+// session still pinning the epoch they were minted on; the default session
+// re-pins on commit, so long-lived page walks should hold their own
+// OpenSession.
 func (m *Model) Do(ctx context.Context, req engine.Request) (engine.Result, error) {
 	return m.Session().Do(ctx, req)
 }
 
 // DoBatch executes a (possibly mixed-kind) request batch through the
-// model's session with the repository-wide workers semantics.
+// model's session with the repository-wide workers semantics. Pagination
+// passes through per request, as in Do.
 func (m *Model) DoBatch(ctx context.Context, reqs []engine.Request, workers int) ([]engine.Result, error) {
 	return m.Session().DoBatch(ctx, reqs, workers)
 }

@@ -146,6 +146,11 @@ type SpatialIndex interface {
 	// ctx.Err() when canceled mid-execution (in which case nothing was
 	// emitted — emission is all-or-nothing). A nil ctx reads as
 	// context.Background; a nil visit discards hits (stats only).
+	// Pagination fields (Limit/Offset/Cursor) are honored: the request is
+	// served through the lazy streaming pipeline (see Stream) and only the
+	// requested page is emitted, with stats covering only the work of that
+	// page. Do returns no resume cursor — paging callers go through
+	// Session.Do (which mints one) or Stream + NextCursor.
 	Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error)
 	// Query reports the IDs of all items whose boxes intersect q, in the
 	// index's native order.

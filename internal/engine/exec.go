@@ -61,6 +61,19 @@ func wrapCtxSource(ctx context.Context, src pager.PageSource) pager.PageSource {
 
 // catchCancel runs fn, converting a canceledRead panic from a ctxSource
 // below it into the context's error. Any other panic propagates.
+//
+// Invariant (audited): a canceledRead panic is only recoverable on the
+// goroutine that raised it, so every ctxSource read must happen under a
+// catchCancel installed on the same goroutine. The engine upholds this in
+// two ways: each Do implementation wraps its own traversal (rangeIDs in the
+// flat/rtree/grid wrappers — the worker goroutine running a batch slot runs
+// both the traversal and its catchCancel), and Session.DoBatch installs a
+// second, defense-in-depth catchCancel around each slot's whole execution on
+// the worker goroutine. The kNN scans and the lazy iterators use explicit
+// ctxErr checks before each page read instead of the panic machinery —
+// pull-based Next calls cannot sit under one catchCancel frame. No Do path
+// spawns goroutines of its own (the sharded scatter is serial), so a panic
+// never crosses a goroutine boundary.
 func catchCancel(fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {

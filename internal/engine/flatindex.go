@@ -24,6 +24,9 @@ type Flat struct {
 	// planners sharing this instance serialize their calibration probes on
 	// it, since a probe detaches and restores src.
 	probeMu sync.Mutex
+	// zoneMu guards the lazily derived zone map of the current build.
+	zoneMu sync.Mutex
+	zones  []idZone
 }
 
 // NewFlat returns an unbuilt FLAT engine index with the given options.
@@ -47,7 +50,45 @@ func (f *Flat) Build(items []rtree.Item) error {
 		return fmt.Errorf("engine: %w", err)
 	}
 	f.idx, f.src = idx, nil
+	f.zoneMu.Lock()
+	f.zones = nil
+	f.zoneMu.Unlock()
 	return nil
+}
+
+// zoneMap returns the per-page (min, max) item-ID zones of the current
+// build, derived once from the RAM-resident page layout (like the page
+// MBRs; not page I/O).
+func (f *Flat) zoneMap() []idZone {
+	f.zoneMu.Lock()
+	defer f.zoneMu.Unlock()
+	if f.zones == nil {
+		f.zones = storeZones(f.idx.Store())
+	}
+	return f.zones
+}
+
+// iterate implements the internal streaming capability. The ascending-ID
+// kinds run the zone-map merge over the seed tree's candidate pages (every
+// true hit lies on a page whose MBR intersects the query box, so the
+// candidate set is complete; the exact refinement is the RAM-resident item
+// box). The stats mapping differs from the eager path in the RAM-side
+// counters only: IndexReads counts candidate pages rather than seed-tree
+// node accesses, and Reseeds stays 0 (the zone-map order replaces the
+// crawl); PagesRead accounting is identical on a full drain. KNN serves the
+// bounded best-first scan eagerly.
+func (f *Flat) iterate(ctx context.Context, req Request, after *Hit) (HitIterator, error) {
+	if f.idx == nil {
+		return &sliceIter{}, ctxErr(ctx)
+	}
+	if req.Kind == KNN {
+		return knnEager(func(visit func(Hit)) (QueryStats, error) {
+			return f.doKNN(ctx, req.Center, req.K, visit)
+		}, KNN, after)
+	}
+	pages := f.idx.PagesInRange(queryBox(req))
+	return newPageStream(ctx, f.srcOrStore(), pages, f.zoneMap(), after,
+		acceptFor(req, f.idx.ItemBox)), nil
 }
 
 // Bounds implements SpatialIndex.
@@ -123,6 +164,9 @@ func (f *Flat) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats
 	}
 	if err := ctxErr(ctx); err != nil {
 		return QueryStats{}, err
+	}
+	if req.paginated() {
+		return doPaginated(ctx, f, req, visit)
 	}
 	switch req.Kind {
 	case Range, Point:

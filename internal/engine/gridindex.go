@@ -54,6 +54,9 @@ type Grid struct {
 	src     pager.PageSource
 	// probeMu is the per-instance probe-execution lock (see planner.go).
 	probeMu sync.Mutex
+	// zoneMu guards the lazily derived zone map of the current build.
+	zoneMu sync.Mutex
+	zones  []idZone
 }
 
 // NewGrid returns an unbuilt grid engine index.
@@ -67,6 +70,9 @@ func (gx *Grid) Name() string { return "grid" }
 // previous store would serve stale pages.
 func (gx *Grid) Build(items []rtree.Item) error {
 	gx.g, gx.store, gx.pageOf, gx.src = nil, nil, nil, nil
+	gx.zoneMu.Lock()
+	gx.zones = nil
+	gx.zoneMu.Unlock()
 	gx.boxes = make([]geom.AABB, len(items))
 	gx.bounds = geom.EmptyAABB()
 	gx.maxHalf = 0
@@ -154,6 +160,41 @@ func (gx *Grid) queryVia(q geom.AABB, src pager.PageSource, emit func(int32)) Qu
 	return stats
 }
 
+// zoneMap returns the per-page (min, max) item-ID zones of the current
+// build, derived once from the RAM-resident page layout (not page I/O).
+func (gx *Grid) zoneMap() []idZone {
+	gx.zoneMu.Lock()
+	defer gx.zoneMu.Unlock()
+	if gx.zones == nil {
+		gx.zones = storeZones(gx.store)
+	}
+	return gx.zones
+}
+
+// iterate implements the internal streaming capability. The ascending-ID
+// kinds run the zone-map merge over the candidate pages of the expanded
+// range (an item's cell is determined by its box center, so every true hit's
+// page is among them); the exact refinement is the RAM-resident item box, so
+// page residents outside the candidate cells are tested and rejected — the
+// streaming path's EntriesTested can exceed the eager traversal's, while
+// PagesRead is identical on a full drain. IndexReads counts candidate pages
+// rather than cells inspected. KNN serves the bounded best-first cell scan
+// eagerly.
+func (gx *Grid) iterate(ctx context.Context, req Request, after *Hit) (HitIterator, error) {
+	if gx.g == nil {
+		return &sliceIter{}, ctxErr(ctx)
+	}
+	if req.Kind == KNN {
+		return knnEager(func(visit func(Hit)) (QueryStats, error) {
+			return gx.doKNN(ctx, req.Center, req.K, visit)
+		}, KNN, after)
+	}
+	pages := gx.PagesInRange(queryBox(req))
+	boxOf := func(id int32) geom.AABB { return gx.boxes[id] }
+	return newPageStream(ctx, gx.source(), pages, gx.zoneMap(), after,
+		acceptFor(req, boxOf)), nil
+}
+
 // rangeIDs runs the native cell traversal collecting ids, with cancellation
 // checked at every data-page read.
 func (gx *Grid) rangeIDs(ctx context.Context, q geom.AABB) ([]int32, QueryStats, error) {
@@ -192,6 +233,9 @@ func (gx *Grid) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStat
 	}
 	if err := ctxErr(ctx); err != nil {
 		return QueryStats{}, err
+	}
+	if req.paginated() {
+		return doPaginated(ctx, gx, req, visit)
 	}
 	switch req.Kind {
 	case Range, Point:

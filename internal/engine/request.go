@@ -77,6 +77,27 @@ type Request struct {
 	K int
 	// Radius is the sphere radius (WithinDistance only).
 	Radius float64
+
+	// Limit caps the number of hits returned (0 = unlimited). A limited
+	// request executes lazily: the streaming path stops reading pages as
+	// soon as the limit is satisfied, so a Limit-10 page of a million-hit
+	// result costs a handful of page reads, not the full scan.
+	Limit int
+	// Offset skips that many leading hits (after the Cursor position, when
+	// both are set). Offset pages still read the pages holding the skipped
+	// hits; prefer Cursor for deep paging — the cursor position prunes
+	// whole pages without reading them.
+	Offset int
+	// Cursor resumes a paginated result strictly after the position encoded
+	// in a previous Result's Cursor token. It must have been minted for the
+	// same Kind (Validate rejects a mismatch) and is only meaningful against
+	// the same index and item set.
+	Cursor Cursor
+}
+
+// paginated reports whether the request asks for a partial result window.
+func (r Request) paginated() bool {
+	return r.Limit > 0 || r.Offset > 0 || r.Cursor != ""
 }
 
 // RangeRequest returns a box-intersection request.
@@ -124,6 +145,22 @@ func vecHasNaN(v geom.Vec) bool {
 // rejected everywhere (they poison every comparison); infinities are legal
 // (an all-space range is a valid, if expensive, request).
 func (r Request) Validate() error {
+	if r.Limit < 0 {
+		return &RequestError{Kind: r.Kind, Field: "Limit", Reason: fmt.Sprintf("is %d, want >= 0", r.Limit)}
+	}
+	if r.Offset < 0 {
+		return &RequestError{Kind: r.Kind, Field: "Offset", Reason: fmt.Sprintf("is %d, want >= 0", r.Offset)}
+	}
+	if r.Cursor != "" {
+		kind, _, err := r.Cursor.decode()
+		if err != nil {
+			return &RequestError{Kind: r.Kind, Field: "Cursor", Reason: "is malformed"}
+		}
+		if kind != r.Kind {
+			return &RequestError{Kind: r.Kind, Field: "Cursor",
+				Reason: fmt.Sprintf("was minted for a %s request", kind)}
+		}
+	}
 	switch r.Kind {
 	case Range:
 		if vecHasNaN(r.Box.Min) || vecHasNaN(r.Box.Max) {
@@ -195,8 +232,17 @@ type Result struct {
 	// Index names the contender that served it (the Session's fixed index,
 	// or the planner's per-kind routing decision).
 	Index string
-	// Hits holds the reported items in canonical order (see Hit).
+	// Hits holds the reported items in canonical order (see Hit). For a
+	// paginated request this is one page: at most Limit hits starting after
+	// the request's Cursor/Offset position.
 	Hits []Hit
-	// Stats is the unified execution record.
+	// Stats is the unified execution record. Under a Limit it reflects only
+	// the work the page actually performed — page reads stop once the limit
+	// is satisfied.
 	Stats QueryStats
+	// Cursor is the resume token of the next page. It is set only when the
+	// request carried a Limit and the page filled it; an exactly-full final
+	// page therefore yields one trailing empty page. Empty means the result
+	// is exhausted.
+	Cursor Cursor
 }

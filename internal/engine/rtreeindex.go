@@ -22,8 +22,23 @@ type RTree struct {
 	src      pager.PageSource
 	elemPage []pager.PageID // item ID -> leaf page
 	boxes    []geom.AABB    // item ID -> MBR (exact-distance refinement)
+	// nodes is the RAM-resident node directory built at paging time: per
+	// node its page, MBR, level and (min, max) item-ID zone — what the
+	// streaming descent orders subtrees by. nodes[0] is the root.
+	nodes []rnode
 	// probeMu is the per-instance probe-execution lock (see planner.go).
 	probeMu sync.Mutex
+}
+
+// rnode is one node of the RAM directory (see RTree.nodes).
+type rnode struct {
+	page  pager.PageID
+	box   geom.AABB
+	level int
+	leaf  bool
+	minID int32
+	maxID int32
+	kids  []int32 // indexes into RTree.nodes
 }
 
 // NewRTree returns an unbuilt R-tree engine index with the given fanout
@@ -69,7 +84,7 @@ func (r *RTree) Build(items []rtree.Item) error {
 // page lays the tree's nodes onto pages and indexes each item's leaf page
 // and MBR.
 func (r *RTree) page() error {
-	r.paged, r.elemPage, r.boxes = nil, nil, nil
+	r.paged, r.elemPage, r.boxes, r.nodes = nil, nil, nil, nil
 	if r.tree.Size() == 0 {
 		return nil
 	}
@@ -80,22 +95,44 @@ func (r *RTree) page() error {
 	r.paged = p
 	r.elemPage = make([]pager.PageID, r.tree.Size())
 	r.boxes = make([]geom.AABB, r.tree.Size())
+	r.nodes = nil
 	root, _ := r.tree.Root()
-	var walk func(v rtree.NodeView)
-	walk = func(v rtree.NodeView) {
+	var walk func(v rtree.NodeView) int32
+	walk = func(v rtree.NodeView) int32 {
+		ni := int32(len(r.nodes))
+		r.nodes = append(r.nodes, rnode{})
+		n := rnode{page: p.PageOf(v), box: v.Box(), level: v.Level(), leaf: v.IsLeaf(),
+			minID: int32(len(r.elemPage)), maxID: -1}
 		if v.IsLeaf() {
-			pg := p.PageOf(v)
 			for _, it := range v.Items() {
 				if int(it.ID) < len(r.elemPage) {
-					r.elemPage[it.ID] = pg
+					r.elemPage[it.ID] = n.page
 					r.boxes[it.ID] = it.Box
 				}
+				if it.ID < n.minID {
+					n.minID = it.ID
+				}
+				if it.ID > n.maxID {
+					n.maxID = it.ID
+				}
 			}
-			return
+		} else {
+			n.kids = make([]int32, 0, v.NumChildren())
+			for i := 0; i < v.NumChildren(); i++ {
+				ci := walk(v.Child(i))
+				n.kids = append(n.kids, ci)
+				if c := r.nodes[ci]; c.maxID >= c.minID {
+					if c.minID < n.minID {
+						n.minID = c.minID
+					}
+					if c.maxID > n.maxID {
+						n.maxID = c.maxID
+					}
+				}
+			}
 		}
-		for i := 0; i < v.NumChildren(); i++ {
-			walk(v.Child(i))
-		}
+		r.nodes[ni] = n
+		return ni
 	}
 	walk(root)
 	return nil
@@ -191,6 +228,9 @@ func (r *RTree) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStat
 	if err := ctxErr(ctx); err != nil {
 		return QueryStats{}, err
 	}
+	if req.paginated() {
+		return doPaginated(ctx, r, req, visit)
+	}
 	switch req.Kind {
 	case Range, Point:
 		q := req.Box
@@ -259,6 +299,165 @@ func (r *RTree) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hi
 		visit(h)
 	}
 	return st, nil
+}
+
+// iterate implements the internal streaming capability: a best-first
+// descent over the RAM node directory ordered by subtree min-ID. A node's
+// page is read (one node per page — the same accounting as the eager
+// descent) when it becomes the unvisited subtree with the least possible ID;
+// leaf residents are refined against the RAM item boxes and buffered until
+// no unread subtree can precede them. A full drain visits exactly the nodes
+// the eager descent visits; under a Limit the remaining subtrees are never
+// read. Subtrees wholly at or before the resume position are pruned by
+// their ID zone without reading. KNN serves the bounded native best-first
+// search eagerly.
+func (r *RTree) iterate(ctx context.Context, req Request, after *Hit) (HitIterator, error) {
+	if r.tree == nil || r.tree.Size() == 0 {
+		return &sliceIter{}, ctxErr(ctx)
+	}
+	if req.Kind == KNN {
+		return knnEager(func(visit func(Hit)) (QueryStats, error) {
+			return r.doKNN(ctx, req.Center, req.K, visit)
+		}, KNN, after)
+	}
+	src := r.src
+	if src == nil {
+		src = r.paged.Store()
+	}
+	it := &rtreeStream{r: r, ctx: ctx, src: src, accept: acceptFor(req, func(id int32) geom.AABB {
+		return r.boxes[id]
+	}), q: queryBox(req)}
+	if after != nil {
+		it.after = after.ID
+	} else {
+		it.after = -1
+	}
+	root := r.nodes[0]
+	if root.box.Intersects(it.q) && root.maxID > it.after {
+		it.frontier.push(r, 0)
+	}
+	return it, nil
+}
+
+// rtreeStream is the lazy min-ID best-first descent (see RTree.iterate).
+type rtreeStream struct {
+	r        *RTree
+	ctx      context.Context
+	src      pager.PageSource
+	q        geom.AABB
+	accept   func(id int32, st *QueryStats) (Hit, bool)
+	after    int32 // resume position; -1 = none
+	frontier nodeHeap
+	pending  hitHeap
+	st       QueryStats
+	err      error
+}
+
+func (s *rtreeStream) Next() (Hit, bool) {
+	for {
+		if s.err != nil {
+			return Hit{}, false
+		}
+		if len(s.pending) > 0 &&
+			(len(s.frontier) == 0 || s.pending[0].ID < s.r.nodes[s.frontier[0]].minID) {
+			return s.pending.pop(), true
+		}
+		if len(s.frontier) == 0 {
+			return Hit{}, false
+		}
+		if err := ctxErr(s.ctx); err != nil {
+			s.err = err
+			return Hit{}, false
+		}
+		ni := s.frontier.pop(s.r)
+		n := s.r.nodes[ni]
+		// Reading the node is one page read, internal or leaf — the
+		// one-node-per-page convention of the eager descent.
+		ids := s.src.ReadPage(n.page)
+		s.st.PagesRead++
+		for len(s.st.NodesPerLevel) <= n.level {
+			s.st.NodesPerLevel = append(s.st.NodesPerLevel, 0)
+		}
+		s.st.NodesPerLevel[n.level]++
+		if n.leaf {
+			for _, id := range ids {
+				if id < 0 || id <= s.after {
+					continue
+				}
+				if h, ok := s.accept(id, &s.st); ok {
+					s.st.Results++
+					s.pending.push(h)
+				}
+			}
+			continue
+		}
+		for _, ci := range n.kids {
+			c := s.r.nodes[ci]
+			s.st.EntriesTested++
+			if c.maxID < c.minID || c.maxID <= s.after {
+				continue
+			}
+			if c.box.Intersects(s.q) {
+				s.frontier.push(s.r, ci)
+			}
+		}
+	}
+}
+
+func (s *rtreeStream) Err() error        { return s.err }
+func (s *rtreeStream) Stats() QueryStats { return s.st }
+func (s *rtreeStream) Close()            {}
+
+// nodeHeap is a min-heap of RTree.nodes indexes ordered by subtree min-ID
+// (ties by page for determinism).
+type nodeHeap []int32
+
+func (h *nodeHeap) less(r *RTree, a, b int32) bool {
+	na, nb := r.nodes[a], r.nodes[b]
+	if na.minID != nb.minID {
+		return na.minID < nb.minID
+	}
+	return na.page < nb.page
+}
+
+func (h *nodeHeap) push(r *RTree, x int32) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(r, s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop(r *RTree) int32 {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		least := i
+		if l < len(s) && h.less(r, s[l], s[least]) {
+			least = l
+		}
+		if rr < len(s) && h.less(r, s[rr], s[least]) {
+			least = rr
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // Query implements SpatialIndex, reading node pages through the configured

@@ -125,6 +125,54 @@ func (s *Session) routingPlanner() *Planner {
 	return nil
 }
 
+// stripPagination removes the pagination fields for routing and planner
+// observation: a partial-scan cost record would poison the per-kind history
+// the planner routes by, so paginated requests are routed by their
+// underlying query shape and their stats are not fed back.
+func stripPagination(reqs []Request) []Request {
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		r.Limit, r.Offset, r.Cursor = 0, 0, ""
+		out[i] = r
+	}
+	return out
+}
+
+// execRequest runs one request on its routed index: the index's native Do
+// for a full result, the lazy streaming pipeline for a paginated one (the
+// stream stops reading pages once the limit is filled; the returned cursor
+// resumes the next page).
+func execRequest(ctx context.Context, ix SpatialIndex, req Request, emit func(Hit)) (QueryStats, Cursor, error) {
+	if !req.paginated() {
+		st, err := ix.Do(ctx, req, emit)
+		return st, "", err
+	}
+	it, err := Stream(ctx, ix, req)
+	if err != nil {
+		return QueryStats{}, "", err
+	}
+	defer it.Close()
+	var n int
+	var last Hit
+	for {
+		h, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+		last = h
+		emit(h)
+	}
+	if err := it.Err(); err != nil {
+		return QueryStats{}, "", err
+	}
+	var next Cursor
+	if req.Limit > 0 && n == req.Limit {
+		next = NextCursor(req.Kind, last)
+	}
+	return it.Stats(), next, nil
+}
+
 // route picks the serving index for requests of one kind, using the given
 // same-kind requests as the planner's calibration sample.
 func (s *Session) route(kind Kind, sample []Request) SpatialIndex {
@@ -157,14 +205,19 @@ func (s *Session) Do(ctx context.Context, req Request) (Result, error) {
 	if err := ctxErr(ctx); err != nil {
 		return Result{}, err
 	}
-	ix := s.route(req.Kind, []Request{req})
+	ix := s.route(req.Kind, stripPagination([]Request{req}))
 	res := Result{Request: req, Index: ix.Name()}
-	st, err := ix.Do(ctx, req, func(h Hit) { res.Hits = append(res.Hits, h) })
+	st, cursor, err := execRequest(ctx, ix, req, func(h Hit) { res.Hits = append(res.Hits, h) })
 	if err != nil {
 		return Result{}, err
 	}
 	res.Stats = st
-	s.observe(res.Index, req.Kind, []QueryStats{st})
+	res.Cursor = cursor
+	if !req.paginated() {
+		// A page's partial-scan cost is not a routing signal (see
+		// stripPagination); only full executions feed the planner.
+		s.observe(res.Index, req.Kind, []QueryStats{st})
+	}
 	return res, nil
 }
 
@@ -207,16 +260,33 @@ func (s *Session) DoBatch(ctx context.Context, reqs []Request, workers int) ([]R
 		byKind[r.Kind] = append(byKind[r.Kind], r)
 	}
 	for _, k := range kinds {
-		routed[k] = s.route(k, byKind[k])
+		routed[k] = s.route(k, stripPagination(byKind[k]))
 	}
 
 	results := make([]Result, len(reqs))
 	for i := range reqs {
 		results[i] = Result{Request: reqs[i], Index: routed[reqs[i].Kind].Name()}
 	}
+	// cursors is written per slot on the worker goroutines and read only
+	// after BatchCtx joins — distinct elements, no sharing.
+	cursors := make([]Cursor, len(reqs))
 	sts, err := parallel.BatchCtx(ctx, workers, len(reqs),
 		func(qi int, emit func(Hit)) (QueryStats, error) {
-			return routed[reqs[qi].Kind].Do(ctx, reqs[qi], emit)
+			// Defense in depth for the cancellation machinery: a canceledRead
+			// panic must be recovered on the goroutine that raised it (the
+			// worker running this slot), and every Do implementation installs
+			// its own catchCancel around its ctxSource reads. This outer
+			// catch guards any future read path that forgets to — without
+			// it, an escaped panic on a worker goroutine would kill the
+			// process, since the caller's recover cannot see it.
+			var st QueryStats
+			var doErr error
+			if cerr := catchCancel(func() {
+				st, cursors[qi], doErr = execRequest(ctx, routed[reqs[qi].Kind], reqs[qi], emit)
+			}); cerr != nil {
+				return QueryStats{}, cerr
+			}
+			return st, doErr
 		},
 		func(qi int, h Hit) { results[qi].Hits = append(results[qi].Hits, h) })
 	if err != nil {
@@ -224,12 +294,15 @@ func (s *Session) DoBatch(ctx context.Context, reqs []Request, workers int) ([]R
 	}
 	for i := range results {
 		results[i].Stats = sts[i]
+		results[i].Cursor = cursors[i]
 	}
 	if s.routingPlanner() != nil {
 		for _, k := range kinds {
 			var kindStats []QueryStats
 			for i := range reqs {
-				if reqs[i].Kind == k {
+				// Partial-scan pages are not routing signals (see
+				// stripPagination); only full executions feed the planner.
+				if reqs[i].Kind == k && !reqs[i].paginated() {
 					kindStats = append(kindStats, sts[i])
 				}
 			}

@@ -330,6 +330,9 @@ func (s *Sharded) Do(ctx context.Context, req Request, visit func(Hit)) (QuerySt
 	if err := ctxErr(ctx); err != nil {
 		return QueryStats{}, err
 	}
+	if req.paginated() {
+		return doPaginated(ctx, s, req, visit)
+	}
 	switch req.Kind {
 	case Range, Point:
 		q := req.Box
@@ -410,6 +413,63 @@ func (s *Sharded) doKNN(ctx context.Context, req Request, visit func(Hit)) (Quer
 		visit(h)
 	}
 	return st, nil
+}
+
+// iterate implements the internal streaming capability: a lazy k-way merge
+// of the kept shards' streams by global ID. Within a shard, local IDs ascend
+// with global IDs, so translating each shard's ascending-ID stream yields
+// ascending global IDs and the merge preserves the canonical order. Shards
+// are primed lazily as the merge is pulled; a consumer that stops early
+// leaves every stream's remaining pages unread. The resume position is
+// translated into each shard's local ID space, so the per-shard zone maps
+// prune pages below the cursor without reading them. KNN serves the bounded
+// bound-tightening gather eagerly.
+func (s *Sharded) iterate(ctx context.Context, req Request, after *Hit) (HitIterator, error) {
+	if s.n == 0 {
+		return &sliceIter{}, ctxErr(ctx)
+	}
+	if req.Kind == KNN {
+		return knnEager(func(visit func(Hit)) (QueryStats, error) {
+			return s.doKNN(ctx, req, visit)
+		}, KNN, after)
+	}
+	keep := func(sh *shardState) bool { return sh.bounds.Intersects(queryBox(req)) }
+	if req.Kind == WithinDistance {
+		r2 := req.Radius * req.Radius
+		keep = func(sh *shardState) bool { return sh.bounds.Dist2Point(req.Center) <= r2 }
+	}
+	var its []HitIterator
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if !keep(sh) {
+			continue
+		}
+		sub, ok := sh.sub.(streamer)
+		if !ok { // defensive: every engine contender streams
+			continue
+		}
+		var localAfter *Hit
+		if after != nil {
+			// The largest local ID whose global ID is <= after.ID (resume
+			// strictly after it); none mapped means no skip in this shard.
+			ub := sort.Search(len(sh.global), func(j int) bool { return sh.global[j] > after.ID })
+			if ub > 0 {
+				localAfter = &Hit{ID: int32(ub - 1)}
+			}
+		}
+		it, err := sub.iterate(ctx, req, localAfter)
+		if err != nil {
+			for _, open := range its {
+				open.Close()
+			}
+			return nil, err
+		}
+		its = append(its, &mapFilterIter{it: it, fn: func(h Hit) (Hit, bool) {
+			h.ID = sh.global[h.ID]
+			return h, true
+		}})
+	}
+	return newKWayMerge(its, QueryStats{ShardsTouched: int64(len(its))}), nil
 }
 
 // Query implements SpatialIndex; hits are emitted in ascending global ID.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -59,6 +60,12 @@ type Snapshot struct {
 	delta []rtree.Item
 	// tombs marks base item IDs dead in this epoch.
 	tombs map[int32]struct{}
+	// baseTombs counts the tombstones that actually name base items — the
+	// only ones that can surface as dead base hits, and therefore the only
+	// slack a kNN base over-fetch can ever need. (Commit only tombstones
+	// live base items today, so this equals len(tombs); counting it per
+	// snapshot keeps the over-fetch bound correct if that ever changes.)
+	baseTombs int
 
 	live   int
 	bounds geom.AABB
@@ -92,6 +99,11 @@ func newSnapshot(epoch int, opts DatasetOptions, baseItems []rtree.Item,
 		baseItems: baseItems, bases: bases, delta: delta, tombs: tombs,
 		live:   len(baseItems) - len(tombs) + len(delta),
 		layout: layout, nBasePages: nBasePages, cow: cow,
+	}
+	for id := range tombs {
+		if _, ok := sn.baseLocal(id); ok {
+			sn.baseTombs++
+		}
 	}
 	// Bounds: union of the base build's bounds and the delta boxes. Deletes
 	// do not shrink it (exact re-aggregation would cost O(n) per commit);
@@ -269,7 +281,10 @@ func (v *snapView) NumItems() int { return v.snap.live }
 
 // Do implements SpatialIndex: base execution, tombstone filtering, delta
 // merge, canonical order — identical output to a from-scratch build of the
-// epoch's live items.
+// epoch's live items. The merge is the lazy streaming pipeline (iterate):
+// base and delta are consumed as ascending-ID streams with the tombstone
+// filter inline, never buffered whole. Only the merged output is buffered,
+// to honor Do's all-or-nothing emission contract under cancellation.
 func (v *snapView) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
 	if err := req.Validate(); err != nil {
 		return QueryStats{}, err
@@ -280,82 +295,174 @@ func (v *snapView) Do(ctx context.Context, req Request, visit func(Hit)) (QueryS
 	if err := ctxErr(ctx); err != nil {
 		return QueryStats{}, err
 	}
-	if req.Kind == KNN {
-		return v.doKNN(ctx, req, visit)
+	if req.paginated() {
+		return doPaginated(ctx, v, req, visit)
 	}
-
-	sn := v.snap
-	var st QueryStats
-	var baseHits []Hit
-	if v.base != nil {
-		bst, err := v.base.Do(ctx, req, func(h Hit) { baseHits = append(baseHits, h) })
-		if err != nil {
-			return QueryStats{}, err
+	it, err := v.iterate(ctx, req, nil)
+	if err != nil {
+		return QueryStats{}, err
+	}
+	defer it.Close()
+	var hits []Hit
+	for {
+		h, ok := it.Next()
+		if !ok {
+			break
 		}
-		st = bst
+		hits = append(hits, h)
 	}
-	// Translate base-local IDs to globals (baseItems ascend by global ID, so
-	// ascending local order is preserved) and drop tombstoned hits.
-	live := baseHits[:0]
-	for _, h := range baseHits {
-		g := sn.baseItems[h.ID].ID
-		if _, dead := sn.tombs[g]; dead {
-			st.Tombstones++
-			continue
-		}
-		h.ID = g
-		live = append(live, h)
+	if err := it.Err(); err != nil {
+		return QueryStats{}, err
 	}
-	deltaHits := sn.deltaScan(req, &st)
-
-	// Merge the two ascending-ID streams. Base and delta IDs are disjoint:
-	// an updated item is tombstoned in the base and lives in the delta.
-	i, j := 0, 0
-	st.Results = int64(len(live) + len(deltaHits))
-	for i < len(live) && j < len(deltaHits) {
-		if live[i].ID < deltaHits[j].ID {
-			visit(live[i])
-			i++
-		} else {
-			visit(deltaHits[j])
-			j++
-		}
+	for _, h := range hits {
+		visit(h)
 	}
-	for ; i < len(live); i++ {
-		visit(live[i])
-	}
-	for ; j < len(deltaHits); j++ {
-		visit(deltaHits[j])
-	}
-	return st, nil
+	return it.Stats(), nil
 }
 
-// doKNN merges the base top-(k+T) with the delta candidates: at most T base
-// hits can be tombstoned, so over-fetching by the tombstone count T
-// guarantees the base's live top-k is contained in the candidate set; the
-// canonical top-k of the union is then selected by the shared accumulator.
+// iterate implements the internal streaming capability: the k-way (here
+// 2-way) base∪delta merge with the tombstone filter inline. The base
+// contender streams lazily in its local-ID order, which translation
+// preserves (baseItems ascend by global ID); the delta overlay streams
+// straight off its sorted slice. Base and delta IDs are disjoint — an
+// updated item is tombstoned in the base and lives in the delta — so the
+// merge needs no deduplication. The resume position is translated to the
+// base's local ID space so its zone maps prune pages below the cursor.
+func (v *snapView) iterate(ctx context.Context, req Request, after *Hit) (HitIterator, error) {
+	if req.Kind == KNN {
+		return knnEager(func(visit func(Hit)) (QueryStats, error) {
+			return v.doKNN(ctx, req, visit)
+		}, KNN, after)
+	}
+	sn := v.snap
+	var its []HitIterator
+	if v.base != nil {
+		var baseAfter *Hit
+		if after != nil {
+			// The largest base-local ID whose global ID is <= after.ID.
+			ub := sort.Search(len(sn.baseItems), func(j int) bool {
+				return sn.baseItems[j].ID > after.ID
+			})
+			if ub > 0 {
+				baseAfter = &Hit{ID: int32(ub - 1)}
+			}
+		}
+		bs, err := rawStream(ctx, v.base, req, baseAfter)
+		if err != nil {
+			return nil, err
+		}
+		extra := &QueryStats{}
+		its = append(its, &mapFilterIter{it: bs, extra: extra, fn: func(h Hit) (Hit, bool) {
+			g := sn.baseItems[h.ID].ID
+			if _, dead := sn.tombs[g]; dead {
+				extra.Tombstones++
+				return Hit{}, false
+			}
+			h.ID = g
+			return h, true
+		}})
+	}
+	its = append(its, newDeltaIter(sn, req, after))
+	return newKWayMerge(its, QueryStats{}), nil
+}
+
+// deltaIter streams the delta overlay's hits for one request in ascending
+// global-ID order, testing entries lazily as the merge pulls them.
+// DeltaEntries counts the entries this execution tested: a full drain tests
+// the whole overlay (the eager scan's accounting); a cursor resume starts
+// past the skipped prefix without re-testing it.
+type deltaIter struct {
+	sn  *Snapshot
+	req Request
+	r2  float64
+	i   int
+	st  QueryStats
+}
+
+func newDeltaIter(sn *Snapshot, req Request, after *Hit) *deltaIter {
+	d := &deltaIter{sn: sn, req: req, r2: req.Radius * req.Radius}
+	if after != nil {
+		d.i = sort.Search(len(sn.delta), func(j int) bool { return sn.delta[j].ID > after.ID })
+	}
+	return d
+}
+
+func (d *deltaIter) Next() (Hit, bool) {
+	for d.i < len(d.sn.delta) {
+		it := d.sn.delta[d.i]
+		d.i++
+		d.st.DeltaEntries++
+		switch d.req.Kind {
+		case Range:
+			if it.Box.Intersects(d.req.Box) {
+				return Hit{ID: it.ID}, true
+			}
+		case Point:
+			if it.Box.Contains(d.req.Center) {
+				return Hit{ID: it.ID}, true
+			}
+		case WithinDistance:
+			if d2 := it.Box.Dist2Point(d.req.Center); d2 <= d.r2 {
+				return Hit{ID: it.ID, Dist2: d2}, true
+			}
+		}
+	}
+	return Hit{}, false
+}
+
+func (d *deltaIter) Err() error        { return nil }
+func (d *deltaIter) Stats() QueryStats { return d.st }
+func (d *deltaIter) Close()            {}
+
+// doKNN merges the base's live top-k with the delta candidates. The base is
+// over-fetched adaptively: dead hits can only come from tombstones naming
+// base items, so the first probe asks for k plus that count capped at k (a
+// tombstone beyond the k-th live hit cannot displace the live top-k), and
+// the probe widens geometrically in the rare case the cap was too tight —
+// the same widening idiom as the R-tree's tie resolution. The previous
+// over-fetch of k + the raw global tombstone count scanned wildly too much
+// at high churn. The stats record is the widest base probe executed.
 func (v *snapView) doKNN(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
 	sn := v.snap
 	var st QueryStats
 	var cands []Hit
 	if v.base != nil {
-		kk := req.K + len(sn.tombs)
-		if kk < req.K { // overflow on an absurd K
-			kk = req.K
+		baseSize := v.base.NumItems()
+		slack := sn.baseTombs
+		if slack > req.K {
+			slack = req.K
 		}
-		bst, err := v.base.Do(ctx, Request{Kind: KNN, Center: req.Center, K: kk}, func(h Hit) {
-			g := sn.baseItems[h.ID].ID
-			if _, dead := sn.tombs[g]; dead {
-				st.Tombstones++
-				return
+		kk := req.K + slack
+		if kk > baseSize || kk < req.K { // kk < req.K: overflow on an absurd K
+			kk = baseSize
+		}
+		for {
+			cands = cands[:0]
+			st.Tombstones = 0
+			bst, err := v.base.Do(ctx, Request{Kind: KNN, Center: req.Center, K: kk}, func(h Hit) {
+				g := sn.baseItems[h.ID].ID
+				if _, dead := sn.tombs[g]; dead {
+					st.Tombstones++
+					return
+				}
+				cands = append(cands, Hit{ID: g, Dist2: h.Dist2})
+			})
+			if err != nil {
+				return QueryStats{}, err
 			}
-			cands = append(cands, Hit{ID: g, Dist2: h.Dist2})
-		})
-		if err != nil {
-			return QueryStats{}, err
+			bst.Tombstones = st.Tombstones
+			st = bst
+			// Enough live hits — the live top-k is provably contained (any
+			// live item nearer than the k-th live candidate would itself be
+			// among the kk nearest) — or the whole base was fetched.
+			if len(cands) >= req.K || kk >= baseSize {
+				break
+			}
+			kk *= 2
+			if kk > baseSize || kk < 0 {
+				kk = baseSize
+			}
 		}
-		bst.Tombstones = st.Tombstones
-		st = bst
 	}
 	cands = append(cands, sn.deltaScan(req, &st)...)
 	hits := selectKNN(cands, req.K)
@@ -369,6 +476,12 @@ func (v *snapView) doKNN(ctx context.Context, req Request, visit func(Hit)) (Que
 // Query implements SpatialIndex. Unlike the raw indexes' native orders, a
 // view's fixed order is the canonical ascending-ID order of Do.
 //
+// The legacy surface has no error channel, so only the documented
+// invalid-box case maps to an empty QueryStats; any other failure from Do is
+// a real execution error that must not be silently swallowed into
+// "no results" — it panics instead. (With the background context used here
+// that is unreachable today; the distinction guards future execution paths.)
+//
 // Deprecated: route new call sites through Session.Do with a Range request.
 func (v *snapView) Query(q geom.AABB, visit func(int32)) QueryStats {
 	st, err := v.Do(context.Background(), RangeRequest(q), func(h Hit) {
@@ -377,7 +490,12 @@ func (v *snapView) Query(q geom.AABB, visit func(int32)) QueryStats {
 		}
 	})
 	if err != nil {
-		return QueryStats{} // invalid box: the legacy surface reports empty
+		var reqErr *RequestError
+		if errors.As(err, &reqErr) {
+			return QueryStats{} // invalid box: the legacy surface reports empty
+		}
+		panic(fmt.Sprintf("engine: snapshot view %s: legacy Query cannot report execution error: %v",
+			v.name, err))
 	}
 	return st
 }

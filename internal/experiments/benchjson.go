@@ -37,12 +37,13 @@ type BenchConfigs struct {
 	E8  E8Config
 	E9  E9Config
 	E10 E10Config
+	E11 E11Config
 }
 
 // DefaultBenchConfigs returns the EXPERIMENTS.md-scale configurations.
 func DefaultBenchConfigs() BenchConfigs {
 	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7(), E8: DefaultE8(),
-		E9: DefaultE9(), E10: DefaultE10()}
+		E9: DefaultE9(), E10: DefaultE10(), E11: DefaultE11()}
 }
 
 // QuickBenchConfigs returns reduced configurations sized for a CI smoke
@@ -71,16 +72,20 @@ func QuickBenchConfigs() BenchConfigs {
 	c.E10.UpdateRates = []float64{0, 1}
 	c.E10.CompactMin = 32
 	c.E10.CompactRatio = 0.01
+	c.E11.Items = 30_000
+	c.E11.Edge = 300
 	return c
 }
 
-// RunBenchJSON executes E1, E4, E7, E8, E9 and E10 with the given
+// RunBenchJSON executes E1, E4, E7, E8, E9, E10 and E11 with the given
 // configurations and writes the headline numbers as indented JSON to w.
 // Schema 3 added the E9 mixed-workload headlines (per-kind totals and
-// planner routing); schema 4 adds the E10 churn headlines (update-rate
-// sweep, overlay work, compactions, copy-on-write layout reuse).
+// planner routing); schema 4 added the E10 churn headlines (update-rate
+// sweep, overlay work, compactions, copy-on-write layout reuse); schema 5
+// adds the E11 streaming headlines (first-page versus full-drain page reads
+// and allocations on the large-result range query).
 func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
-	report := BenchReport{Schema: 4, Engine: []string{"flat", "rtree", "grid", "sharded"}}
+	report := BenchReport{Schema: 5, Engine: []string{"flat", "rtree", "grid", "sharded"}}
 
 	e1, err := RunE1(cfgs.E1)
 	if err != nil {
@@ -227,6 +232,30 @@ func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
 		}
 	}
 	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E10", Metrics: e10m})
+
+	e11, err := RunE11(cfgs.E11)
+	if err != nil {
+		return err
+	}
+	if len(e11) == 0 {
+		return fmt.Errorf("experiments: bench JSON: E11 produced no rows")
+	}
+	e11m := map[string]float64{
+		"limit":       float64(cfgs.E11.Limit),
+		"result_size": float64(e11[0].Hits),
+	}
+	for _, r := range e11 {
+		// The runner enforces limit_pages < full_pages per contender; the
+		// headline records the margins (counts, so the bench gate diffs them).
+		e11m[r.Contender+"_full_pages"] = float64(r.FullReads)
+		e11m[r.Contender+"_limit_pages"] = float64(r.LimitReads)
+		e11m[r.Contender+"_resume_pages"] = float64(r.ResumeReads)
+		e11m[r.Contender+"_full_alloc_mb"] = r.FullAllocMB
+		e11m[r.Contender+"_limit_alloc_kb"] = r.LimitAllocKB
+		e11m[r.Contender+"_full_time_ms"] = float64(r.FullTime) / float64(time.Millisecond)
+		e11m[r.Contender+"_limit_time_ms"] = float64(r.LimitTime) / float64(time.Millisecond)
+	}
+	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E11", Metrics: e11m})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

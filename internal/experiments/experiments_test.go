@@ -403,3 +403,35 @@ func TestRunChurnDemo(t *testing.T) {
 		t.Error("churn demo tables malformed")
 	}
 }
+
+// TestRunE11StreamingFirstPage runs the streaming sweep at test scale: the
+// runner itself enforces the early-stop and cursor-resume guarantees per
+// contender (it errors out otherwise), so the test mostly pins the shape and
+// the allocation asymmetry.
+func TestRunE11StreamingFirstPage(t *testing.T) {
+	cfg := DefaultE11()
+	cfg.Items = 20_000
+	cfg.Edge = 300
+	rows, err := RunE11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Hits < int64(cfg.Items)*9/10 {
+			t.Errorf("%s: full drain hit %d of %d items — query not in the large-result regime",
+				r.Contender, r.Hits, cfg.Items)
+		}
+		// The limited page must allocate far less than the full drain
+		// buffers: O(Limit) + index metadata, not O(result size).
+		if limMB := r.LimitAllocKB / 1024; limMB*20 > r.FullAllocMB {
+			t.Errorf("%s: limited page allocated %.2f MB vs %.2f MB full — not O(Limit)",
+				r.Contender, limMB, r.FullAllocMB)
+		}
+	}
+	if !strings.Contains(E11Table(rows).String(), "limit pages") {
+		t.Error("E11 table malformed")
+	}
+}

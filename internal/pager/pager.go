@@ -14,6 +14,7 @@ package pager
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -58,6 +59,31 @@ type PageSource interface {
 // ReadPage implements PageSource: a direct store read, modelling one cold
 // physical read with no caching or accounting.
 func (s *Store) ReadPage(id PageID) []int32 { return s.Page(id) }
+
+// Counting wraps a PageSource with an independent read counter — the proof
+// harness of the streaming result path's early-stop guarantees: attach one
+// under an index and the counter records exactly how many page reads an
+// execution issued, independent of the index's own QueryStats accounting.
+// It is safe for concurrent use when the wrapped source is.
+type Counting struct {
+	src   PageSource
+	reads atomic.Int64
+}
+
+// NewCounting wraps src.
+func NewCounting(src PageSource) *Counting { return &Counting{src: src} }
+
+// ReadPage implements PageSource, counting the read.
+func (c *Counting) ReadPage(id PageID) []int32 {
+	c.reads.Add(1)
+	return c.src.ReadPage(id)
+}
+
+// Reads returns the number of page reads issued through the wrapper.
+func (c *Counting) Reads() int64 { return c.reads.Load() }
+
+// Reset zeroes the counter.
+func (c *Counting) Reset() { c.reads.Store(0) }
 
 // Builder accumulates pages for a Store.
 type Builder struct {
