@@ -8,12 +8,14 @@
 //	go run ./cmd/benchgate -old prev/BENCH_engine.json -new BENCH_engine.json
 //	go run ./cmd/benchgate -old prev.json -new cur.json -threshold 0.1
 //
-// Only metrics whose names contain "pages", "reads" or "results" are gated:
-// those are deterministic counts under the fixed experiment seeds, so growth
-// is a real read-path regression, not noise. Wall-clock, speedup and
-// allocation metrics are reported but never gated — they move with the
-// runner hardware. A missing -old file passes with a notice (the first run
-// has no baseline); a missing -new file is an error.
+// Only metrics whose names contain "pages", "reads", "results", "allocs" or
+// "probes" are gated: those are deterministic counts under the fixed
+// experiment seeds, so growth is a real read-path, allocation or plan-probing
+// regression, not noise. Wall-clock and speedup metrics — and the "alloc_est"
+// cells, whose counts carry scheduling and pool-refill noise — are reported
+// but never gated; they move with the runner hardware. A missing -old file
+// passes with a notice (the first run has no baseline); a missing -new file
+// is an error.
 package main
 
 import (
@@ -51,7 +53,8 @@ func readReport(path string) (report, error) {
 // gated reports whether a metric is a deterministic count the gate enforces.
 func gated(name string) bool {
 	n := strings.ToLower(name)
-	return strings.Contains(n, "pages") || strings.Contains(n, "reads") || strings.Contains(n, "result")
+	return strings.Contains(n, "pages") || strings.Contains(n, "reads") || strings.Contains(n, "result") ||
+		strings.Contains(n, "allocs") || strings.Contains(n, "probes")
 }
 
 func (r report) metrics() map[string]float64 {

@@ -77,6 +77,16 @@ func TestGatedSelectsDeterministicCounts(t *testing.T) {
 		"speedup":                 false,
 		"flat_full_alloc_mb":      false,
 		"range_routed_flat":       false,
+		// Schema 6 (E12): per-op allocation counts and plan probes are
+		// deterministic under warm pools; the noisy scatter/overlay cells are
+		// published as "alloc_est" precisely so they stay ungated.
+		"flat_range_allocs":          true,
+		"unpooled_flat_range_allocs": true,
+		"plan_probes_run":            true,
+		"sharded_range_alloc_est":    false,
+		"grid_knn_churn_alloc_est":   false,
+		"flat_range_ns":              false,
+		"plan_cache_hit_rate":        false,
 	} {
 		if gated(name) != want {
 			t.Errorf("gated(%q) = %v, want %v", name, !want, want)

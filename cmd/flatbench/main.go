@@ -19,6 +19,9 @@
 //	                                  # isolation + worker invariance enforced)
 //	go run ./cmd/flatbench -stream    # E11: streaming first page vs full drain
 //	                                  # (early-stop + O(Limit) allocation proof)
+//	go run ./cmd/flatbench -alloc     # E12: hot-path allocs/op per contender ×
+//	                                  # kind × churn + plan-cache hit rate
+//	                                  # (zero-alloc + ≥10× reduction enforced)
 //	go run ./cmd/flatbench -all       # everything
 //
 //	go run ./cmd/flatbench -kind knn -k 8       # one-off Session demo: a handful
@@ -30,9 +33,9 @@
 //	                                  # resume the walk from a printed cursor
 //
 //	go run ./cmd/flatbench -json BENCH_engine.json [-quick]
-//	                                  # machine-readable E1/E4/E7/E8/E9/E10/E11
-//	                                  # headline numbers (the CI artifact,
-//	                                  # schema 5)
+//	                                  # machine-readable E1/E4/E7/E8/E9/E10/
+//	                                  # E11/E12 headline numbers (the CI
+//	                                  # artifact, schema 6)
 //
 // Contradictory flag combinations (-k without -kind knn, -radius with a
 // kind that has no radius, -limit without -kind, -cursor without -limit,
@@ -66,9 +69,10 @@ func main() {
 	mixed := flag.Bool("mixed", false, "run E9 (mixed range/kNN/point/within workload through the Session front door)")
 	churn := flag.Bool("churn", false, "run E10 (interleaved updates and queries through the mutable Dataset)")
 	stream := flag.Bool("stream", false, "run E11 (streaming first page vs full drain)")
+	alloc := flag.Bool("alloc", false, "run E12 (hot-path allocations per op + plan-cache hit rate)")
 	all := flag.Bool("all", false, "run every FLAT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
-	jsonOut := flag.String("json", "", "write E1/E4/E7/E8/E9/E10/E11 headline numbers as JSON to this path and exit")
+	jsonOut := flag.String("json", "", "write E1/E4/E7/E8/E9/E10/E11/E12 headline numbers as JSON to this path and exit")
 	quick := flag.Bool("quick", false, "with -json: use the reduced CI-scale configurations")
 	kind := flag.String("kind", "", "run a one-off Session demo of this query kind (range, knn, point, within) and exit")
 	k := flag.Int("k", 8, "with -kind knn: the neighbor count")
@@ -128,7 +132,7 @@ func main() {
 		return
 	}
 
-	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && !*churn && !*stream && *shards == 0)
+	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && !*churn && !*stream && !*alloc && *shards == 0)
 	if runDensity {
 		cfg := experiments.DefaultE1()
 		cfg.Workers = *workers
@@ -241,6 +245,20 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := experiments.E11Table(rows).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *alloc {
+		res, err := experiments.RunE12(experiments.DefaultE12())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E12Table(res).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := experiments.E12Summary(res).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -73,6 +73,15 @@ type QueryStats struct {
 	// Tombstones counts base-index hits the snapshot overlay discarded as
 	// deleted (0 on raw indexes) — the read-side price of deferred deletes.
 	Tombstones int64
+	// PlanCacheHits / PlanCacheMisses count plan-cache consultations made to
+	// route this query (both 0 when no planner routed it — fixed-index and
+	// fixed-view sessions, or direct Index.Do calls). A hit replayed a cached
+	// routing decision; a miss ran PlanKind, probing any unprofiled
+	// contender. In a DoBatch, each distinct kind is routed once and the
+	// consultation is recorded on the kind's first request, so aggregated
+	// batch stats count exactly the consultations made.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 	// NodesPerLevel is the R-tree's per-level node-access breakdown
 	// (leaves first; nil for other indexes).
 	NodesPerLevel []int64
@@ -112,6 +121,8 @@ func Aggregate(sts []QueryStats) QueryStats {
 		out.ShardsTouched += sts[i].ShardsTouched
 		out.DeltaEntries += sts[i].DeltaEntries
 		out.Tombstones += sts[i].Tombstones
+		out.PlanCacheHits += sts[i].PlanCacheHits
+		out.PlanCacheMisses += sts[i].PlanCacheMisses
 		for l, c := range sts[i].NodesPerLevel {
 			out.NodesPerLevel[l] += c
 		}

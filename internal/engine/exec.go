@@ -3,7 +3,7 @@ package engine
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/pager"
@@ -91,7 +91,7 @@ func catchCancel(fn func()) (err error) {
 // emitIDHits sorts ids ascending in place and emits them as zero-distance
 // hits — the canonical order of the boolean kinds (Range, Point).
 func emitIDHits(ids []int32, visit func(Hit)) {
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		visit(Hit{ID: id})
 	}
@@ -104,7 +104,7 @@ func emitIDHits(ids []int32, visit func(Hit)) {
 func withinRefine(ids []int32, boxOf func(int32) geom.AABB, center geom.Vec,
 	radius float64, visit func(Hit)) (results, tested int64) {
 
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.Sort(ids)
 	r2 := radius * radius
 	for _, id := range ids {
 		tested++
@@ -135,8 +135,6 @@ type knnAcc struct {
 	k int
 	h []Hit // max-heap by hitWorse; h[0] is the worst kept hit
 }
-
-func newKNNAcc(k int) *knnAcc { return &knnAcc{k: k} }
 
 // Full reports whether k hits are held.
 func (a *knnAcc) Full() bool { return len(a.h) >= a.k }
@@ -193,19 +191,54 @@ func (a *knnAcc) down(i int) {
 	}
 }
 
+// cmpHit orders hits canonically: ascending Dist2, ties by ascending ID
+// (the slices.SortFunc form of hitWorse).
+func cmpHit(x, y Hit) int {
+	switch {
+	case x.Dist2 < y.Dist2:
+		return -1
+	case x.Dist2 > y.Dist2:
+		return 1
+	case x.ID < y.ID:
+		return -1
+	case x.ID > y.ID:
+		return 1
+	}
+	return 0
+}
+
+// cmpHitID orders hits by ascending ID alone — the canonical order of the
+// boolean kinds, where every Dist2 is zero (Range, Point) or irrelevant to
+// ordering (WithinDistance).
+func cmpHitID(x, y Hit) int {
+	switch {
+	case x.ID < y.ID:
+		return -1
+	case x.ID > y.ID:
+		return 1
+	}
+	return 0
+}
+
 // Hits returns the kept hits in canonical order (ascending Dist2, ties by
-// ascending ID). The accumulator must not be offered to afterwards.
+// ascending ID). The accumulator must not be offered to afterwards; when the
+// accumulator is pooled, callers must copy the hits out (visit emits by
+// value) before releasing it.
 func (a *knnAcc) Hits() []Hit {
-	sort.Slice(a.h, func(i, j int) bool { return hitWorse(a.h[j], a.h[i]) })
+	slices.SortFunc(a.h, cmpHit)
 	return a.h
 }
 
 // selectKNN is the one-shot form of the accumulator: the canonical top-k of
-// an already-gathered candidate set.
+// an already-gathered candidate set. The returned slice is freshly owned by
+// the caller (the accumulator behind it is pooled).
 func selectKNN(cands []Hit, k int) []Hit {
-	acc := newKNNAcc(k)
+	acc := getKNNAcc(k)
+	defer putKNNAcc(acc)
 	for _, c := range cands {
 		acc.Offer(c)
 	}
-	return acc.Hits()
+	out := make([]Hit, len(acc.Hits()))
+	copy(out, acc.h)
+	return out
 }

@@ -3,7 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"neurospatial/internal/flat"
@@ -19,7 +19,10 @@ import (
 type Flat struct {
 	opts flat.Options
 	idx  *flat.Index
-	src  pager.PageSource
+	// boxOf is the exact-geometry accessor bound once per build (a per-query
+	// method value would be a hot-path allocation).
+	boxOf func(int32) geom.AABB
+	src   pager.PageSource
 	// probeMu is the per-instance probe-execution lock (see planner.go):
 	// planners sharing this instance serialize their calibration probes on
 	// it, since a probe detaches and restores src.
@@ -33,7 +36,9 @@ type Flat struct {
 func NewFlat(opts flat.Options) *Flat { return &Flat{opts: opts} }
 
 // WrapFlat adapts an already-built flat.Index.
-func WrapFlat(idx *flat.Index) *Flat { return &Flat{opts: idx.Options(), idx: idx} }
+func WrapFlat(idx *flat.Index) *Flat {
+	return &Flat{opts: idx.Options(), idx: idx, boxOf: idx.ItemBox}
+}
 
 // Inner returns the wrapped flat.Index (nil before Build).
 func (f *Flat) Inner() *flat.Index { return f.idx }
@@ -49,7 +54,7 @@ func (f *Flat) Build(items []rtree.Item) error {
 	if err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
-	f.idx, f.src = idx, nil
+	f.idx, f.src, f.boxOf = idx, nil, idx.ItemBox
 	f.zoneMu.Lock()
 	f.zones = nil
 	f.zoneMu.Unlock()
@@ -87,8 +92,12 @@ func (f *Flat) iterate(ctx context.Context, req Request, after *Hit) (HitIterato
 		}, KNN, after)
 	}
 	pages := f.idx.PagesInRange(queryBox(req))
-	return newPageStream(ctx, f.srcOrStore(), pages, f.zoneMap(), after,
-		acceptFor(req, f.idx.ItemBox)), nil
+	ps := newPageStream(ctx, f.srcOrStore(), pages, f.zoneMap(), after,
+		acceptFor(req, f.boxOf))
+	if req.Kind == Range || req.Kind == Point {
+		ps.useCoords(f.idx.Coords(), queryBox(req))
+	}
+	return ps, nil
 }
 
 // Bounds implements SpatialIndex.
@@ -127,21 +136,25 @@ func (f *Flat) srcOrStore() pager.PageSource {
 	return f.idx.Store()
 }
 
-// rangeIDs runs the native range traversal (seed + crawl), collecting ids,
-// with cancellation checked at every data-page read.
-func (f *Flat) rangeIDs(ctx context.Context, q geom.AABB) ([]int32, QueryStats, error) {
-	var (
-		ids []int32
-		st  QueryStats
-	)
-	src := wrapCtxSource(ctx, f.srcOrStore())
+// rangeIDs runs the native range traversal (seed + crawl), gathering ids into
+// the pooled collector, with cancellation checked at every data-page read.
+// The caller owns releasing col regardless of error. The background-context
+// path skips the catchCancel/ctxSource machinery entirely — no panic is
+// possible without a ctx-wrapped source, and the skipped closure is itself a
+// per-call allocation the zero-alloc path cannot afford.
+func (f *Flat) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (QueryStats, error) {
+	if !cancelable(ctx) {
+		return fromFlat(f.idx.QueryVia(q, f.srcOrStore(), col.visit)), nil
+	}
+	src := &ctxSource{ctx: ctx, src: f.srcOrStore()}
+	var st QueryStats
 	err := catchCancel(func() {
-		st = fromFlat(f.idx.QueryVia(q, src, func(id int32) { ids = append(ids, id) }))
+		st = fromFlat(f.idx.QueryVia(q, src, col.visit))
 	})
 	if err != nil {
-		return nil, QueryStats{}, err
+		return QueryStats{}, err
 	}
-	return ids, st, nil
+	return st, nil
 }
 
 // Do implements SpatialIndex. Range, Point and WithinDistance execute as
@@ -174,18 +187,22 @@ func (f *Flat) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats
 		if req.Kind == Point {
 			q = geom.Box(req.Center, req.Center)
 		}
-		ids, st, err := f.rangeIDs(ctx, q)
+		col := getIDCollector()
+		defer putIDCollector(col)
+		st, err := f.rangeIDs(ctx, q, col)
 		if err != nil {
 			return QueryStats{}, err
 		}
-		emitIDHits(ids, visit)
+		emitIDHits(col.ids, visit)
 		return st, nil
 	case WithinDistance:
-		ids, st, err := f.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius))
+		col := getIDCollector()
+		defer putIDCollector(col)
+		st, err := f.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius), col)
 		if err != nil {
 			return QueryStats{}, err
 		}
-		results, tested := withinRefine(ids, f.idx.ItemBox, req.Center, req.Radius, visit)
+		results, tested := withinRefine(col.ids, f.boxOf, req.Center, req.Radius, visit)
 		st.Results = results
 		st.EntriesTested += tested
 		return st, nil
@@ -195,27 +212,23 @@ func (f *Flat) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats
 	return QueryStats{}, &RequestError{Kind: req.Kind, Field: "Kind", Reason: "is not a known query kind"}
 }
 
-// doKNN is the FLAT k-nearest-neighbors execution.
+// doKNN is the FLAT k-nearest-neighbors execution. The order buffer and the
+// top-k accumulator are pooled; hits are emitted by value before release.
 func (f *Flat) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit)) (QueryStats, error) {
 	var st QueryStats
 	np := f.idx.NumPages()
-	type pageBound struct {
-		d2 float64
-		p  pager.PageID
-	}
-	order := make([]pageBound, np)
+	orderBuf := getPageBounds()
+	defer putPageBounds(orderBuf)
+	order := *orderBuf
 	for p := 0; p < np; p++ {
-		order[p] = pageBound{f.idx.PageBox(pager.PageID(p)).Dist2Point(center), pager.PageID(p)}
+		order = append(order, pageBound{f.idx.PageBox(pager.PageID(p)).Dist2Point(center), pager.PageID(p)})
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].d2 != order[b].d2 {
-			return order[a].d2 < order[b].d2
-		}
-		return order[a].p < order[b].p
-	})
+	*orderBuf = order
+	slices.SortFunc(order, cmpPageBound)
 	st.IndexReads = int64(np)
 	src := f.srcOrStore()
-	acc := newKNNAcc(k)
+	acc := getKNNAcc(k)
+	defer putKNNAcc(acc)
 	for _, pb := range order {
 		if acc.Full() && pb.d2 > acc.Bound() {
 			break

@@ -3,7 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"neurospatial/internal/geom"
@@ -51,7 +51,15 @@ type Grid struct {
 	maxHalf float64
 	store   *pager.Store
 	pageOf  []pager.PageID
-	src     pager.PageSource
+	// coords is the struct-of-arrays sidecar of store; itemOff[id] is item
+	// id's slot in it (cell-major layout position), so the cell-major
+	// refinement sweep reads the coordinate runs sequentially.
+	coords  *pager.Coords
+	itemOff []int32
+	// boxOf is the exact-geometry accessor bound once per build (a per-query
+	// closure would be a hot-path allocation).
+	boxOf func(int32) geom.AABB
+	src   pager.PageSource
 	// probeMu is the per-instance probe-execution lock (see planner.go).
 	probeMu sync.Mutex
 	// zoneMu guards the lazily derived zone map of the current build.
@@ -70,10 +78,12 @@ func (gx *Grid) Name() string { return "grid" }
 // previous store would serve stale pages.
 func (gx *Grid) Build(items []rtree.Item) error {
 	gx.g, gx.store, gx.pageOf, gx.src = nil, nil, nil, nil
+	gx.coords, gx.itemOff = nil, nil
 	gx.zoneMu.Lock()
 	gx.zones = nil
 	gx.zoneMu.Unlock()
 	gx.boxes = make([]geom.AABB, len(items))
+	gx.boxOf = func(id int32) geom.AABB { return gx.boxes[id] }
 	gx.bounds = geom.EmptyAABB()
 	gx.maxHalf = 0
 	for _, it := range items {
@@ -113,12 +123,17 @@ func (gx *Grid) Build(items []rtree.Item) error {
 		return fmt.Errorf("engine: %w", err)
 	}
 	gx.pageOf = make([]pager.PageID, len(items))
+	gx.itemOff = make([]int32, len(items))
+	slot := int32(0)
 	for c := 0; c < g.NumCells(); c++ {
 		for _, id := range g.CellBoxes(c) {
 			gx.pageOf[id] = builder.Add(id)
+			gx.itemOff[id] = slot
+			slot++
 		}
 	}
 	gx.store = builder.Build()
+	gx.coords = pager.BuildCoords(gx.store, gx.boxOf)
 	return nil
 }
 
@@ -135,29 +150,76 @@ func (gx *Grid) source() pager.PageSource {
 	return gx.store
 }
 
-func (gx *Grid) queryVia(q geom.AABB, src pager.PageSource, emit func(int32)) QueryStats {
-	var stats QueryStats
-	if gx.g == nil {
-		return stats
-	}
-	expanded := q.Expand(gx.maxHalf)
-	read := make(map[pager.PageID]bool)
-	gx.g.ForEachInRange(expanded, func(_ int, ids []int32) {
-		stats.IndexReads++
+// gridRangeScratch is the pooled per-query state of the grid range
+// traversal. The cell visitor closure is bound once per pooled object (a
+// per-query closure literal is a heap allocation); the read-page set is a
+// stamped slice reset in O(1) instead of a fresh map.
+type gridRangeScratch struct {
+	gx    *Grid
+	q     geom.AABB
+	src   pager.PageSource
+	emit  func(int32)
+	stats QueryStats
+	seen  []uint32
+	stamp uint32
+	cell  func(int, []int32)
+}
+
+var gridRangePool = sync.Pool{New: func() any {
+	s := &gridRangeScratch{}
+	s.cell = func(_ int, ids []int32) {
+		s.stats.IndexReads++
 		for _, id := range ids {
-			if pg := gx.pageOf[id]; !read[pg] {
-				read[pg] = true
-				src.ReadPage(pg)
-				stats.PagesRead++
+			if pg := s.gx.pageOf[id]; s.seen[pg] != s.stamp {
+				s.seen[pg] = s.stamp
+				s.src.ReadPage(pg)
+				s.stats.PagesRead++
 			}
-			stats.EntriesTested++
-			if gx.boxes[id].Intersects(q) {
-				stats.Results++
-				emit(id)
+			s.stats.EntriesTested++
+			// Cell-major sweep ⇒ itemOff ascends ⇒ sequential SoA loads.
+			if s.gx.coords.IntersectsAt(int(s.gx.itemOff[id]), s.q) {
+				s.stats.Results++
+				s.emit(id)
 			}
 		}
-	})
-	return stats
+	}
+	return s
+}}
+
+func getGridRange(gx *Grid, q geom.AABB, src pager.PageSource, emit func(int32)) *gridRangeScratch {
+	s := gridRangePool.Get().(*gridRangeScratch)
+	s.gx, s.q, s.src, s.emit = gx, q, src, emit
+	s.stats = QueryStats{}
+	if n := gx.store.NumPages(); cap(s.seen) < n {
+		s.seen = make([]uint32, n)
+	} else {
+		s.seen = s.seen[:n]
+	}
+	s.stamp++
+	if s.stamp == 0 {
+		clear(s.seen)
+		s.stamp = 1
+	}
+	return s
+}
+
+// putGridRange drops the references that would pin a source or visitor alive
+// and recycles the scratch.
+func putGridRange(s *gridRangeScratch) {
+	s.gx, s.src, s.emit = nil, nil, nil
+	gridRangePool.Put(s)
+}
+
+func (gx *Grid) queryVia(q geom.AABB, src pager.PageSource, emit func(int32)) QueryStats {
+	if gx.g == nil {
+		return QueryStats{}
+	}
+	s := getGridRange(gx, q, src, emit)
+	// Deferred so a cancellation panic from a ctx-wrapped source still
+	// recycles the scratch while unwinding toward catchCancel.
+	defer putGridRange(s)
+	gx.g.ForEachInRange(q.Expand(gx.maxHalf), s.cell)
+	return s.stats
 }
 
 // zoneMap returns the per-page (min, max) item-ID zones of the current
@@ -190,26 +252,31 @@ func (gx *Grid) iterate(ctx context.Context, req Request, after *Hit) (HitIterat
 		}, KNN, after)
 	}
 	pages := gx.PagesInRange(queryBox(req))
-	boxOf := func(id int32) geom.AABB { return gx.boxes[id] }
-	return newPageStream(ctx, gx.source(), pages, gx.zoneMap(), after,
-		acceptFor(req, boxOf)), nil
+	ps := newPageStream(ctx, gx.source(), pages, gx.zoneMap(), after,
+		acceptFor(req, gx.boxOf))
+	if req.Kind == Range || req.Kind == Point {
+		ps.useCoords(gx.coords, queryBox(req))
+	}
+	return ps, nil
 }
 
-// rangeIDs runs the native cell traversal collecting ids, with cancellation
-// checked at every data-page read.
-func (gx *Grid) rangeIDs(ctx context.Context, q geom.AABB) ([]int32, QueryStats, error) {
-	var (
-		ids []int32
-		st  QueryStats
-	)
-	src := wrapCtxSource(ctx, gx.source())
+// rangeIDs runs the native cell traversal gathering ids into the pooled
+// collector, with cancellation checked at every data-page read. The caller
+// owns releasing col regardless of error; the background-context path skips
+// the catchCancel closure (itself a per-call allocation).
+func (gx *Grid) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (QueryStats, error) {
+	if !cancelable(ctx) {
+		return gx.queryVia(q, gx.source(), col.visit), nil
+	}
+	src := &ctxSource{ctx: ctx, src: gx.source()}
+	var st QueryStats
 	err := catchCancel(func() {
-		st = gx.queryVia(q, src, func(id int32) { ids = append(ids, id) })
+		st = gx.queryVia(q, src, col.visit)
 	})
 	if err != nil {
-		return nil, QueryStats{}, err
+		return QueryStats{}, err
 	}
-	return ids, st, nil
+	return st, nil
 }
 
 // Do implements SpatialIndex. Range, Point and WithinDistance run as
@@ -243,19 +310,22 @@ func (gx *Grid) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStat
 		if req.Kind == Point {
 			q = geom.Box(req.Center, req.Center)
 		}
-		ids, st, err := gx.rangeIDs(ctx, q)
+		col := getIDCollector()
+		defer putIDCollector(col)
+		st, err := gx.rangeIDs(ctx, q, col)
 		if err != nil {
 			return QueryStats{}, err
 		}
-		emitIDHits(ids, visit)
+		emitIDHits(col.ids, visit)
 		return st, nil
 	case WithinDistance:
-		ids, st, err := gx.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius))
+		col := getIDCollector()
+		defer putIDCollector(col)
+		st, err := gx.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius), col)
 		if err != nil {
 			return QueryStats{}, err
 		}
-		boxOf := func(id int32) geom.AABB { return gx.boxes[id] }
-		results, tested := withinRefine(ids, boxOf, req.Center, req.Radius, visit)
+		results, tested := withinRefine(col.ids, gx.boxOf, req.Center, req.Radius, visit)
 		st.Results = results
 		st.EntriesTested += tested
 		return st, nil
@@ -265,14 +335,35 @@ func (gx *Grid) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStat
 	return QueryStats{}, &RequestError{Kind: req.Kind, Field: "Kind", Reason: "is not a known query kind"}
 }
 
-// doKNN is the grid k-nearest-neighbors execution.
+// cellBound is a (lower bound, cell) pair of the grid's nearest-first scan.
+type cellBound struct {
+	d2 float64
+	c  int
+}
+
+func cmpCellBound(a, b cellBound) int {
+	switch {
+	case a.d2 < b.d2:
+		return -1
+	case a.d2 > b.d2:
+		return 1
+	case a.c < b.c:
+		return -1
+	case a.c > b.c:
+		return 1
+	}
+	return 0
+}
+
+var cellBoundPool = sync.Pool{New: func() any { s := make([]cellBound, 0, 64); return &s }}
+
+// doKNN is the grid k-nearest-neighbors execution. The cell order, the
+// read-page set and the top-k accumulator are pooled.
 func (gx *Grid) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit)) (QueryStats, error) {
 	var st QueryStats
-	type cellBound struct {
-		d2 float64
-		c  int
-	}
-	var order []cellBound
+	orderBuf := cellBoundPool.Get().(*[]cellBound)
+	defer func() { *orderBuf = (*orderBuf)[:0]; cellBoundPool.Put(orderBuf) }()
+	order := (*orderBuf)[:0]
 	for c := 0; c < gx.g.NumCells(); c++ {
 		if len(gx.g.CellBoxes(c)) == 0 {
 			continue
@@ -280,26 +371,23 @@ func (gx *Grid) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hi
 		bound := gx.g.CellBounds(c).Expand(gx.maxHalf).Dist2Point(center)
 		order = append(order, cellBound{bound, c})
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].d2 != order[b].d2 {
-			return order[a].d2 < order[b].d2
-		}
-		return order[a].c < order[b].c
-	})
+	*orderBuf = order
+	slices.SortFunc(order, cmpCellBound)
 	st.IndexReads = int64(len(order))
 	src := gx.source()
-	acc := newKNNAcc(k)
-	read := make(map[pager.PageID]bool)
+	acc := getKNNAcc(k)
+	defer putKNNAcc(acc)
+	read := getPageIDScratch(gx.store.NumPages())
+	defer putPageIDScratch(read)
 	for _, cb := range order {
 		if acc.Full() && cb.d2 > acc.Bound() {
 			break
 		}
 		for _, id := range gx.g.CellBoxes(cb.c) {
-			if pg := gx.pageOf[id]; !read[pg] {
+			if pg := gx.pageOf[id]; !read.visited(int(pg)) {
 				if err := ctxErr(ctx); err != nil {
 					return QueryStats{}, err
 				}
-				read[pg] = true
 				src.ReadPage(pg)
 				st.PagesRead++
 			}

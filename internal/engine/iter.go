@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/pager"
@@ -300,6 +302,19 @@ func storeZones(s *pager.Store) []idZone {
 // merge (page contents are laid out spatially, not by ID).
 type hitHeap []Hit
 
+var hitHeapPool = sync.Pool{New: func() any {
+	h := hitHeap(make([]Hit, 0, 64))
+	return &h
+}}
+
+// getHitHeapBox returns a pool box holding an empty heap slice; iterators
+// keep the box and write the grown slice back on Close.
+func getHitHeapBox() *hitHeap {
+	p := hitHeapPool.Get().(*hitHeap)
+	*p = (*p)[:0]
+	return p
+}
+
 func (h *hitHeap) push(x Hit) {
 	*h = append(*h, x)
 	s := *h
@@ -358,8 +373,40 @@ type pageStream struct {
 	next    int
 	pending hitHeap
 	accept  func(id int32, st *QueryStats) (Hit, bool)
-	st      QueryStats
-	err     error
+	// pagesBox/pendingBox are the pool boxes the slices came from; Close
+	// writes the (possibly grown) slices back and recycles them.
+	pagesBox   *[]pageZone
+	pendingBox *hitHeap
+	// coords, when non-nil, short-circuits accept for the box kinds: the
+	// page's residents are refined with a sequential scan of the SoA
+	// coordinate sidecar (same tests and counters as the accept closure,
+	// without the per-element strided boxOf load).
+	coords *pager.Coords
+	boxQ   geom.AABB
+	// hasAfter/afterID mirror the resume filter for the coords path.
+	hasAfter bool
+	afterID  int32
+	st       QueryStats
+	err      error
+}
+
+var pageZonePool = sync.Pool{New: func() any {
+	s := make([]pageZone, 0, 64)
+	return &s
+}}
+
+func cmpPageZone(a, b pageZone) int {
+	switch {
+	case a.min < b.min:
+		return -1
+	case a.min > b.min:
+		return 1
+	case a.p < b.p:
+		return -1
+	case a.p > b.p:
+		return 1
+	}
+	return 0
 }
 
 // newPageStream builds the stream over the candidate pages, pruning pages
@@ -367,9 +414,11 @@ type pageStream struct {
 func newPageStream(ctx context.Context, src pager.PageSource, candidates []pager.PageID,
 	zones []idZone, after *Hit, accept func(id int32, st *QueryStats) (Hit, bool)) *pageStream {
 
-	ps := &pageStream{ctx: ctx, src: src, accept: accept}
+	ps := &pageStream{ctx: ctx, src: src, accept: accept,
+		pagesBox: pageZonePool.Get().(*[]pageZone), pendingBox: getHitHeapBox()}
+	ps.pending = *ps.pendingBox
 	ps.st.IndexReads = int64(len(candidates))
-	ps.pages = make([]pageZone, 0, len(candidates))
+	pages := (*ps.pagesBox)[:0]
 	for _, p := range candidates {
 		z := zones[p]
 		if z.max < z.min {
@@ -378,15 +427,13 @@ func newPageStream(ctx context.Context, src pager.PageSource, candidates []pager
 		if after != nil && z.max <= after.ID {
 			continue // cursor pushdown: the whole page precedes the resume point
 		}
-		ps.pages = append(ps.pages, pageZone{p: p, min: z.min})
+		pages = append(pages, pageZone{p: p, min: z.min})
 	}
-	sort.Slice(ps.pages, func(a, b int) bool {
-		if ps.pages[a].min != ps.pages[b].min {
-			return ps.pages[a].min < ps.pages[b].min
-		}
-		return ps.pages[a].p < ps.pages[b].p
-	})
+	*ps.pagesBox = pages
+	slices.SortFunc(pages, cmpPageZone)
+	ps.pages = pages
 	if after != nil {
+		ps.hasAfter, ps.afterID = true, after.ID
 		inner := ps.accept
 		lo := after.ID
 		ps.accept = func(id int32, st *QueryStats) (Hit, bool) {
@@ -397,6 +444,14 @@ func newPageStream(ctx context.Context, src pager.PageSource, candidates []pager
 		}
 	}
 	return ps
+}
+
+// useCoords switches the box-kind refinement onto the SoA sidecar (see the
+// coords field). Only valid when the accept stage is the plain
+// box-intersection test against boxQ — the caller asserts that by kind.
+func (ps *pageStream) useCoords(c *pager.Coords, boxQ geom.AABB) {
+	ps.coords = c
+	ps.boxQ = boxQ
 }
 
 func (ps *pageStream) Next() (Hit, bool) {
@@ -419,7 +474,22 @@ func (ps *pageStream) Next() (Hit, bool) {
 		pz := ps.pages[ps.next]
 		ps.next++
 		ps.st.PagesRead++
-		for _, id := range ps.src.ReadPage(pz.p) {
+		ids := ps.src.ReadPage(pz.p)
+		if ps.coords != nil {
+			base := ps.coords.PageOffset(pz.p)
+			for i, id := range ids {
+				if id < 0 || (ps.hasAfter && id <= ps.afterID) {
+					continue
+				}
+				ps.st.EntriesTested++
+				if ps.coords.IntersectsAt(base+i, ps.boxQ) {
+					ps.st.Results++
+					ps.pending.push(Hit{ID: id})
+				}
+			}
+			continue
+		}
+		for _, id := range ids {
 			if id < 0 {
 				continue
 			}
@@ -433,7 +503,22 @@ func (ps *pageStream) Next() (Hit, bool) {
 
 func (ps *pageStream) Err() error        { return ps.err }
 func (ps *pageStream) Stats() QueryStats { return ps.st }
-func (ps *pageStream) Close()            {}
+
+// Close recycles the pooled page list and pending heap. Idempotent; Stats
+// stays valid, and a Next after Close sees an empty page list and empty heap
+// and reports exhaustion.
+func (ps *pageStream) Close() {
+	if ps.pagesBox != nil {
+		*ps.pagesBox = ps.pages[:0]
+		pageZonePool.Put(ps.pagesBox)
+		ps.pagesBox, ps.pages, ps.next = nil, nil, 0
+	}
+	if ps.pendingBox != nil {
+		*ps.pendingBox = ps.pending[:0]
+		hitHeapPool.Put(ps.pendingBox)
+		ps.pendingBox, ps.pending = nil, nil
+	}
+}
 
 // mapFilterIter translates and filters an inner stream: fn maps each inner
 // hit to the outer space or drops it. extra, when non-nil, is a counter

@@ -3,8 +3,10 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/query"
@@ -50,6 +52,71 @@ type Planner struct {
 	// their per-instance lock instead, which also serializes probes from
 	// *different* planners sharing the instance.
 	probeEx map[string]*sync.Mutex
+
+	// epoch is the dataset epoch this planner serves (0 for free-standing
+	// planners); it is part of every plan-cache key, so entries cached for
+	// one epoch can never route another's requests even if a planner is ever
+	// shared across epochs. plans caches routing decisions by
+	// (epoch, kind, shape signature) — see PlanKindCached.
+	epoch int64
+	plans map[planCacheKey]SpatialIndex
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	probesRun   atomic.Int64
+}
+
+// planCacheKey identifies one cached routing decision: the dataset epoch the
+// planner serves, the query kind, and the bucketed shape signature of the
+// request (see planSig). Keying by bucketed shape rather than the exact
+// request lets a repeated-shape workload (the common case: many queries of
+// similar extent) hit one entry while queries of genuinely different
+// selectivity still plan separately.
+type planCacheKey struct {
+	epoch int64
+	kind  Kind
+	sig   int8
+}
+
+// planSig buckets the shape of a kind's calibration sample into a small
+// signature: the rounded log2 of the magnitude that drives the kind's
+// selectivity — box volume for Range, K for KNN, radius for WithinDistance —
+// and 0 for Point (a point stab has no extent). Empty samples share the
+// catch-all bucket -64, which is also where degenerate (zero/negative)
+// magnitudes land.
+func planSig(kind Kind, sample []Request) int8 {
+	if len(sample) == 0 {
+		return -64
+	}
+	r := sample[0]
+	var v float64
+	switch kind {
+	case Range:
+		d := r.Box.Max.Sub(r.Box.Min)
+		v = d.X * d.Y * d.Z
+	case KNN:
+		v = float64(r.K)
+	case WithinDistance:
+		v = r.Radius
+	default: // Point
+		return 0
+	}
+	return logBucket(v)
+}
+
+// logBucket clamps round(log2(v)) to [-63, 63], with -64 for v <= 0 and NaN.
+func logBucket(v float64) int8 {
+	if !(v > 0) {
+		return -64
+	}
+	b := math.Round(math.Log2(v))
+	switch {
+	case b < -63:
+		return -63
+	case b > 63:
+		return 63
+	}
+	return int8(b)
 }
 
 // plannerKey identifies one cost-history accumulator: which contender, for
@@ -86,8 +153,65 @@ func NewPlanner(indexes ...SpatialIndex) *Planner {
 		selects:      make(map[plannerKey]*stats.Running),
 		probes:       make(map[plannerKey]chan struct{}),
 		probeEx:      make(map[string]*sync.Mutex),
+		plans:        make(map[planCacheKey]SpatialIndex),
 	}
 }
+
+// SetEpoch declares the dataset epoch this planner serves. Every cached plan
+// is keyed by epoch, so a change invalidates all previously cached decisions
+// at once (the map is also cleared — stale epochs' entries are unreachable
+// and would only hold memory). Dataset snapshots call it at construction;
+// free-standing planners stay at epoch 0.
+func (p *Planner) SetEpoch(epoch int64) {
+	p.mu.Lock()
+	if p.epoch != epoch {
+		p.epoch = epoch
+		clear(p.plans)
+	}
+	p.mu.Unlock()
+}
+
+// PlanKindCached is PlanKind behind the per-epoch plan cache: a repeat of an
+// already-planned (epoch, kind, shape bucket) returns the cached decision
+// without consulting cost history or probing; a miss delegates to PlanKind
+// and caches the winner. The boolean reports a cache hit. A cached decision
+// is exactly as deterministic as PlanKind's: the cache can only replay a
+// decision PlanKind made for the same epoch and shape bucket.
+//
+// Cached decisions intentionally do not chase later Observe updates within an
+// epoch: routing flapping mid-workload would make batch output depend on
+// execution history more than it already does, and the cache resets at every
+// epoch anyway (Commit and Compact both advance it).
+func (p *Planner) PlanKindCached(kind Kind, sample []Request) (Decision, bool) {
+	p.mu.Lock()
+	key := planCacheKey{p.epoch, kind, planSig(kind, sample)}
+	ix := p.plans[key]
+	p.mu.Unlock()
+	if ix != nil {
+		p.cacheHits.Add(1)
+		return Decision{Kind: kind, Index: ix}, true
+	}
+	p.cacheMisses.Add(1)
+	d := p.PlanKind(kind, sample)
+	if d.Index != nil {
+		p.mu.Lock()
+		// Key under the current epoch, not the pre-plan one: if SetEpoch
+		// raced the planning, the decision is cached for the epoch it will
+		// serve next, and the worst case is one extra miss.
+		p.plans[planCacheKey{p.epoch, kind, key.sig}] = d.Index
+		p.mu.Unlock()
+	}
+	return d, false
+}
+
+// PlanCacheStats reports the plan cache's lifetime hit and miss counts.
+func (p *Planner) PlanCacheStats() (hits, misses int64) {
+	return p.cacheHits.Load(), p.cacheMisses.Load()
+}
+
+// ProbesRun reports how many calibration probes this planner has executed —
+// the work the plan cache exists to avoid repeating.
+func (p *Planner) ProbesRun() int64 { return p.probesRun.Load() }
 
 // Indexes returns the contenders in registration order.
 func (p *Planner) Indexes() []SpatialIndex { return p.indexes }
@@ -242,6 +366,7 @@ func (p *Planner) probeOnce(ix SpatialIndex, kind Kind, sample []Request) bool {
 		p.mu.Unlock()
 		close(ch)
 	}()
+	p.probesRun.Add(1)
 	p.probe(ix, kind, sample)
 	return true
 }

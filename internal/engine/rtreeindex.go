@@ -22,6 +22,14 @@ type RTree struct {
 	src      pager.PageSource
 	elemPage []pager.PageID // item ID -> leaf page
 	boxes    []geom.AABB    // item ID -> MBR (exact-distance refinement)
+	// boxOf is the exact-geometry accessor bound once per paging (a
+	// per-query closure would be a hot-path allocation).
+	boxOf func(int32) geom.AABB
+	// coords is the struct-of-arrays sidecar of the node-page store: leaf
+	// pages' item coordinates as contiguous per-axis runs (internal-node
+	// placeholder entries get empty boxes), scanned sequentially by the
+	// streaming leaf refinement.
+	coords *pager.Coords
 	// nodes is the RAM-resident node directory built at paging time: per
 	// node its page, MBR, level and (min, max) item-ID zone — what the
 	// streaming descent orders subtrees by. nodes[0] is the root.
@@ -95,6 +103,7 @@ func (r *RTree) page() error {
 	r.paged = p
 	r.elemPage = make([]pager.PageID, r.tree.Size())
 	r.boxes = make([]geom.AABB, r.tree.Size())
+	r.boxOf = func(id int32) geom.AABB { return r.boxes[id] }
 	r.nodes = nil
 	root, _ := r.tree.Root()
 	var walk func(v rtree.NodeView) int32
@@ -135,6 +144,15 @@ func (r *RTree) page() error {
 		return ni
 	}
 	walk(root)
+	// Guarded accessor: WrapRTree tolerates non-dense item IDs on the
+	// Query-only surface; out-of-range IDs get empty (never-intersecting)
+	// sidecar slots instead of panicking the build.
+	r.coords = pager.BuildCoords(r.paged.Store(), func(id int32) geom.AABB {
+		if int(id) >= len(r.boxes) {
+			return geom.EmptyAABB()
+		}
+		return r.boxes[id]
+	})
 	return nil
 }
 
@@ -179,28 +197,23 @@ func (r *RTree) query(q geom.AABB, emit func(int32)) QueryStats {
 // context the descent reads node pages through the paged layout (the
 // traversal — and therefore the stats record — is identical to the unpaged
 // one), so cancellation is checked at every node-page read.
-func (r *RTree) rangeIDs(ctx context.Context, q geom.AABB) ([]int32, QueryStats, error) {
-	var (
-		ids []int32
-		st  QueryStats
-	)
-	collect := func(it rtree.Item) { ids = append(ids, it.ID) }
+func (r *RTree) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (QueryStats, error) {
 	if r.paged != nil && (r.src != nil || cancelable(ctx)) {
 		base := r.src
 		if base == nil {
 			base = r.paged.Store()
 		}
 		src := wrapCtxSource(ctx, base)
+		var st QueryStats
 		err := catchCancel(func() {
-			st = fromRTree(r.paged.QueryVia(q, src, collect))
+			st = fromRTree(r.paged.QueryVia(q, src, col.visitItem))
 		})
 		if err != nil {
-			return nil, QueryStats{}, err
+			return QueryStats{}, err
 		}
-		return ids, st, nil
+		return st, nil
 	}
-	st = fromRTree(r.tree.Query(q, collect))
-	return ids, st, nil
+	return fromRTree(r.tree.Query(q, col.visitItem)), nil
 }
 
 // Do implements SpatialIndex. Range, Point and WithinDistance run as
@@ -237,19 +250,22 @@ func (r *RTree) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStat
 		if req.Kind == Point {
 			q = geom.Box(req.Center, req.Center)
 		}
-		ids, st, err := r.rangeIDs(ctx, q)
+		col := getIDCollector()
+		defer putIDCollector(col)
+		st, err := r.rangeIDs(ctx, q, col)
 		if err != nil {
 			return QueryStats{}, err
 		}
-		emitIDHits(ids, visit)
+		emitIDHits(col.ids, visit)
 		return st, nil
 	case WithinDistance:
-		ids, st, err := r.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius))
+		col := getIDCollector()
+		defer putIDCollector(col)
+		st, err := r.rangeIDs(ctx, geom.BoxAround(req.Center, req.Radius), col)
 		if err != nil {
 			return QueryStats{}, err
 		}
-		boxOf := func(id int32) geom.AABB { return r.boxes[id] }
-		results, tested := withinRefine(ids, boxOf, req.Center, req.Radius, visit)
+		results, tested := withinRefine(col.ids, r.boxOf, req.Center, req.Radius, visit)
 		st.Results = results
 		st.EntriesTested += tested
 		return st, nil
@@ -288,11 +304,12 @@ func (r *RTree) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hi
 	if err := ctxErr(ctx); err != nil {
 		return QueryStats{}, err
 	}
-	cands := make([]Hit, len(items))
-	for i, it := range items {
-		cands[i] = Hit{ID: it.ID, Dist2: it.Box.Dist2Point(center)}
+	acc := getKNNAcc(k)
+	defer putKNNAcc(acc)
+	for _, it := range items {
+		acc.Offer(Hit{ID: it.ID, Dist2: it.Box.Dist2Point(center)})
 	}
-	hits := selectKNN(cands, k)
+	hits := acc.Hits()
 	st := fromRTree(nst)
 	st.Results = int64(len(hits))
 	for _, h := range hits {
@@ -324,9 +341,14 @@ func (r *RTree) iterate(ctx context.Context, req Request, after *Hit) (HitIterat
 	if src == nil {
 		src = r.paged.Store()
 	}
-	it := &rtreeStream{r: r, ctx: ctx, src: src, accept: acceptFor(req, func(id int32) geom.AABB {
-		return r.boxes[id]
-	}), q: queryBox(req)}
+	it := &rtreeStream{r: r, ctx: ctx, src: src,
+		accept: acceptFor(req, r.boxOf), q: queryBox(req),
+		frontierBox: getNodeHeapBox(), pendingBox: getHitHeapBox()}
+	it.frontier = *it.frontierBox
+	it.pending = *it.pendingBox
+	// The box kinds refine leaf residents against the SoA sidecar
+	// sequentially; WithinDistance needs the exact-distance accept stage.
+	it.boxKind = req.Kind == Range || req.Kind == Point
 	if after != nil {
 		it.after = after.ID
 	} else {
@@ -347,10 +369,15 @@ type rtreeStream struct {
 	q        geom.AABB
 	accept   func(id int32, st *QueryStats) (Hit, bool)
 	after    int32 // resume position; -1 = none
+	boxKind  bool  // Range/Point: leaf refinement scans the SoA sidecar
 	frontier nodeHeap
 	pending  hitHeap
-	st       QueryStats
-	err      error
+	// frontierBox/pendingBox are the pool boxes the heap slices came from;
+	// Close writes the (possibly grown) slices back and recycles them.
+	frontierBox *nodeHeap
+	pendingBox  *hitHeap
+	st          QueryStats
+	err         error
 }
 
 func (s *rtreeStream) Next() (Hit, bool) {
@@ -380,6 +407,20 @@ func (s *rtreeStream) Next() (Hit, bool) {
 		}
 		s.st.NodesPerLevel[n.level]++
 		if n.leaf {
+			if s.boxKind {
+				base := s.r.coords.PageOffset(n.page)
+				for i, id := range ids {
+					if id < 0 || id <= s.after {
+						continue
+					}
+					s.st.EntriesTested++
+					if s.r.coords.IntersectsAt(base+i, s.q) {
+						s.st.Results++
+						s.pending.push(Hit{ID: id})
+					}
+				}
+				continue
+			}
 			for _, id := range ids {
 				if id < 0 || id <= s.after {
 					continue
@@ -406,11 +447,37 @@ func (s *rtreeStream) Next() (Hit, bool) {
 
 func (s *rtreeStream) Err() error        { return s.err }
 func (s *rtreeStream) Stats() QueryStats { return s.st }
-func (s *rtreeStream) Close()            {}
+
+// Close recycles the pooled heap slices. Idempotent; Stats stays valid, and
+// a Next after Close sees two empty heaps and reports exhaustion.
+func (s *rtreeStream) Close() {
+	if s.frontierBox != nil {
+		*s.frontierBox = s.frontier[:0]
+		nodeHeapPool.Put(s.frontierBox)
+		s.frontierBox, s.frontier = nil, nil
+	}
+	if s.pendingBox != nil {
+		*s.pendingBox = s.pending[:0]
+		hitHeapPool.Put(s.pendingBox)
+		s.pendingBox, s.pending = nil, nil
+	}
+}
 
 // nodeHeap is a min-heap of RTree.nodes indexes ordered by subtree min-ID
 // (ties by page for determinism).
 type nodeHeap []int32
+
+var nodeHeapPool = sync.Pool{New: func() any {
+	h := nodeHeap(make([]int32, 0, 64))
+	return &h
+}}
+
+// getNodeHeapBox returns a pool box holding an empty heap slice.
+func getNodeHeapBox() *nodeHeap {
+	p := nodeHeapPool.Get().(*nodeHeap)
+	*p = (*p)[:0]
+	return p
+}
 
 func (h *nodeHeap) less(r *RTree, a, b int32) bool {
 	na, nb := r.nodes[a], r.nodes[b]

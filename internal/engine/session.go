@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"neurospatial/internal/parallel"
@@ -125,17 +126,12 @@ func (s *Session) routingPlanner() *Planner {
 	return nil
 }
 
-// stripPagination removes the pagination fields for routing and planner
-// observation: a partial-scan cost record would poison the per-kind history
-// the planner routes by, so paginated requests are routed by their
-// underlying query shape and their stats are not fed back.
-func stripPagination(reqs []Request) []Request {
-	out := make([]Request, len(reqs))
-	for i, r := range reqs {
-		r.Limit, r.Offset, r.Cursor = 0, 0, ""
-		out[i] = r
-	}
-	return out
+// stripPagination clears a request's pagination fields in place for routing
+// and planner observation: a partial-scan cost record would poison the
+// per-kind history the planner routes by, so paginated requests are routed by
+// their underlying query shape and their stats are not fed back.
+func stripPagination(r *Request) {
+	r.Limit, r.Offset, r.Cursor = 0, 0, ""
 }
 
 // execRequest runs one request on its routed index: the index's native Do
@@ -174,15 +170,32 @@ func execRequest(ctx context.Context, ix SpatialIndex, req Request, emit func(Hi
 }
 
 // route picks the serving index for requests of one kind, using the given
-// same-kind requests as the planner's calibration sample.
-func (s *Session) route(kind Kind, sample []Request) SpatialIndex {
+// same-kind requests (pagination already stripped) as the planner's
+// calibration sample. Planner-backed sessions consult the per-epoch plan
+// cache first — a repeated (kind, shape) skips PlanKind and its probing
+// entirely. cached reports a cache hit; consulted reports whether a planner
+// (and therefore the cache) was involved at all.
+func (s *Session) route(kind Kind, sample []Request) (ix SpatialIndex, cached, consulted bool) {
 	if s.index != nil {
-		return s.index
+		return s.index, false, false
 	}
 	if s.fixedView != nil {
-		return s.fixedView
+		return s.fixedView, false, false
 	}
-	return s.routingPlanner().PlanKind(kind, sample).Index
+	d, hit := s.routingPlanner().PlanKindCached(kind, sample)
+	return d.Index, hit, true
+}
+
+// planCacheStamp records a routing consultation's outcome on the query record.
+func planCacheStamp(st *QueryStats, cached, consulted bool) {
+	if !consulted {
+		return
+	}
+	if cached {
+		st.PlanCacheHits++
+	} else {
+		st.PlanCacheMisses++
+	}
 }
 
 // observe feeds executed stats back into the routing planner (fixed-index
@@ -205,12 +218,17 @@ func (s *Session) Do(ctx context.Context, req Request) (Result, error) {
 	if err := ctxErr(ctx); err != nil {
 		return Result{}, err
 	}
-	ix := s.route(req.Kind, stripPagination([]Request{req}))
+	// The one-request calibration sample lives on the stack frame; routing
+	// does not retain it.
+	sample := [1]Request{req}
+	stripPagination(&sample[0])
+	ix, cached, consulted := s.route(req.Kind, sample[:])
 	res := Result{Request: req, Index: ix.Name()}
 	st, cursor, err := execRequest(ctx, ix, req, func(h Hit) { res.Hits = append(res.Hits, h) })
 	if err != nil {
 		return Result{}, err
 	}
+	planCacheStamp(&st, cached, consulted)
 	res.Stats = st
 	res.Cursor = cursor
 	if !req.paginated() {
@@ -249,27 +267,51 @@ func (s *Session) DoBatch(ctx context.Context, reqs []Request, workers int) ([]R
 	}
 
 	// Route once per distinct kind, in first-appearance order (deterministic
-	// probing: the kind's own requests are its calibration sample).
-	routed := make(map[Kind]SpatialIndex)
-	byKind := make(map[Kind][]Request)
-	var kinds []Kind
-	for _, r := range reqs {
-		if _, ok := byKind[r.Kind]; !ok {
-			kinds = append(kinds, r.Kind)
-		}
-		byKind[r.Kind] = append(byKind[r.Kind], r)
+	// probing: the kind's own requests are its calibration sample). Kinds are
+	// a closed enum, so the per-kind state lives in fixed arrays indexed by
+	// Kind — no per-batch maps — and the normalized (pagination-stripped)
+	// sample copies share one pooled scratch slice, grouped contiguously by
+	// kind in batch order.
+	sc := getBatchScratch(len(reqs))
+	defer putBatchScratch(sc)
+	var counts, off [numKinds]int
+	for i := range reqs {
+		counts[reqs[i].Kind]++
 	}
+	for k, lo := 1, 0; k < numKinds; k++ {
+		off[k] = lo
+		lo += counts[k]
+	}
+	var fill [numKinds]int
+	var kindsArr [numKinds]Kind
+	var firstOf [numKinds]int
+	nk := 0
+	for i := range reqs {
+		k := reqs[i].Kind
+		if fill[k] == 0 {
+			kindsArr[nk] = k
+			nk++
+			firstOf[k] = i
+		}
+		at := off[k] + fill[k]
+		sc.reqs[at] = reqs[i]
+		stripPagination(&sc.reqs[at])
+		fill[k]++
+	}
+	kinds := kindsArr[:nk]
+	var routed [numKinds]SpatialIndex
+	var cacheHit, consulted [numKinds]bool
 	for _, k := range kinds {
-		routed[k] = s.route(k, stripPagination(byKind[k]))
+		routed[k], cacheHit[k], consulted[k] = s.route(k, sc.reqs[off[k]:off[k]+counts[k]])
 	}
 
 	results := make([]Result, len(reqs))
 	for i := range reqs {
 		results[i] = Result{Request: reqs[i], Index: routed[reqs[i].Kind].Name()}
 	}
-	// cursors is written per slot on the worker goroutines and read only
+	// sc.cursors is written per slot on the worker goroutines and read only
 	// after BatchCtx joins — distinct elements, no sharing.
-	cursors := make([]Cursor, len(reqs))
+	cursors := sc.cursors
 	sts, err := parallel.BatchCtx(ctx, workers, len(reqs),
 		func(qi int, emit func(Hit)) (QueryStats, error) {
 			// Defense in depth for the cancellation machinery: a canceledRead
@@ -296,6 +338,11 @@ func (s *Session) DoBatch(ctx context.Context, reqs []Request, workers int) ([]R
 		results[i].Stats = sts[i]
 		results[i].Cursor = cursors[i]
 	}
+	// Record each kind's one routing consultation on the kind's first
+	// request, so aggregated batch stats count exactly the consultations.
+	for _, k := range kinds {
+		planCacheStamp(&results[firstOf[k]].Stats, cacheHit[k], consulted[k])
+	}
 	if s.routingPlanner() != nil {
 		for _, k := range kinds {
 			var kindStats []QueryStats
@@ -310,6 +357,49 @@ func (s *Session) DoBatch(ctx context.Context, reqs []Request, workers int) ([]R
 		}
 	}
 	return results, nil
+}
+
+// numKinds sizes the per-kind routing arrays of DoBatch: the Kind enum is
+// closed (KindInvalid plus the four query kinds), and every request was
+// validated before routing, so Kind values index the arrays directly.
+const numKinds = 5
+
+// batchScratch is DoBatch's pooled per-call scratch: the normalized
+// (pagination-stripped, kind-grouped) copy of the batch's requests, and the
+// per-slot cursor table the workers fill. Pooling them makes a batch's fixed
+// overhead independent of batch size in steady state.
+type batchScratch struct {
+	reqs    []Request
+	cursors []Cursor
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return &batchScratch{} }}
+
+// getBatchScratch returns scratch with both tables sized to n; recycled
+// cursor entries are cleared (a stale cursor would leak into a result).
+func getBatchScratch(n int) *batchScratch {
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.reqs) < n {
+		sc.reqs = make([]Request, n)
+	} else {
+		sc.reqs = sc.reqs[:n]
+	}
+	if cap(sc.cursors) < n {
+		sc.cursors = make([]Cursor, n)
+	} else {
+		sc.cursors = sc.cursors[:n]
+		clear(sc.cursors)
+	}
+	return sc
+}
+
+// putBatchScratch clears and recycles the scratch; entries are zeroed so the
+// pool does not retain the batch's request strings and cursor payloads.
+func putBatchScratch(sc *batchScratch) {
+	clear(sc.reqs)
+	clear(sc.cursors)
+	sc.reqs, sc.cursors = sc.reqs[:0], sc.cursors[:0]
+	batchScratchPool.Put(sc)
 }
 
 // Index returns the fixed contender of a WithIndex session, or the fixed

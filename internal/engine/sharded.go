@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -277,7 +278,7 @@ func (s *Sharded) query(q geom.AABB, emit func(int32)) QueryStats {
 	}
 	st := Aggregate(subs)
 	st.ShardsTouched = int64(len(subs))
-	sort.Slice(hits, func(a, b int) bool { return hits[a] < hits[b] })
+	slices.Sort(hits)
 	for _, id := range hits {
 		emit(id)
 	}
@@ -345,7 +346,7 @@ func (s *Sharded) Do(ctx context.Context, req Request, visit func(Hit)) (QuerySt
 		if err != nil {
 			return QueryStats{}, err
 		}
-		sort.Slice(hits, func(a, b int) bool { return hits[a].ID < hits[b].ID })
+		slices.SortFunc(hits, cmpHitID)
 		for _, h := range hits {
 			visit(h)
 		}
@@ -359,7 +360,7 @@ func (s *Sharded) Do(ctx context.Context, req Request, visit func(Hit)) (QuerySt
 		if err != nil {
 			return QueryStats{}, err
 		}
-		sort.Slice(hits, func(a, b int) bool { return hits[a].ID < hits[b].ID })
+		slices.SortFunc(hits, cmpHitID)
 		for _, h := range hits {
 			visit(h)
 		}
@@ -380,13 +381,17 @@ func (s *Sharded) doKNN(ctx context.Context, req Request, visit func(Hit)) (Quer
 	for i := range s.shards {
 		order[i] = shardBound{s.shards[i].bounds.Dist2Point(req.Center), i}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].d2 != order[b].d2 {
-			return order[a].d2 < order[b].d2
+	slices.SortFunc(order, func(a, b shardBound) int {
+		switch {
+		case a.d2 < b.d2:
+			return -1
+		case a.d2 > b.d2:
+			return 1
 		}
-		return order[a].i < order[b].i
+		return a.i - b.i
 	})
-	acc := newKNNAcc(req.K)
+	acc := getKNNAcc(req.K)
+	defer putKNNAcc(acc)
 	var subs []QueryStats
 	for _, sb := range order {
 		if acc.Full() && sb.d2 > acc.Bound() {

@@ -124,6 +124,11 @@ func newSnapshot(epoch int, opts DatasetOptions, baseItems []rtree.Item,
 		sn.views[i] = &snapView{name: name, snap: sn, base: base}
 	}
 	sn.planner = NewPlanner(sn.views...)
+	// The per-snapshot planner serves exactly this epoch: keying its plan
+	// cache by the epoch makes a cached decision unable to survive a Commit
+	// or Compact (each builds a new snapshot, planner and epoch), even when
+	// the live item set is identical.
+	sn.planner.SetEpoch(int64(epoch))
 	return sn
 }
 

@@ -38,12 +38,13 @@ type BenchConfigs struct {
 	E9  E9Config
 	E10 E10Config
 	E11 E11Config
+	E12 E12Config
 }
 
 // DefaultBenchConfigs returns the EXPERIMENTS.md-scale configurations.
 func DefaultBenchConfigs() BenchConfigs {
 	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7(), E8: DefaultE8(),
-		E9: DefaultE9(), E10: DefaultE10(), E11: DefaultE11()}
+		E9: DefaultE9(), E10: DefaultE10(), E11: DefaultE11(), E12: DefaultE12()}
 }
 
 // QuickBenchConfigs returns reduced configurations sized for a CI smoke
@@ -74,18 +75,24 @@ func QuickBenchConfigs() BenchConfigs {
 	c.E10.CompactRatio = 0.01
 	c.E11.Items = 30_000
 	c.E11.Edge = 300
+	c.E12.Items = 10_000
+	c.E12.Ops = 16
+	c.E12.ChurnOps = []int{0, 64}
+	c.E12.Rounds = 10
 	return c
 }
 
-// RunBenchJSON executes E1, E4, E7, E8, E9, E10 and E11 with the given
+// RunBenchJSON executes E1, E4, E7, E8, E9, E10, E11 and E12 with the given
 // configurations and writes the headline numbers as indented JSON to w.
 // Schema 3 added the E9 mixed-workload headlines (per-kind totals and
 // planner routing); schema 4 added the E10 churn headlines (update-rate
 // sweep, overlay work, compactions, copy-on-write layout reuse); schema 5
-// adds the E11 streaming headlines (first-page versus full-drain page reads
-// and allocations on the large-result range query).
+// added the E11 streaming headlines (first-page versus full-drain page reads
+// and allocations on the large-result range query); schema 6 adds the E12
+// hot-path allocation headlines (allocs/op per contender × kind, the unpooled
+// reduction factor, and the plan cache's hit rate and probe count).
 func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
-	report := BenchReport{Schema: 5, Engine: []string{"flat", "rtree", "grid", "sharded"}}
+	report := BenchReport{Schema: 6, Engine: []string{"flat", "rtree", "grid", "sharded"}}
 
 	e1, err := RunE1(cfgs.E1)
 	if err != nil {
@@ -256,6 +263,36 @@ func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
 		e11m[r.Contender+"_limit_time_ms"] = float64(r.LimitTime) / float64(time.Millisecond)
 	}
 	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E11", Metrics: e11m})
+
+	e12, err := RunE12(cfgs.E12)
+	if err != nil {
+		return err
+	}
+	e12m := map[string]float64{
+		// "allocs"/"probes" metric names are gated by cmd/benchgate (counts,
+		// not timings); the sharded scatter and the churned overlay cells use
+		// "alloc_est" instead — their counts carry scheduling and pool-refill
+		// noise — and ns figures are reported but never gated.
+		"unpooled_flat_range_allocs": e12.BaselineAllocs,
+		"flat_range_reduction_x":     e12.Reduction,
+		"plan_cache_hit_rate":        e12.HitRate,
+		"plan_cache_misses":          float64(e12.CacheMisses),
+		"plan_probes_run":            float64(e12.ProbesRun),
+	}
+	for _, r := range e12.Rows {
+		name := r.Contender + "_" + r.Kind.String()
+		switch {
+		case r.Churn > 0:
+			e12m[name+"_churn_alloc_est"] = r.AllocsPerOp
+		case r.Contender == "sharded":
+			e12m[name+"_alloc_est"] = r.AllocsPerOp
+			e12m[name+"_ns"] = r.NsPerOp
+		default:
+			e12m[name+"_allocs"] = r.AllocsPerOp
+			e12m[name+"_ns"] = r.NsPerOp
+		}
+	}
+	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E12", Metrics: e12m})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

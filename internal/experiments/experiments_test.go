@@ -435,3 +435,40 @@ func TestRunE11StreamingFirstPage(t *testing.T) {
 		t.Error("E11 table malformed")
 	}
 }
+
+// TestRunE12HotPathAllocs runs the allocation sweep at test scale. The runner
+// self-enforces the guarantees in uninstrumented builds (zero-alloc flat/grid
+// cells, >=10x flat Range reduction, >=90% plan-cache hit rate), so the test
+// mostly pins the shape: every (contender x kind x churn) cell present, real
+// result counts, and well-formed tables.
+func TestRunE12HotPathAllocs(t *testing.T) {
+	cfg := DefaultE12()
+	cfg.Items = 10_000
+	cfg.Ops = 16
+	cfg.ChurnOps = []int{0, 64}
+	cfg.Rounds = 10
+	res, err := RunE12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * 4 * len(cfg.ChurnOps)
+	if len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d (contender x kind x churn)", len(res.Rows), want)
+	}
+	var touched int
+	for _, r := range res.Rows {
+		if r.Results > 0 {
+			touched++
+		}
+	}
+	if touched < want/2 {
+		t.Errorf("only %d/%d cells reported results — requests not hitting the tissue", touched, want)
+	}
+	if res.CacheHits+res.CacheMisses != int64(cfg.Rounds)*4 {
+		t.Errorf("plan-cache consultations = %d, want %d", res.CacheHits+res.CacheMisses, cfg.Rounds*4)
+	}
+	if !strings.Contains(E12Table(res).String(), "allocs/op") ||
+		!strings.Contains(E12Summary(res).String(), "hit rate") {
+		t.Error("E12 tables malformed")
+	}
+}

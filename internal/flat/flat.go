@@ -29,7 +29,8 @@ package flat
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"neurospatial/internal/geom"
 	"neurospatial/internal/grid"
@@ -84,6 +85,10 @@ type Index struct {
 	neighbors [][]pager.PageID
 	// seedTree indexes page MBRs; item IDs are page IDs.
 	seedTree *rtree.Tree
+	// coords is the struct-of-arrays sidecar of store: per-page contiguous
+	// min/max coordinate runs, so the crawl's range filter scans each loaded
+	// page with sequential loads instead of strided idx.boxes decodes.
+	coords *pager.Coords
 }
 
 // Build constructs a FLAT index. Item IDs must be dense in [0, len(items));
@@ -121,6 +126,7 @@ func Build(items []rtree.Item, opts Options) (*Index, error) {
 		return nil, fmt.Errorf("flat: page bookkeeping diverged: %d pages, %d boxes",
 			idx.store.NumPages(), len(idx.pageBox))
 	}
+	idx.coords = pager.BuildCoords(idx.store, func(id int32) geom.AABB { return idx.boxes[id] })
 
 	// Phase 2: derive the page neighborhood graph with a uniform grid over
 	// the page MBRs expanded by tol/2 each (so pages within tol link).
@@ -162,8 +168,7 @@ func (idx *Index) buildNeighborhood() error {
 	})
 	// Deterministic crawl order.
 	for p := range idx.neighbors {
-		s := idx.neighbors[p]
-		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		slices.Sort(idx.neighbors[p])
 	}
 	return nil
 }
@@ -194,6 +199,11 @@ func (idx *Index) ItemBox(id int32) geom.AABB { return idx.boxes[id] }
 
 // PageOf returns the page an item is laid out on.
 func (idx *Index) PageOf(id int32) pager.PageID { return idx.pageOf[id] }
+
+// Coords returns the struct-of-arrays coordinate sidecar of the page layout
+// (position-aligned with Store's pages). The engine's streaming path uses it
+// for sequential per-page range filtering.
+func (idx *Index) Coords() *pager.Coords { return idx.coords }
 
 // Neighbors returns the neighbor pages of p. The slice is shared and must not
 // be modified.
@@ -317,40 +327,88 @@ func poolSource(idx *Index, pool *pager.BufferPool) pager.PageSource {
 	return pool
 }
 
+// crawlScratch is the pooled per-query working set of the crawl: a stamped
+// visited-set and a FIFO queue, reset (not reallocated) between queries, plus
+// the re-seed exclusion visitor created once per scratch so the hot path
+// allocates no closure. The pool makes repeated queries on an index of any
+// size allocation-free in the steady state.
+type crawlScratch struct {
+	// visited[p] == stamp marks page p visited this query; bumping stamp
+	// clears the set in O(1), with a one-time re-zero on wraparound.
+	visited []uint32
+	stamp   uint32
+	queue   []pager.PageID
+	// re-seed exclusion state driven by excl, bound to this scratch once.
+	found rtree.Item
+	ok    bool
+	excl  func(rtree.Item)
+}
+
+var crawlPool = sync.Pool{New: func() any {
+	s := &crawlScratch{}
+	s.excl = func(it rtree.Item) {
+		if !s.ok && s.visited[it.ID] != s.stamp {
+			s.found, s.ok = it, true
+		}
+	}
+	return s
+}}
+
+// getCrawl returns a scratch with a cleared visited-set covering n pages.
+func getCrawl(n int) *crawlScratch {
+	s := crawlPool.Get().(*crawlScratch)
+	if cap(s.visited) < n {
+		s.visited = make([]uint32, n)
+	}
+	s.visited = s.visited[:n]
+	s.stamp++
+	if s.stamp == 0 { // wrapped: stale slots may hold any value; re-zero once
+		clear(s.visited)
+		s.stamp = 1
+	}
+	s.queue = s.queue[:0]
+	return s
+}
+
 func (idx *Index) query(q geom.AABB, src pager.PageSource, visit func(int32), trace bool) QueryStats {
 	var stats QueryStats
 	if len(idx.pageBox) == 0 {
 		return stats
 	}
-	visited := make(map[pager.PageID]bool)
+	sc := getCrawl(len(idx.pageBox))
+	// Deferred so the scratch is returned on every exit path, including a
+	// cancellation panic unwinding from a ctx-wrapped PageSource.
+	defer crawlPool.Put(sc)
 
-	// Phase 1: seed.
-	seedItem, seedStats, ok := idx.seedTree.SeedInRange(q)
-	stats.SeedNodeAccesses += seedStats.NodeAccesses()
+	// Phase 1: seed (the allocation-free counter form of SeedInRange —
+	// identical descent, identical node-access count).
+	seedItem, seedNodes, _, ok := idx.seedTree.SeedInRangeCount(q)
+	stats.SeedNodeAccesses += seedNodes
 	if !ok {
 		return stats
 	}
 
 	for {
 		// Phase 2: crawl breadth-first through the neighborhood links,
-		// visiting pages whose MBR intersects the range.
-		queue := []pager.PageID{pager.PageID(seedItem.ID)}
-		visited[pager.PageID(seedItem.ID)] = true
-		for len(queue) > 0 {
-			p := queue[0]
-			queue = queue[1:]
+		// visiting pages whose MBR intersects the range. Index-based FIFO
+		// over the scratch queue — same visit order as the old pop-front
+		// slice queue, no per-query allocation.
+		sc.queue = append(sc.queue[:0], pager.PageID(seedItem.ID))
+		sc.visited[seedItem.ID] = sc.stamp
+		for qi := 0; qi < len(sc.queue); qi++ {
+			p := sc.queue[qi]
 			idx.readPage(p, q, src, visit, &stats, trace)
 			for _, nb := range idx.neighbors[p] {
-				if !visited[nb] && idx.pageBox[nb].Intersects(q) {
-					visited[nb] = true
-					queue = append(queue, nb)
+				if sc.visited[nb] != sc.stamp && idx.pageBox[nb].Intersects(q) {
+					sc.visited[nb] = sc.stamp
+					sc.queue = append(sc.queue, nb)
 				}
 			}
 		}
 		// Completeness: re-seed if an unvisited page still intersects the
 		// range (possible only across graph components; never on dense
 		// data). The probe is one more cheap descent of the page tree.
-		next, reseedStats, found := idx.seedExcluding(q, visited)
+		next, reseedStats, found := idx.seedExcluding(q, sc)
 		stats.SeedNodeAccesses += reseedStats
 		if !found {
 			return stats
@@ -360,38 +418,34 @@ func (idx *Index) query(q geom.AABB, src pager.PageSource, visit func(int32), tr
 	}
 }
 
-// readPage loads page p and tests its items against the range.
+// readPage loads page p and tests its items against the range, scanning the
+// SoA coordinate sidecar sequentially (position-aligned with the page's
+// resident IDs) instead of strided idx.boxes loads.
 func (idx *Index) readPage(p pager.PageID, q geom.AABB, src pager.PageSource,
 	visit func(int32), stats *QueryStats, trace bool) {
 	stats.PagesRead++
 	if trace {
 		stats.CrawlOrder = append(stats.CrawlOrder, p)
 	}
-	for _, id := range src.ReadPage(p) {
+	base := idx.coords.PageOffset(p)
+	for i, id := range src.ReadPage(p) {
 		stats.EntriesTested++
-		if idx.boxes[id].Intersects(q) {
+		if idx.coords.IntersectsAt(base+i, q) {
 			stats.Results++
 			visit(id)
 		}
 	}
 }
 
-// seedExcluding finds a page intersecting q that is not yet visited. It
-// reuses the seed tree's range query but stops at the first hit, counting the
-// nodes probed.
-func (idx *Index) seedExcluding(q geom.AABB, visited map[pager.PageID]bool) (rtree.Item, int64, bool) {
-	var found rtree.Item
-	ok := false
-	// Query the page tree; abort as soon as possible by checking inside the
-	// visitor (the tree API has no early exit, but the extra accesses are
-	// counted honestly and occur only in the rare re-seed path).
-	stats := idx.seedTree.Query(q, func(it rtree.Item) {
-		if !ok && !visited[pager.PageID(it.ID)] {
-			found = it
-			ok = true
-		}
-	})
-	return found, stats.NodeAccesses(), ok
+// seedExcluding finds a page intersecting q that the scratch has not visited.
+// It reuses the seed tree's range traversal (counter form) but keeps only the
+// first unvisited hit via the scratch's pre-bound exclusion visitor.
+func (idx *Index) seedExcluding(q geom.AABB, sc *crawlScratch) (rtree.Item, int64, bool) {
+	sc.ok = false
+	// The tree API has no early exit, but the extra accesses are counted
+	// honestly and occur only in the rare re-seed path.
+	nodes, _, _ := idx.seedTree.QueryCount(q, sc.excl)
+	return sc.found, nodes, sc.ok
 }
 
 // PagesInRange returns the pages whose MBRs intersect q, via the seed tree.

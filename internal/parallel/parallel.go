@@ -135,12 +135,72 @@ func ForEach(workers, n int, fn func(worker, slot int)) {
 	wg.Wait()
 }
 
+// seg records where one slot's emissions landed: the half-open interval
+// [start, end) of the owning worker's emission buffer. Each slot runs wholly
+// on one worker, and a worker executes its slots one at a time, so the
+// interval is contiguous and written race-free by that worker alone.
+type seg struct {
+	worker, start, end int
+}
+
+// segPool recycles the per-call slot→segment tables. The table is the only
+// O(slots) allocation of the buffered executors; pooling it (and keeping the
+// emission buffers per worker rather than per slot) makes the steady-state
+// allocation profile of a batch proportional to the worker count, not the
+// batch size.
+var segPool = sync.Pool{New: func() any {
+	b := make([]seg, 0, 64)
+	return &b
+}}
+
+// getSegs returns a pooled slot→segment table of length n (zeroed by
+// construction: every slot writes its entry before it is read).
+func getSegs(n int) (*[]seg, []seg) {
+	box := segPool.Get().(*[]seg)
+	b := *box
+	if cap(b) < n {
+		b = make([]seg, n)
+	} else {
+		b = b[:n]
+	}
+	return box, b
+}
+
+// putSegs recycles a table obtained from getSegs.
+func putSegs(box *[]seg, b []seg) {
+	*box = b[:0]
+	segPool.Put(box)
+}
+
+// workerBuf is one worker's emission buffer plus its reusable emit closure.
+// The closure is bound once per worker (not once per slot), so a batch of n
+// slots on w workers creates w closures, not n.
+type workerBuf[T any] struct {
+	buf  []T
+	emit func(T)
+}
+
+// newWorkerBufs returns w bound worker buffers.
+func newWorkerBufs[T any](w int) []workerBuf[T] {
+	wbs := make([]workerBuf[T], w)
+	for i := range wbs {
+		wb := &wbs[i]
+		wb.emit = func(t T) { wb.buf = append(wb.buf, t) }
+	}
+	return wbs
+}
+
 // Collect runs work for every slot in [0, n) across the pool and delivers
 // everything the slots emit to sink in slot order — the deterministic
-// ordered merge of per-slot result buffers. Within one slot, emissions keep
+// ordered merge of per-worker result buffers. Within one slot, emissions keep
 // their emit order; across slots, slot order rules. The net effect: sink
 // observes exactly the sequence a serial loop `for i { work(0, i, sink) }`
 // would produce, for any worker count.
+//
+// Emissions are buffered per worker (each slot's output is a contiguous
+// segment of its worker's buffer), so buffering allocates with the worker
+// count rather than the slot count; the slot→segment table that drives the
+// ordered replay is pooled.
 //
 // work must not retain its emit function past its own return. sink runs on
 // the calling goroutine only.
@@ -149,21 +209,29 @@ func Collect[T any](workers, n int, work func(worker, slot int, emit func(T)), s
 		return
 	}
 	w := Workers(workers)
-	if w <= 1 || n == 1 {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
 		for i := 0; i < n; i++ {
 			work(0, i, sink)
 		}
 		return
 	}
-	bufs := make([][]T, n)
+	wbs := newWorkerBufs[T](w)
+	segBox, segs := getSegs(n)
 	ForEach(w, n, func(worker, slot int) {
-		work(worker, slot, func(t T) { bufs[slot] = append(bufs[slot], t) })
+		wb := &wbs[worker]
+		start := len(wb.buf)
+		work(worker, slot, wb.emit)
+		segs[slot] = seg{worker, start, len(wb.buf)}
 	})
-	for _, buf := range bufs {
-		for _, t := range buf {
+	for _, sg := range segs {
+		for _, t := range wbs[sg.worker].buf[sg.start:sg.end] {
 			sink(t)
 		}
 	}
+	putSegs(segBox, segs)
 }
 
 // Batch is the deterministic batch-query executor shared by every index in
@@ -187,6 +255,9 @@ func Batch[S, H any](workers, n int, run func(qi int, emit func(H)) S,
 	if workers != 0 && workers != 1 {
 		w = Workers(workers)
 	}
+	if w > n {
+		w = n
+	}
 	if w <= 1 || n <= 1 {
 		for qi := 0; qi < n; qi++ {
 			qi := qi
@@ -200,21 +271,31 @@ func Batch[S, H any](workers, n int, run func(qi int, emit func(H)) S,
 	}
 	if visit == nil {
 		ForEach(w, n, func(_, qi int) {
-			out[qi] = run(qi, func(H) {})
+			out[qi] = run(qi, discard[H])
 		})
 		return out
 	}
-	bufs := make([][]H, n)
-	ForEach(w, n, func(_, qi int) {
-		out[qi] = run(qi, func(h H) { bufs[qi] = append(bufs[qi], h) })
+	wbs := newWorkerBufs[H](w)
+	segBox, segs := getSegs(n)
+	ForEach(w, n, func(worker, qi int) {
+		wb := &wbs[worker]
+		start := len(wb.buf)
+		out[qi] = run(qi, wb.emit)
+		segs[qi] = seg{worker, start, len(wb.buf)}
 	})
-	for qi := range bufs {
-		for _, h := range bufs[qi] {
+	for qi, sg := range segs {
+		for _, h := range wbs[sg.worker].buf[sg.start:sg.end] {
 			visit(qi, h)
 		}
 	}
+	putSegs(segBox, segs)
 	return out
 }
+
+// discard is the no-op emit handed to slot runners when the caller asked for
+// summaries only. A named function (rather than a literal) so the buffered
+// executors do not allocate a closure per slot for it.
+func discard[H any](H) {}
 
 // BatchCtx is Batch with context cancellation and per-slot errors — the
 // executor under the engine's Session.DoBatch. The determinism contract is
@@ -245,31 +326,42 @@ func BatchCtx[S, H any](ctx context.Context, workers, n int,
 	if n == 0 {
 		return out, nil
 	}
-	errs := make([]error, n)
-	var bufs [][]H
-	if visit != nil {
-		bufs = make([][]H, n)
-	}
-	runSlot := func(qi int) {
-		if ctx.Err() != nil {
-			return
-		}
-		emit := func(H) {}
-		if visit != nil {
-			emit = func(h H) { bufs[qi] = append(bufs[qi], h) }
-		}
-		out[qi], errs[qi] = run(qi, emit)
-	}
+	errsBox, errs := getErrs(n)
+	defer putErrs(errsBox, errs)
 	w := 1
 	if workers != 0 && workers != 1 {
 		w = Workers(workers)
 	}
+	if w > n {
+		w = n
+	}
+	var wbs []workerBuf[H]
+	var segs []seg
+	if visit != nil {
+		wbs = newWorkerBufs[H](w)
+		segBox, segSlice := getSegs(n)
+		segs = segSlice
+		defer putSegs(segBox, segSlice)
+	}
+	runSlot := func(worker, qi int) {
+		if ctx.Err() != nil {
+			return
+		}
+		if visit == nil {
+			out[qi], errs[qi] = run(qi, discard[H])
+			return
+		}
+		wb := &wbs[worker]
+		start := len(wb.buf)
+		out[qi], errs[qi] = run(qi, wb.emit)
+		segs[qi] = seg{worker, start, len(wb.buf)}
+	}
 	if w <= 1 || n <= 1 {
 		for qi := 0; qi < n; qi++ {
-			runSlot(qi)
+			runSlot(0, qi)
 		}
 	} else {
-		ForEach(w, n, func(_, qi int) { runSlot(qi) })
+		ForEach(w, n, runSlot)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -280,13 +372,40 @@ func BatchCtx[S, H any](ctx context.Context, workers, n int,
 		}
 	}
 	if visit != nil {
-		for qi := range bufs {
-			for _, h := range bufs[qi] {
+		for qi, sg := range segs {
+			for _, h := range wbs[sg.worker].buf[sg.start:sg.end] {
 				visit(qi, h)
 			}
 		}
 	}
 	return out, nil
+}
+
+// errsPool recycles the per-slot error tables of BatchCtx; entries are
+// cleared on release so a recycled table never reports a stale failure.
+var errsPool = sync.Pool{New: func() any {
+	b := make([]error, 0, 64)
+	return &b
+}}
+
+// getErrs returns a pooled, zeroed error table of length n.
+func getErrs(n int) (*[]error, []error) {
+	box := errsPool.Get().(*[]error)
+	b := *box
+	if cap(b) < n {
+		b = make([]error, n)
+	} else {
+		b = b[:n]
+		clear(b)
+	}
+	return box, b
+}
+
+// putErrs clears and recycles a table obtained from getErrs.
+func putErrs(box *[]error, b []error) {
+	clear(b)
+	*box = b[:0]
+	errsPool.Put(box)
 }
 
 // Map runs fn for every slot in [0, n) across the pool and returns the

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -194,4 +195,103 @@ func TestBatchMatchesSerial(t *testing.T) {
 	if got := Batch(4, 0, run, nil); len(got) != 0 {
 		t.Errorf("empty batch returned %d summaries", len(got))
 	}
+}
+
+// TestWorkerCountInvariance pins the determinism contract of the per-worker
+// buffered executors after the segment-table rework: for every worker count,
+// Collect, Batch and BatchCtx must deliver byte-for-byte the serial loop's
+// output, including under heavy emission skew (slot i emits i%5 values, so
+// worker buffers interleave segments from many slots).
+func TestWorkerCountInvariance(t *testing.T) {
+	const n = 257
+	emitSlot := func(slot int, emit func(int)) {
+		for j := 0; j < slot%5; j++ {
+			emit(slot*100 + j)
+		}
+	}
+	var want []int
+	for i := 0; i < n; i++ {
+		emitSlot(i, func(v int) { want = append(want, v) })
+	}
+	for _, w := range []int{1, 2, 3, 4, 7, 16, n, n + 9} {
+		var got []int
+		Collect(w, n, func(_, slot int, emit func(int)) {
+			emitSlot(slot, emit)
+		}, func(v int) { got = append(got, v) })
+		if len(got) != len(want) {
+			t.Fatalf("Collect workers=%d: %d values, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Collect workers=%d: value %d = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+
+		got = got[:0]
+		var slots []int
+		sums, err := BatchCtx(nil, w, n, func(qi int, emit func(int)) (int, error) {
+			emitSlot(qi, emit)
+			return qi * 3, nil
+		}, func(qi, v int) { slots = append(slots, qi); got = append(got, v) })
+		if err != nil {
+			t.Fatalf("BatchCtx workers=%d: %v", w, err)
+		}
+		for i := range want {
+			if got[i] != want[i] || slots[i] != want[i]/100 {
+				t.Fatalf("BatchCtx workers=%d: visit %d = (%d,%d), want (%d,%d)",
+					w, i, slots[i], got[i], want[i]/100, want[i])
+			}
+		}
+		for qi, s := range sums {
+			if s != qi*3 {
+				t.Fatalf("BatchCtx workers=%d: summary %d = %d", w, qi, s)
+			}
+		}
+	}
+}
+
+// TestBufferedExecutorsConcurrent exercises the pooled segment/error tables
+// under concurrent invocations with different element types and sizes: runs
+// must never observe each other's state (run with -race to check the pooled
+// tables are handed out exclusively).
+func TestBufferedExecutorsConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 25; iter++ {
+				n := 10 + (g+iter)%40
+				if g%2 == 0 {
+					var got []int
+					Collect(4, n, func(_, slot int, emit func(int)) {
+						emit(slot)
+					}, func(v int) { got = append(got, v) })
+					for i := 0; i < n; i++ {
+						if got[i] != i {
+							t.Errorf("goroutine %d: Collect slot %d = %d", g, i, got[i])
+							return
+						}
+					}
+				} else {
+					var got []string
+					_, err := BatchCtx(nil, 4, n, func(qi int, emit func(string)) (struct{}, error) {
+						if qi%2 == 0 {
+							emit("s")
+						}
+						return struct{}{}, nil
+					}, func(qi int, s string) { got = append(got, s) })
+					if err != nil {
+						t.Errorf("goroutine %d: BatchCtx error %v", g, err)
+						return
+					}
+					if len(got) != (n+1)/2 {
+						t.Errorf("goroutine %d: %d visits, want %d", g, len(got), (n+1)/2)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package race
+
+// Enabled is true when the build carries the race detector.
+const Enabled = false

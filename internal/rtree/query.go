@@ -1,8 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
-
 	"neurospatial/internal/geom"
 )
 
@@ -133,6 +131,101 @@ func (t *Tree) seed(n *node, q geom.AABB, center geom.Vec, stats *QueryStats) (I
 	return Item{}, false
 }
 
+// SeedInRangeCount is the allocation-free form of SeedInRange: identical
+// traversal (so identical node-access and entries-tested counts and the
+// identical returned item), but reporting plain counters instead of a
+// QueryStats whose per-level slice would allocate. It is the seed call of
+// FLAT's zero-alloc Do path.
+func (t *Tree) SeedInRangeCount(q geom.AABB) (it Item, nodes, tested int64, ok bool) {
+	if t.size == 0 {
+		return Item{}, 0, 0, false
+	}
+	it, ok = t.seedCount(t.root, q, q.Center(), &nodes, &tested)
+	return it, nodes, tested, ok
+}
+
+// seedCount mirrors seed's descent order without materializing the sorted
+// child order: instead of building an order slice, it repeatedly selects the
+// next intersecting child in ascending (Dist2Point(center), child index) —
+// exactly the order seed's stable insertion sort produces — using a
+// (lastD, lastI) cursor. O(fanout²) selection in the worst case, zero
+// allocations always.
+func (t *Tree) seedCount(n *node, q geom.AABB, center geom.Vec, nodes, tested *int64) (Item, bool) {
+	*nodes++
+	if n.isLeaf() {
+		bestIdx := -1
+		bestD := 0.0
+		for i := range n.items {
+			*tested++
+			if !n.items[i].Box.Intersects(q) {
+				continue
+			}
+			d := n.items[i].Box.Dist2Point(center)
+			if bestIdx < 0 || d < bestD {
+				bestIdx, bestD = i, d
+			}
+		}
+		if bestIdx >= 0 {
+			return n.items[bestIdx], true
+		}
+		return Item{}, false
+	}
+	lastD, lastI := -1.0, -1 // Dist2Point is >= 0, so (-1, -1) precedes all
+	for {
+		bestI, bestD := -1, 0.0
+		for i := range n.children {
+			c := n.children[i]
+			if !c.box.Intersects(q) {
+				continue
+			}
+			d := c.box.Dist2Point(center)
+			if d < lastD || (d == lastD && i <= lastI) {
+				continue // already descended into
+			}
+			if bestI < 0 || d < bestD || (d == bestD && i < bestI) {
+				bestI, bestD = i, d
+			}
+		}
+		if bestI < 0 {
+			return Item{}, false
+		}
+		lastD, lastI = bestD, bestI
+		if it, ok := t.seedCount(n.children[bestI], q, center, nodes, tested); ok {
+			return it, true
+		}
+	}
+}
+
+// QueryCount is the allocation-free form of Query: the same traversal and
+// visit order, reporting plain counters instead of a QueryStats whose
+// per-level slice would allocate.
+func (t *Tree) QueryCount(q geom.AABB, visit func(Item)) (nodes, tested, results int64) {
+	if t.size == 0 {
+		return 0, 0, 0
+	}
+	t.queryCount(t.root, q, visit, &nodes, &tested, &results)
+	return nodes, tested, results
+}
+
+func (t *Tree) queryCount(n *node, q geom.AABB, visit func(Item), nodes, tested, results *int64) {
+	*nodes++
+	if n.isLeaf() {
+		for i := range n.items {
+			*tested++
+			if n.items[i].Box.Intersects(q) {
+				*results++
+				visit(n.items[i])
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c.box.Intersects(q) {
+			t.queryCount(c, q, visit, nodes, tested, results)
+		}
+	}
+}
+
 // knnEntry is a priority-queue element for best-first KNN search.
 type knnEntry struct {
 	dist2 float64
@@ -140,18 +233,50 @@ type knnEntry struct {
 	item  Item
 }
 
+// knnHeap is a concrete-typed min-heap by dist2. The sift operations
+// replicate container/heap's algorithm exactly (same comparisons, same swap
+// order), so equal-distance entries pop in the order the previous
+// container/heap-backed implementation produced — but without boxing every
+// entry into an interface value on each push.
 type knnHeap []knnEntry
 
-func (h knnHeap) Len() int            { return len(h) }
-func (h knnHeap) Less(i, j int) bool  { return h[i].dist2 < h[j].dist2 }
-func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(knnEntry)) }
-func (h *knnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *knnHeap) push(e knnEntry) {
+	s := append(*h, e)
+	*h = s
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].dist2 < s[i].dist2) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *knnHeap) pop() knnEntry {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].dist2 < s[j1].dist2 {
+			j = j2
+		}
+		if !(s[j].dist2 < s[i].dist2) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	top := s[n]
+	*h = s[:n]
+	return top
 }
 
 // KNN returns the k items whose boxes are nearest to p (by box distance),
@@ -162,10 +287,10 @@ func (t *Tree) KNN(p geom.Vec, k int) ([]Item, QueryStats) {
 	if t.size == 0 || k <= 0 {
 		return nil, stats
 	}
-	h := &knnHeap{{dist2: t.root.box.Dist2Point(p), node: t.root}}
-	var out []Item
-	for h.Len() > 0 && len(out) < k {
-		e := heap.Pop(h).(knnEntry)
+	h := knnHeap{{dist2: t.root.box.Dist2Point(p), node: t.root}}
+	out := make([]Item, 0, k)
+	for len(h) > 0 && len(out) < k {
+		e := h.pop()
 		if e.node == nil {
 			out = append(out, e.item)
 			stats.Results++
@@ -176,11 +301,11 @@ func (t *Tree) KNN(p geom.Vec, k int) ([]Item, QueryStats) {
 		if n.isLeaf() {
 			for i := range n.items {
 				stats.EntriesTested++
-				heap.Push(h, knnEntry{dist2: n.items[i].Box.Dist2Point(p), item: n.items[i]})
+				h.push(knnEntry{dist2: n.items[i].Box.Dist2Point(p), item: n.items[i]})
 			}
 		} else {
 			for _, c := range n.children {
-				heap.Push(h, knnEntry{dist2: c.box.Dist2Point(p), node: c})
+				h.push(knnEntry{dist2: c.box.Dist2Point(p), node: c})
 			}
 		}
 	}
