@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -47,7 +48,36 @@ func readReport(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
+	if err := validate(r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
 	return r, nil
+}
+
+// validate rejects reports the gate cannot trust. A malformed report must
+// fail loudly: comparing against an empty or half-parsed baseline silently
+// gates nothing, which reads as "no regressions" when the truth is "no data".
+func validate(r report) error {
+	if r.Schema <= 0 {
+		return fmt.Errorf("missing or invalid schema field (got %d): not a BENCH_engine.json report", r.Schema)
+	}
+	if len(r.Headlines) == 0 {
+		return fmt.Errorf("report has no headlines: refusing to gate against empty data")
+	}
+	for _, h := range r.Headlines {
+		if h.Experiment == "" {
+			return fmt.Errorf("headline with empty experiment name")
+		}
+		if len(h.Metrics) == 0 {
+			return fmt.Errorf("headline %s has no metrics", h.Experiment)
+		}
+		for name, v := range h.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("metric %s.%s is %g: non-finite values cannot be gated", h.Experiment, name, v)
+			}
+		}
+	}
+	return nil
 }
 
 // gated reports whether a metric is a deterministic count the gate enforces.

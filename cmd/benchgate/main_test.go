@@ -1,6 +1,9 @@
 package main
 
 import (
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -91,5 +94,83 @@ func TestGatedSelectsDeterministicCounts(t *testing.T) {
 		if gated(name) != want {
 			t.Errorf("gated(%q) = %v, want %v", name, !want, want)
 		}
+	}
+}
+
+// TestValidateRejectsMalformedReports: a report the gate cannot trust must
+// fail loudly — gating against empty or half-parsed data silently passes
+// everything.
+func TestValidateRejectsMalformedReports(t *testing.T) {
+	if err := validate(mkReport(map[string]float64{"total_pages_read": 42})); err != nil {
+		t.Fatalf("well-formed report rejected: %v", err)
+	}
+
+	missingSchema := mkReport(map[string]float64{"total_pages_read": 42})
+	missingSchema.Schema = 0
+	if err := validate(missingSchema); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("missing schema field accepted (err = %v)", err)
+	}
+
+	var empty report
+	empty.Schema = 5
+	if err := validate(empty); err == nil || !strings.Contains(err.Error(), "no headlines") {
+		t.Errorf("empty report accepted (err = %v)", err)
+	}
+
+	for name, v := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		bad := mkReport(map[string]float64{"total_pages_read": v})
+		if err := validate(bad); err == nil || !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("%s metric accepted (err = %v)", name, err)
+		}
+	}
+
+	noMetrics := mkReport(nil)
+	if err := validate(noMetrics); err == nil || !strings.Contains(err.Error(), "no metrics") {
+		t.Errorf("metric-less headline accepted (err = %v)", err)
+	}
+
+	anon := mkReport(map[string]float64{"total_pages_read": 1})
+	anon.Headlines[0].Experiment = ""
+	if err := validate(anon); err == nil || !strings.Contains(err.Error(), "experiment") {
+		t.Errorf("unnamed headline accepted (err = %v)", err)
+	}
+}
+
+// TestReadReportFailsLoudly pins the file-level failure modes: truncated
+// JSON, out-of-range numbers, and structurally empty baselines are errors,
+// not empty reports that would gate nothing.
+func TestReadReportFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.json",
+		`{"schema":6,"headlines":[{"experiment":"E12","metrics":{"flat_range_allocs":0}}]}`)
+	if _, err := readReport(good); err != nil {
+		t.Fatalf("well-formed file rejected: %v", err)
+	}
+
+	for name, body := range map[string]string{
+		"truncated.json": `{"schema":6,"headlines":[{"experiment":"E1"`,
+		"overflow.json":  `{"schema":6,"headlines":[{"experiment":"E1","metrics":{"total_pages_read":1e999}}]}`,
+		"empty.json":     `{}`,
+		"noschema.json":  `{"headlines":[{"experiment":"E1","metrics":{"total_pages_read":1}}]}`,
+	} {
+		if _, err := readReport(write(name, body)); err == nil {
+			t.Errorf("%s accepted; want a loud failure", name)
+		}
+	}
+
+	if _, err := readReport(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v, want IsNotExist (main treats a missing baseline as first run)", err)
 	}
 }

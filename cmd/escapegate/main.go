@@ -1,0 +1,346 @@
+// Command escapegate is the escape-analysis gate of the hot-path contract:
+// it parses the compiler's `-gcflags='-m -m'` diagnostics and fails when any
+// function annotated //neurospatial:hotpath gains a heap escape that is not
+// in the committed baseline.
+//
+// The static analyzer (internal/analysis/hotpath) rejects the allocation
+// constructs it can see in the source; this gate covers the ones it cannot —
+// escapes the compiler decides, which move with inlining budgets and
+// toolchain versions. Baseline entries are keyed on (function, diagnostic
+// message), never on line numbers, so unrelated edits that shift code do not
+// churn the file; an entry's count is the number of identical escapes in that
+// function, so duplicating an allocating statement is caught too.
+//
+// Usage:
+//
+//	escapegate [-baseline file] [-update] [packages...]
+//
+// Packages default to ./...; the baseline defaults to
+// cmd/escapegate/baseline.txt under the module root. -update rewrites the
+// baseline from the current build. Exit status: 0 clean, 1 new escapes,
+// 2 operational error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// directive marks a function whose escapes this gate audits. Kept textually
+// identical to internal/analysis/hotpath.Directive (this binary stays
+// dependency-free so CI can build it before the analysis packages compile).
+const directive = "//neurospatial:hotpath"
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline file (default cmd/escapegate/baseline.txt under the module root)")
+	update := flag.Bool("update", false, "rewrite the baseline from the current build instead of comparing")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	mod, err := moduleInfo()
+	if err != nil {
+		fatal(err)
+	}
+	if *baselinePath == "" {
+		*baselinePath = filepath.Join(mod.Dir, "cmd", "escapegate", "baseline.txt")
+	}
+
+	spans, err := annotatedSpans(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("no %s functions found under %s", directive, strings.Join(patterns, " ")))
+	}
+
+	current, err := collectEscapes(mod, patterns, spans)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, current); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("escapegate: baseline updated: %d entr%s across %d annotated function(s)\n",
+			len(current), plural(len(current), "y", "ies"), countFuncs(spans))
+		return
+	}
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	bad := 0
+	for _, k := range sortedKeys(current) {
+		if current[k] > baseline[k] {
+			fmt.Printf("escapegate: new heap escape (%d, baseline %d): %s\n", current[k], baseline[k], k)
+			bad++
+		}
+	}
+	for _, k := range sortedKeys(baseline) {
+		if current[k] < baseline[k] {
+			fmt.Printf("escapegate: note: escape gone from build (run -update to shrink the baseline): %s\n", k)
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("escapegate: %d new escape(s) in annotated hot-path functions\n", bad)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "escapegate:", err)
+	os.Exit(2)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// module identifies the enclosing module: its root directory anchors the
+// compiler's relative diagnostic paths, its path scopes the -gcflags pattern.
+type module struct {
+	Path string
+	Dir  string
+}
+
+func moduleInfo() (module, error) {
+	out, err := runGo("list", "-m", "-json")
+	if err != nil {
+		return module{}, err
+	}
+	var m module
+	if err := json.Unmarshal(out, &m); err != nil {
+		return module{}, fmt.Errorf("decoding go list -m: %w", err)
+	}
+	return m, nil
+}
+
+// span is one annotated function: the module-root-relative file and the
+// inclusive line range of its declaration.
+type span struct {
+	key        string // importpath.(recv).Name — the baseline identity
+	file       string // module-root-relative path, forward slashes
+	start, end int
+}
+
+func countFuncs(spans []span) int {
+	seen := map[string]bool{}
+	for _, s := range spans {
+		seen[s.key] = true
+	}
+	return len(seen)
+}
+
+// annotatedSpans parses every listed package (syntax only — escape
+// attribution needs positions, not types) and records the declaration span
+// of each //neurospatial:hotpath function.
+func annotatedSpans(patterns []string) ([]span, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles", "--"}, patterns...)
+	out, err := runGo(args...)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := moduleInfo()
+	if err != nil {
+		return nil, err
+	}
+	var spans []span
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var pkg struct {
+			ImportPath string
+			Dir        string
+			GoFiles    []string
+		}
+		if err := dec.Decode(&pkg); err != nil {
+			return nil, fmt.Errorf("decoding go list: %w", err)
+		}
+		fset := token.NewFileSet()
+		for _, name := range pkg.GoFiles {
+			path := filepath.Join(pkg.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(mod.Dir, path)
+			if err != nil {
+				return nil, err
+			}
+			rel = filepath.ToSlash(rel)
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !annotated(fn) {
+					continue
+				}
+				spans = append(spans, span{
+					key:   pkg.ImportPath + "." + funcName(fn),
+					file:  rel,
+					start: fset.Position(fn.Pos()).Line,
+					end:   fset.Position(fn.End()).Line,
+				})
+			}
+		}
+	}
+	return spans, nil
+}
+
+func annotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// funcName renders the receiver-qualified name, matching godoc convention:
+// Do, (*Flat).Do, (Stats).Sub.
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := typeText(fn.Recv.List[0].Type)
+	return "(" + recv + ")." + fn.Name.Name
+}
+
+func typeText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeText(e.X)
+	case *ast.IndexExpr:
+		return typeText(e.X)
+	case *ast.IndexListExpr:
+		return typeText(e.X)
+	default:
+		return "?"
+	}
+}
+
+// diagLine matches one compiler diagnostic: path:line:col: message.
+var diagLine = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.+)$`)
+
+// collectEscapes builds the listed packages with escape diagnostics enabled
+// and returns the multiset of (annotated function, message) pairs. The build
+// cache replays diagnostics for up-to-date packages, so repeated runs are
+// cheap and deterministic.
+func collectEscapes(mod module, patterns []string, spans []span) (map[string]int, error) {
+	args := []string{"build", "-gcflags=" + mod.Path + "/...=-m -m"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = mod.Dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, buf.Bytes())
+	}
+
+	counts := map[string]int{}
+	seen := map[string]bool{} // -m -m repeats each escape with a flow trailer
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := diagLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(m[4], ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		raw := m[1] + ":" + m[2] + ":" + m[3] + ": " + msg
+		if seen[raw] {
+			continue
+		}
+		seen[raw] = true
+		file := filepath.ToSlash(m[1])
+		for _, s := range spans {
+			if s.file == file && s.start <= line && line <= s.end {
+				counts[s.key+": "+msg]++
+				break
+			}
+		}
+	}
+	return counts, sc.Err()
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// readBaseline loads "count<TAB>key" lines. A missing file is an error: the
+// gate without a baseline silently passes everything, and CI must not.
+func readBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w (run escapegate -update to create it)", err)
+	}
+	m := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		count, key, ok := strings.Cut(line, "\t")
+		n, err := strconv.Atoi(count)
+		if !ok || err != nil || n < 1 {
+			return nil, fmt.Errorf("baseline %s:%d: malformed line %q", path, i+1, line)
+		}
+		m[key] = n
+	}
+	return m, nil
+}
+
+func writeBaseline(path string, m map[string]int) error {
+	var b strings.Builder
+	b.WriteString("# escapegate baseline: heap escapes currently accepted in //neurospatial:hotpath functions.\n")
+	b.WriteString("# One entry per (function, compiler diagnostic); counts are identical escapes per function.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/escapegate -update\n")
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(&b, "%d\t%s\n", m[k], k)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func runGo(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiagLineParsing(t *testing.T) {
+	cases := []struct {
+		line string
+		file string
+		msg  string
+		ok   bool
+	}{
+		{"internal/engine/exec.go:12:7: leak escapes to heap", "internal/engine/exec.go", "leak escapes to heap", true},
+		{"internal/engine/exec.go:12:7: moved to heap: st:", "internal/engine/exec.go", "moved to heap: st:", true},
+		{"# neurospatial/internal/engine", "", "", false},
+		{"internal/engine/exec.go:12: missing column", "", "", false},
+	}
+	for _, c := range cases {
+		m := diagLine.FindStringSubmatch(c.line)
+		if (m != nil) != c.ok {
+			t.Errorf("diagLine(%q): matched=%v, want %v", c.line, m != nil, c.ok)
+			continue
+		}
+		if m == nil {
+			continue
+		}
+		if m[1] != c.file || m[4] != c.msg {
+			t.Errorf("diagLine(%q) = (%q, %q), want (%q, %q)", c.line, m[1], m[4], c.file, c.msg)
+		}
+	}
+}
+
+func TestFuncNameAndAnnotated(t *testing.T) {
+	const src = `package p
+
+//neurospatial:hotpath
+func Plain() {}
+
+// doc first
+//neurospatial:hotpath
+func (f *Flat) Do() {}
+
+// mentions //neurospatial:hotpath mid-line only
+func NotAnnotated() {}
+
+//neurospatial:hotpath
+func (s Stats) Sub() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"Plain": true, "(*Flat).Do": true, "(Stats).Sub": true}
+	got := map[string]bool{}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if annotated(fn) {
+			got[funcName(fn)] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("annotated functions = %v, want %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing annotated function %q", k)
+		}
+	}
+}
+
+func TestReadBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.txt")
+	os.WriteFile(good, []byte("# comment\n\n2\tpkg.F: x escapes to heap\n1\tpkg.G: moved to heap: y\n"), 0o644)
+	m, err := readBaseline(good)
+	if err != nil {
+		t.Fatalf("readBaseline: %v", err)
+	}
+	if m["pkg.F: x escapes to heap"] != 2 || m["pkg.G: moved to heap: y"] != 1 {
+		t.Errorf("readBaseline = %v", m)
+	}
+
+	for name, body := range map[string]string{
+		"nocount.txt": "pkg.F: x escapes to heap\n",
+		"zero.txt":    "0\tpkg.F: x escapes to heap\n",
+		"nonnum.txt":  "two\tpkg.F: x escapes to heap\n",
+	} {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(body), 0o644)
+		if _, err := readBaseline(p); err == nil {
+			t.Errorf("readBaseline(%s): want error on malformed line", name)
+		}
+	}
+
+	if _, err := readBaseline(filepath.Join(dir, "absent.txt")); err == nil {
+		t.Error("readBaseline: want error when the baseline file is missing")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	in := map[string]int{
+		"pkg.(*T).M: func literal escapes to heap": 3,
+		"pkg.F: moved to heap: st":                 1,
+	}
+	if err := writeBaseline(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip = %v, want %v", out, in)
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Errorf("round trip[%q] = %d, want %d", k, out[k], v)
+		}
+	}
+}

@@ -144,7 +144,7 @@ func station1(model *core.Model, kindName string, k int, radius float64) {
 	tb := stats.NewTable("live statistics (Figure 3)", "method", "pages read", "per level (leaf..root)", "time")
 	tb.AddRow("FLAT", cmp.FlatStats.TotalReads(), "-", stats.Dur(cmp.FlatTime))
 	tb.AddRow("R-Tree", cmp.RTreeStats.TotalReads(),
-		fmt.Sprintf("%v", cmp.RTreeStats.NodesPerLevel), stats.Dur(cmp.RTreeTime))
+		fmt.Sprintf("%v", cmp.RTreeStats.NodesPerLevel()), stats.Dur(cmp.RTreeTime))
 	tb.Render(os.Stdout)
 	fmt.Printf("both retrieved %d elements\n", cmp.Results)
 

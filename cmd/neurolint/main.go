@@ -1,0 +1,133 @@
+// Command neurolint runs the repo's custom static analyzers — the
+// multichecker for internal/analysis. It loads every package in the module,
+// applies each analyzer to the packages inside its scope, and exits nonzero
+// if any diagnostic survives //lint:ignore filtering.
+//
+// Run it from the module root (the source importer resolves neurospatial/...
+// imports through the module tree):
+//
+//	go run ./cmd/neurolint            # whole repo, all analyzers
+//	go run ./cmd/neurolint -analyzers poolcheck,ctxpage
+//	go run ./cmd/neurolint ./internal/engine
+//
+// Analyzer scopes: poolcheck and detorder cover internal/engine and
+// internal/parallel (where the pooling and determinism contracts live);
+// ctxpage covers internal/engine (the cancellation contract); hotpath and
+// nodeprecated cover the whole module — hotpath is annotation-driven and
+// nodeprecated guards every internal caller.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neurospatial/internal/analysis"
+	"neurospatial/internal/analysis/ctxpage"
+	"neurospatial/internal/analysis/detorder"
+	"neurospatial/internal/analysis/hotpath"
+	"neurospatial/internal/analysis/nodeprecated"
+	"neurospatial/internal/analysis/poolcheck"
+)
+
+// scoped pairs an analyzer with the import-path prefixes it applies to;
+// empty means the whole module.
+type scoped struct {
+	analyzer *analysis.Analyzer
+	prefixes []string
+}
+
+var suite = []scoped{
+	{poolcheck.Analyzer, []string{"neurospatial/internal/engine", "neurospatial/internal/parallel"}},
+	{hotpath.Analyzer, nil},
+	{ctxpage.Analyzer, []string{"neurospatial/internal/engine"}},
+	{detorder.Analyzer, []string{"neurospatial/internal/engine", "neurospatial/internal/parallel"}},
+	{nodeprecated.Analyzer, nil},
+}
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range suite {
+			scope := "whole module"
+			if len(s.prefixes) > 0 {
+				scope = strings.Join(s.prefixes, ", ")
+			}
+			fmt.Printf("%-14s %s\n               scope: %s\n", s.analyzer.Name, s.analyzer.Doc, scope)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *names != "" {
+		for _, n := range strings.Split(*names, ",") {
+			selected[strings.TrimSpace(n)] = true
+		}
+		for n := range selected {
+			if !knownAnalyzer(n) {
+				fmt.Fprintf(os.Stderr, "neurolint: unknown analyzer %q\n", n)
+				os.Exit(2)
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "neurolint: %v\n", err)
+		os.Exit(2)
+	}
+
+	bad := 0
+	for _, s := range suite {
+		if len(selected) > 0 && !selected[s.analyzer.Name] {
+			continue
+		}
+		for _, pkg := range pkgs {
+			if !inScope(pkg.ImportPath, s.prefixes) {
+				continue
+			}
+			diags, err := analysis.Run(s.analyzer, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "neurolint: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "neurolint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func knownAnalyzer(name string) bool {
+	for _, s := range suite {
+		if s.analyzer.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func inScope(path string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

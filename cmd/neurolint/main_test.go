@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis"
+)
+
+// TestSuiteCleanOnRepo pins the whole module at zero findings. It is the
+// regression test for the violations the suite caught when it was first run
+// — the sharded scatter fanning out through the deprecated sub-index Query
+// wrapper (sharded.go) — and the gate that keeps new ones out: the same
+// check CI's lint-static job runs via `go run ./cmd/neurolint`.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	pkgs, err := analysis.Load("neurospatial/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	for _, s := range suite {
+		for _, pkg := range pkgs {
+			if !inScope(pkg.ImportPath, s.prefixes) {
+				continue
+			}
+			diags, err := analysis.Run(s.analyzer, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", s.analyzer.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			}
+		}
+	}
+}

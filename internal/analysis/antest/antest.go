@@ -1,0 +1,156 @@
+// Package antest runs analyzers over fixture packages, mimicking
+// golang.org/x/tools/go/analysis/analysistest: fixture files mark expected
+// findings with trailing comments of the form
+//
+//	x := pool.Get() // want `not released`
+//
+// where the backquoted (or double-quoted) text is a regexp that must match a
+// diagnostic reported on that line. Lines with no want comment must produce
+// no diagnostics. //lint:ignore directives are honored, so fixtures can (and
+// do) exercise the suppression path as their non-flagging cases.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"neurospatial/internal/analysis"
+)
+
+// wantRx pulls every quoted regexp out of a "// want ..." comment.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run applies a to the fixture package in dir and diffs its diagnostics
+// against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, found := strings.CutPrefix(c.Text, "// want ")
+				if !found {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRx.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// loadFixture parses and type-checks dir as a single package. Fixtures
+// import only the standard library, so the source importer resolves them
+// regardless of working directory.
+func loadFixture(dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture: %w", err)
+	}
+	return &analysis.Package{
+		ImportPath: tpkg.Path(),
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

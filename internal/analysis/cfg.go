@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Block is one straight-line run of statements in a function's control-flow
+// graph. Nodes holds statements plus the condition expressions of if/for
+// heads, in execution order. A block with no Succs ends the function: a
+// return, a panic call, or falling off the end of the body.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is an intra-procedural control-flow graph. It models if/for/range/
+// switch/select/return/break/continue/fallthrough/labeled loops; goto sets
+// Unsupported, and flow-sensitive analyses should skip such functions rather
+// than guess.
+type CFG struct {
+	Entry       *Block
+	Blocks      []*Block
+	Unsupported bool
+}
+
+// BuildCFG constructs the CFG of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: map[string]*labelTarget{}}
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	return b.g
+}
+
+type labelTarget struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block
+
+	breaks []*Block // innermost break targets
+	conts  []*Block // innermost continue targets
+	fall   *Block   // fallthrough target inside a switch clause
+
+	labels       map[string]*labelTarget
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// linkTo adds an edge cur -> to.
+func (b *cfgBuilder) linkTo(to *Block) {
+	b.cur.Succs = append(b.cur.Succs, to)
+}
+
+// terminate parks the builder on a fresh unreachable block, used after
+// return/panic/branch so trailing dead code doesn't attach to live paths.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+// takeLabel consumes the pending label, registering its targets.
+func (b *cfgBuilder) takeLabel(brk, cont *Block) {
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = &labelTarget{brk: brk, cont: cont}
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		then, after := b.newBlock(), b.newBlock()
+		b.linkTo(then)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.linkTo(els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.linkTo(after)
+		} else {
+			b.linkTo(after)
+		}
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.linkTo(after)
+		b.cur = after
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.newBlock()
+		b.linkTo(head)
+		body, after := b.newBlock(), b.newBlock()
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			post.Succs = append(post.Succs, head)
+			cont = post
+		}
+		b.takeLabel(after, cont)
+		head.Succs = append(head.Succs, body)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Succs = append(head.Succs, after)
+		}
+		b.breaks = append(b.breaks, after)
+		b.conts = append(b.conts, cont)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.linkTo(cont)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.linkTo(head)
+		head.Nodes = append(head.Nodes, s.X)
+		body, after := b.newBlock(), b.newBlock()
+		b.takeLabel(after, head)
+		head.Succs = append(head.Succs, body, after)
+		b.breaks = append(b.breaks, after)
+		b.conts = append(b.conts, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.linkTo(head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Node
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag, clauses = sw.Init, sw.Tag, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, tag, clauses = sw.Init, sw.Assign, sw.Body.List
+		}
+		b.add(init)
+		b.add(tag)
+		after := b.newBlock()
+		b.takeLabel(after, nil)
+		head := b.cur
+		blocks := make([]*Block, len(clauses))
+		hasDefault := false
+		for i, c := range clauses {
+			blocks[i] = b.newBlock()
+			head.Succs = append(head.Succs, blocks[i])
+			if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			head.Succs = append(head.Succs, after)
+		}
+		b.breaks = append(b.breaks, after)
+		savedFall := b.fall
+		for i, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			b.cur = blocks[i]
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			if i+1 < len(blocks) {
+				b.fall = blocks[i+1]
+			} else {
+				b.fall = after
+			}
+			b.stmtList(cc.Body)
+			b.linkTo(after)
+		}
+		b.fall = savedFall
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.takeLabel(after, nil)
+		head := b.cur
+		b.breaks = append(b.breaks, after)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			head.Succs = append(head.Succs, blk)
+			b.cur = blk
+			b.add(cc.Comm)
+			b.stmtList(cc.Body)
+			b.linkTo(after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			b.branchTo(s, func(t *labelTarget) *Block { return t.brk }, b.breaks)
+		case "continue":
+			b.branchTo(s, func(t *labelTarget) *Block { return t.cont }, b.conts)
+		case "fallthrough":
+			if b.fall != nil {
+				b.linkTo(b.fall)
+			}
+			b.terminate()
+		case "goto":
+			b.g.Unsupported = true
+			b.terminate()
+		}
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.terminate()
+			}
+		}
+
+	default:
+		// Assign, Decl, Defer, Go, IncDec, Send, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// branchTo routes a break/continue to its labeled or innermost target.
+func (b *cfgBuilder) branchTo(s *ast.BranchStmt, pick func(*labelTarget) *Block, stack []*Block) {
+	var to *Block
+	if s.Label != nil {
+		if t := b.labels[s.Label.Name]; t != nil {
+			to = pick(t)
+		}
+	} else if len(stack) > 0 {
+		to = stack[len(stack)-1]
+	}
+	if to != nil {
+		b.linkTo(to)
+	} else {
+		b.g.Unsupported = true // labeled branch we failed to resolve
+	}
+	b.cur = b.newBlock()
+}

@@ -1,0 +1,163 @@
+// Package ctxpage enforces cancellation at page-read granularity: any loop
+// that calls a ReadPage method (the PageSource shape) must check the context
+// somewhere on the loop path — ctx.Err(), the repo's ctxErr/cancelable
+// helpers, or a ctx.Done() receive. Without the check a canceled query keeps
+// scanning pages until the traversal finishes on its own, which is exactly
+// the latency cliff the engine's cancellation contract rules out.
+//
+// Each ReadPage call is charged to its innermost enclosing loop in the same
+// function literal or declaration; the check may appear anywhere inside that
+// loop (an inner scan loop with the check satisfies an outer driver loop
+// only for the iterations the inner loop runs — so the innermost loop that
+// actually issues reads is the one that must check).
+package ctxpage
+
+import (
+	"go/ast"
+	"go/types"
+
+	"neurospatial/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpage",
+	Doc:  "loops calling ReadPage-shaped methods must check ctx.Err()/ctxErr/cancelable/ctx.Done() on the loop path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkFunc(pass, d.Body)
+				}
+			case *ast.GenDecl:
+				// Closures in package-level declarations — pool New hooks,
+				// pre-bound visitors — read pages too.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkFunc(pass, lit.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function, attributing ReadPage calls to their
+// innermost enclosing loop. Function literals reset the loop stack — a
+// closure's body runs when the closure is called, not once per iteration of
+// the loop that built it — and are then checked as functions of their own.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	flagged := map[ast.Node]bool{}
+	var walk func(n ast.Node, loops []ast.Node)
+	walk = func(n ast.Node, loops []ast.Node) {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// The range expression is evaluated once, before iteration: a
+			// read there belongs to the enclosing loop, not this one.
+			walk(n.X, loops)
+			inner := append(loops[:len(loops):len(loops)], ast.Node(n))
+			walk(n.Body, inner)
+			return
+		case *ast.ForStmt:
+			if n.Init != nil {
+				walk(n.Init, loops) // runs once
+			}
+			inner := append(loops[:len(loops):len(loops)], ast.Node(n))
+			if n.Cond != nil {
+				walk(n.Cond, inner)
+			}
+			if n.Post != nil {
+				walk(n.Post, inner)
+			}
+			walk(n.Body, inner)
+			return
+		case *ast.FuncLit:
+			walk(n.Body, nil)
+			return
+		case *ast.CallExpr:
+			if isReadPage(pass, n) && len(loops) > 0 {
+				loop := loops[len(loops)-1]
+				if !flagged[loop] && !loopChecksCtx(pass, loop) {
+					flagged[loop] = true
+					pass.Reportf(loop.Pos(),
+						"loop calls ReadPage without a context check on the loop path "+
+							"(add ctx.Err()/ctxErr or select on ctx.Done())")
+				}
+			}
+		}
+		// Recurse over children, preserving the loop stack.
+		children(n, func(c ast.Node) { walk(c, loops) })
+	}
+	walk(body, nil)
+}
+
+// children invokes fn for each direct child node of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m == nil {
+			return false
+		}
+		fn(m)
+		return false
+	})
+}
+
+// isReadPage matches method calls named ReadPage.
+func isReadPage(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ReadPage" {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok
+}
+
+// loopChecksCtx reports whether any context check appears inside the loop,
+// at any depth: the check governs the loop path even when hoisted into a
+// helper condition or an inner loop that dominates the reads.
+func loopChecksCtx(pass *analysis.Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "ctxErr" || fun.Name == "cancelable" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Err" || fun.Sel.Name == "Done" {
+					if tv, ok := pass.TypesInfo.Types[fun.X]; ok && isContext(tv.Type) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxpage_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/ctxpage"
+)
+
+func TestCtxpageFixtures(t *testing.T) {
+	antest.Run(t, "testdata/ctx", ctxpage.Analyzer)
+}

@@ -1,0 +1,136 @@
+// Fixture for ctxpage: loops issuing page reads must carry a context check.
+package ctxfix
+
+import "context"
+
+type PageID int32
+
+type source struct{ pages [][]int32 }
+
+func (s *source) ReadPage(id PageID) []int32 { return s.pages[id] }
+
+// ctxErr mirrors the engine's helper shape.
+func ctxErr(ctx context.Context) error { return ctx.Err() }
+
+// --- non-flagging cases ---
+
+// checkedLoop checks ctx.Err() on every iteration.
+func checkedLoop(ctx context.Context, s *source, ids []PageID) int {
+	total := 0
+	for _, id := range ids {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += len(s.ReadPage(id))
+	}
+	return total
+}
+
+// helperChecked goes through the ctxErr helper.
+func helperChecked(ctx context.Context, s *source, ids []PageID) int {
+	total := 0
+	for _, id := range ids {
+		if err := ctxErr(ctx); err != nil {
+			return total
+		}
+		total += len(s.ReadPage(id))
+	}
+	return total
+}
+
+// doneLoop selects on ctx.Done().
+func doneLoop(ctx context.Context, s *source, ids []PageID) int {
+	total := 0
+	for _, id := range ids {
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		total += len(s.ReadPage(id))
+	}
+	return total
+}
+
+// nestedChecked: the reads happen in the inner loop, which checks; the
+// outer loop issues no reads of its own.
+func nestedChecked(ctx context.Context, s *source, groups [][]PageID) int {
+	total := 0
+	for _, ids := range groups {
+		for _, id := range ids {
+			if ctx.Err() != nil {
+				return total
+			}
+			total += len(s.ReadPage(id))
+		}
+	}
+	return total
+}
+
+// rangeExprRead reads in the inner range *expression*, which runs once per
+// outer iteration — so the outer loop's check is the one that counts.
+func rangeExprRead(ctx context.Context, s *source, ids []PageID) int {
+	total := 0
+	for _, id := range ids {
+		if ctx.Err() != nil {
+			return total
+		}
+		for range s.ReadPage(id) {
+			total++
+		}
+	}
+	return total
+}
+
+// noReads iterates without touching pages: nothing to enforce.
+func noReads(ids []PageID) int {
+	total := 0
+	for _, id := range ids {
+		total += int(id)
+	}
+	return total
+}
+
+// pooledClosure documents a deliberate unchecked loop: cancellation is
+// enforced by a panicking source wrapper installed upstream.
+func pooledClosure(s *source, ids []PageID) func() int {
+	//lint:ignore ctxpage cancellation is enforced by the ctxSource wrapper installed upstream
+	return func() int {
+		total := 0
+		for _, id := range ids {
+			total += len(s.ReadPage(id))
+		}
+		return total
+	}
+}
+
+// --- flagging cases ---
+
+// drainAll: closures in package-level declarations are checked too.
+var drainAll = func(s *source, ids []PageID) int {
+	total := 0
+	for _, id := range ids { // want `without a context check`
+		total += len(s.ReadPage(id))
+	}
+	return total
+}
+
+// uncheckedLoop scans pages with no cancellation point.
+func uncheckedLoop(s *source, ids []PageID) int {
+	total := 0
+	for _, id := range ids { // want `without a context check`
+		total += len(s.ReadPage(id))
+	}
+	return total
+}
+
+// closureLoop: a loop inside a function literal is charged to that literal.
+func closureLoop(s *source, ids []PageID) func() int {
+	return func() int {
+		total := 0
+		for _, id := range ids { // want `without a context check`
+			total += len(s.ReadPage(id))
+		}
+		return total
+	}
+}

@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/detorder"
+)
+
+func TestDetorderFixtures(t *testing.T) {
+	antest.Run(t, "testdata/det", detorder.Analyzer)
+}

@@ -1,0 +1,103 @@
+// Fixture for detorder: no map iteration on paths that reach emission.
+package detfix
+
+import "sort"
+
+type Hit struct{ ID int32 }
+
+// emitter invokes a hit visitor — a dynamic func(Hit) call, so every
+// function that can reach emitter is order-sensitive.
+func emitter(hits []Hit, visit func(Hit)) {
+	for _, h := range hits {
+		visit(h)
+	}
+}
+
+// idEmitter is the func(int32) visitor shape.
+func idEmitter(ids []int32, visit func(int32)) {
+	for _, id := range ids {
+		visit(id)
+	}
+}
+
+// Aggregate mimics the engine's stats sink by name.
+func Aggregate(stats []int) int {
+	t := 0
+	for _, s := range stats {
+		t += s
+	}
+	return t
+}
+
+// --- non-flagging cases ---
+
+// keysOf collects and sorts keys; it emits nothing, so ranging the map here
+// is the sanctioned way to make callers deterministic.
+func keysOf(byPage map[int][]Hit) []int {
+	keys := make([]int, 0, len(byPage))
+	for k := range byPage {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// goodDriver iterates the sorted key slice, not the map.
+func goodDriver(byPage map[int][]Hit, visit func(Hit)) {
+	for _, k := range keysOf(byPage) {
+		emitter(byPage[k], visit)
+	}
+}
+
+// tally never reaches emission; map order genuinely doesn't matter.
+func tally(counts map[string]int) int {
+	t := 0
+	for _, v := range counts {
+		t += v
+	}
+	return t
+}
+
+// frozenOrder documents a case where order provably cannot vary.
+func frozenOrder(byPage map[int][]Hit, visit func(Hit)) {
+	//lint:ignore detorder the map is built with exactly one entry two lines up
+	for _, hs := range byPage {
+		emitter(hs, visit)
+	}
+}
+
+// --- flagging cases ---
+
+// badDriver feeds the emitter straight out of map iteration.
+func badDriver(byPage map[int][]Hit, visit func(Hit)) {
+	for _, hs := range byPage { // want `range over map`
+		emitter(hs, visit)
+	}
+}
+
+// badIDDriver reaches emission through the func(int32) shape.
+func badIDDriver(byPage map[int][]int32, visit func(int32)) {
+	for _, ids := range byPage { // want `range over map`
+		idEmitter(ids, visit)
+	}
+}
+
+// statsMerge aggregates straight out of map iteration.
+func statsMerge(cells map[string]int) int {
+	t := 0
+	for _, v := range cells { // want `range over map`
+		t += v
+	}
+	return t + Aggregate(nil)
+}
+
+// transitive reaches emission two hops away.
+func transitive(byPage map[int][]Hit, visit func(Hit)) {
+	for _, hs := range byPage { // want `range over map`
+		relay(hs, visit)
+	}
+}
+
+func relay(hs []Hit, visit func(Hit)) {
+	emitter(hs, visit)
+}

@@ -1,0 +1,229 @@
+// Package hotpath checks functions annotated with a //neurospatial:hotpath
+// doc-comment directive for allocation-prone constructs. The annotated
+// functions are the zero-alloc contract of the engine — the Do paths gated
+// by TestDoHotPathAllocs — and this analyzer catches regressions at compile
+// time instead of waiting for the alloc gate:
+//
+//   - calls into fmt, reflect, or container/heap (boxing and reflection)
+//   - map literals and make(map...)
+//   - slice literals and make([]...) — hot-path buffers come from pools
+//   - append onto a slice declared `var s []T` (a non-pooled nil slice)
+//   - closures that capture variables (a non-capturing func literal is a
+//     static singleton and stays allowed; a deferred closure is open-coded
+//     by the compiler and also stays allowed)
+//   - explicit conversions of concrete values to interface types (boxing)
+//
+// Deliberate allocations — error construction on cold branches, the
+// cancellation wrapper — belong outside annotated functions or under a
+// //lint:ignore hotpath directive naming the reason.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"neurospatial/internal/analysis"
+)
+
+// Directive marks a function as part of the zero-alloc hot path.
+const Directive = "//neurospatial:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated " + Directive + " must avoid allocation-prone constructs " +
+		"(fmt/reflect/heap calls, map and slice literals, non-pooled appends, capturing closures, interface boxing)",
+	Run: run,
+}
+
+// Annotated reports whether a function declaration carries the directive.
+func Annotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !Annotated(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	nilSlices := nilSliceVars(pass, fn.Body)
+	deferred := map[*ast.FuncLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		case *ast.FuncLit:
+			if !deferred[n] {
+				if obj := capturedVar(pass, n); obj != nil {
+					pass.Reportf(n.Pos(), "closure captures %q and allocates per call in hotpath function %s",
+						obj.Name(), fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			t, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				break
+			}
+			switch t.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hotpath function %s", fn.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hotpath function %s", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fn, n, nilSlices)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, nilSlices map[types.Object]bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			if len(call.Args) > 0 {
+				if t, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+					switch t.Type.Underlying().(type) {
+					case *types.Map:
+						pass.Reportf(call.Pos(), "make(map) allocates in hotpath function %s", fn.Name.Name)
+					case *types.Slice:
+						pass.Reportf(call.Pos(), "make(slice) allocates in hotpath function %s; use pooled scratch", fn.Name.Name)
+					}
+				}
+			}
+		case "append":
+			if len(call.Args) > 0 {
+				if id, ok := call.Args[0].(*ast.Ident); ok && nilSlices[pass.TypesInfo.Uses[id]] {
+					pass.Reportf(call.Pos(),
+						"append onto non-pooled nil slice %q grows on the heap in hotpath function %s",
+						id.Name, fn.Name.Name)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkgID, ok := fun.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok {
+				switch pkgName.Imported().Path() {
+				case "fmt", "reflect", "container/heap":
+					pass.Reportf(call.Pos(), "call to %s.%s allocates in hotpath function %s",
+						pkgName.Imported().Path(), fun.Sel.Name, fn.Name.Name)
+				}
+			}
+		}
+	}
+	// Explicit conversion of a concrete value to an interface type boxes it.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+			if at, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+				if _, argIface := at.Type.Underlying().(*types.Interface); !argIface {
+					pass.Reportf(call.Pos(), "conversion to interface type boxes the value in hotpath function %s",
+						fn.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// capturedVar returns a variable the literal captures from its enclosing
+// function, or nil. Package-level variables and the literal's own locals
+// don't count: only enclosing-function locals force a heap closure.
+func capturedVar(pass *analysis.Pass, lit *ast.FuncLit) types.Object {
+	var captured types.Object
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() != pass.Pkg {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v
+		}
+		return true
+	})
+	return captured
+}
+
+// nilSliceVars collects objects declared `var s []T` with no initializer
+// that are never re-seeded by a non-append assignment: appends onto those
+// always grow fresh heap backing.
+func nilSliceVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gen, ok := decl.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Drop vars re-seeded from elsewhere (s = *box and friends).
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !out[pass.TypesInfo.Uses[id]] {
+				continue
+			}
+			if i < len(as.Rhs) {
+				if c, ok := as.Rhs[i].(*ast.CallExpr); ok {
+					if fid, ok := c.Fun.(*ast.Ident); ok && fid.Name == "append" {
+						continue // s = append(s, ...) keeps it a candidate
+					}
+				}
+			}
+			delete(out, pass.TypesInfo.Uses[id])
+		}
+		return true
+	})
+	return out
+}

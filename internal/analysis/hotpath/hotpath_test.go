@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/hotpath"
+)
+
+func TestHotpathFixtures(t *testing.T) {
+	antest.Run(t, "testdata/hot", hotpath.Analyzer)
+}

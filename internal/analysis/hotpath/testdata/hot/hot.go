@@ -1,0 +1,125 @@
+// Fixture for hotpath: allocation-prone constructs in annotated functions.
+package hotfix
+
+import (
+	"fmt"
+	"sync"
+)
+
+type Hit struct{ ID int32 }
+
+var bufPool = sync.Pool{New: func() any { b := make([]int32, 0, 64); return &b }}
+
+// --- non-flagging cases ---
+
+// fastPath sticks to pooled scratch and builtins: clean.
+//
+//neurospatial:hotpath
+func fastPath(xs []int32) int32 {
+	box := bufPool.Get().(*[]int32)
+	buf := (*box)[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	var total int32
+	for _, x := range buf {
+		total += x
+	}
+	*box = buf
+	bufPool.Put(box)
+	return total
+}
+
+// staticClosure uses a non-capturing literal: a compile-time singleton.
+//
+//neurospatial:hotpath
+func staticClosure(xs []int32) {
+	visit := func(x int32) {}
+	for _, x := range xs {
+		visit(x)
+	}
+}
+
+// deferredCapture captures in a deferred closure, which the compiler
+// open-codes without a heap allocation.
+//
+//neurospatial:hotpath
+func deferredCapture(xs []int32) int32 {
+	box := bufPool.Get().(*[]int32)
+	defer func() { bufPool.Put(box) }()
+	var total int32
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// slowPathUnannotated may allocate freely.
+func slowPathUnannotated() string {
+	m := map[string]int{"a": 1}
+	s := []int{1, 2, 3}
+	return fmt.Sprint(m, s)
+}
+
+// ignoredAlloc documents a deliberate caller-owned output buffer.
+//
+//neurospatial:hotpath
+func ignoredAlloc(n int) []int32 {
+	//lint:ignore hotpath the result buffer is the output, owned by the caller
+	out := make([]int32, n)
+	return out
+}
+
+// --- flagging cases ---
+
+//neurospatial:hotpath
+func fmtInHotpath(h Hit) string {
+	return fmt.Sprintf("%d", h.ID) // want `fmt\.Sprintf`
+}
+
+//neurospatial:hotpath
+func mapLiteral() int {
+	m := map[int]int{1: 2} // want `map literal`
+	return len(m)
+}
+
+//neurospatial:hotpath
+func makeMap() map[int]int {
+	return make(map[int]int) // want `make\(map\)`
+}
+
+//neurospatial:hotpath
+func makeSlice(n int) int {
+	s := make([]int32, n) // want `make\(slice\)`
+	return len(s)
+}
+
+//neurospatial:hotpath
+func sliceLiteral() int {
+	s := []int32{1, 2, 3} // want `slice literal`
+	return len(s)
+}
+
+//neurospatial:hotpath
+func capturingClosure(xs []int32) int32 {
+	var total int32
+	add := func(x int32) { total += x } // want `captures "total"`
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+//neurospatial:hotpath
+func nilAppend(xs []int32) []Hit {
+	var hits []Hit
+	for _, x := range xs {
+		hits = append(hits, Hit{ID: x}) // want `non-pooled nil slice`
+	}
+	return hits
+}
+
+//neurospatial:hotpath
+func boxing(h Hit) any {
+	return any(h) // want `boxes`
+}

@@ -1,0 +1,138 @@
+// Package nodeprecated keeps internal packages off the deprecated legacy
+// query surface. Two detection mechanisms compose:
+//
+//  1. Generic: any function or interface method whose doc comment carries a
+//     "Deprecated:" marker, declared in the analyzed package, must not be
+//     called from a non-deprecated function in that package (deprecated
+//     wrappers may call each other — that's how the shims are layered).
+//  2. Engine-specific: calls from other packages to the engine's deprecated
+//     Query/BatchQuery wrappers (package neurospatial/internal/engine),
+//     which predate Do/Session and bypass stats, cancellation, and paging.
+//
+// Regression tests deliberately exercise the wrappers; they are exempt both
+// structurally (the loader feeds analyzers non-test files only) and by file
+// pattern, for fixture runs that include _test.go-suffixed files.
+package nodeprecated
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"neurospatial/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc:  "no calls to Deprecated: functions or the engine's legacy Query/BatchQuery wrappers from non-deprecated code",
+	Run:  run,
+}
+
+const enginePath = "neurospatial/internal/engine"
+
+func run(pass *analysis.Pass) error {
+	deprecated := collectDeprecated(pass)
+
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // regression tests may pin deprecated behavior
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isDeprecatedDoc(fn.Doc) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := callee(pass, call)
+				if callee == nil {
+					return true
+				}
+				switch {
+				case deprecated[callee]:
+					pass.Reportf(call.Pos(), "call to deprecated %s from %s; use the Do/Session surface",
+						callee.Name(), fn.Name.Name)
+				case isEngineLegacy(callee) && callee.Pkg() != pass.Pkg:
+					pass.Reportf(call.Pos(), "call to deprecated engine.%s wrapper from %s; use Do/Session",
+						callee.Name(), fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectDeprecated gathers this package's Deprecated: functions, methods,
+// and interface methods as type objects.
+func collectDeprecated(pass *analysis.Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if isDeprecatedDoc(n.Doc) {
+					if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+						out[fn] = true
+					}
+				}
+			case *ast.InterfaceType:
+				for _, field := range n.Methods.List {
+					if isDeprecatedDoc(field.Doc) {
+						for _, name := range field.Names {
+							if fn, ok := pass.TypesInfo.Defs[name].(*types.Func); ok {
+								out[fn] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isDeprecatedDoc follows the godoc convention: the marker is a paragraph
+// (here: any line) beginning "Deprecated:", not the phrase in passing.
+func isDeprecatedDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// isEngineLegacy matches the engine package's legacy wrapper methods.
+func isEngineLegacy(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != enginePath {
+		return false
+	}
+	if fn.Name() != "Query" && fn.Name() != "BatchQuery" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

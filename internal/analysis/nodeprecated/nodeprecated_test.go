@@ -1,0 +1,12 @@
+package nodeprecated_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/nodeprecated"
+)
+
+func TestNodeprecatedFixtures(t *testing.T) {
+	antest.Run(t, "testdata/depr", nodeprecated.Analyzer)
+}

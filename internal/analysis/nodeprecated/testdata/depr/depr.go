@@ -1,0 +1,61 @@
+// Fixture for nodeprecated: calls to Deprecated: surfaces.
+package deprfix
+
+type Index struct{}
+
+// Query is the legacy surface.
+//
+// Deprecated: use Do.
+func (ix *Index) Query(q int, visit func(int32)) {}
+
+// BatchQuery fans Query out; deprecated wrappers may layer on each other.
+//
+// Deprecated: use Do.
+func (ix *Index) BatchQuery(qs []int, visit func(int, int32)) {
+	for i := range qs {
+		i := i
+		ix.Query(qs[i], func(id int32) { visit(i, id) })
+	}
+}
+
+// Do is the modern surface.
+func (ix *Index) Do(q int, visit func(int32)) {}
+
+// Searcher is the interface form of the same split.
+type Searcher interface {
+	// Deprecated: use Do.
+	Query(q int, visit func(int32))
+	Do(q int, visit func(int32))
+}
+
+// --- non-flagging cases ---
+
+func goodCaller(ix *Index) {
+	ix.Do(1, func(id int32) {})
+}
+
+// shim is itself deprecated; its body is exempt so shims can layer.
+//
+// Deprecated: kept for the migration window.
+func shim(ix *Index) {
+	ix.Query(2, func(id int32) {})
+}
+
+func ignoredCaller(ix *Index) {
+	//lint:ignore nodeprecated pinned legacy behavior for the migration suite
+	ix.Query(3, func(id int32) {})
+}
+
+// --- flagging cases ---
+
+func badCaller(ix *Index) {
+	ix.Query(1, func(id int32) {}) // want `deprecated Query`
+}
+
+func badBatchCaller(ix *Index) {
+	ix.BatchQuery(nil, func(i int, id int32) {}) // want `deprecated BatchQuery`
+}
+
+func badIfaceCaller(s Searcher) {
+	s.Query(1, func(id int32) {}) // want `deprecated Query`
+}

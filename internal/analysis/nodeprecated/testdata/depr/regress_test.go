@@ -1,0 +1,8 @@
+// Regression tests are exempt by the _test.go file pattern: they exist to
+// pin the deprecated wrappers' behavior until the surface is deleted.
+package deprfix
+
+func regressionPin(ix *Index) {
+	ix.Query(9, func(id int32) {})
+	ix.BatchQuery(nil, func(i int, id int32) {})
+}

@@ -1,0 +1,446 @@
+// Package poolcheck verifies the repo's pooled-scratch discipline: every
+// value acquired from a sync.Pool — directly via Pool.Get or through a
+// package-local get* helper — must be released (Pool.Put or a put* helper)
+// on every path out of the acquiring function.
+//
+// The check is flow-sensitive over the intra-procedural CFG. From each
+// acquire it walks all paths; a path is satisfied when it hits a release, a
+// `defer` of a release (which covers every later exit, including panics),
+// or an ownership transfer: returning the value, capturing it in a closure,
+// storing it in a composite literal or struct field, or passing it to a
+// non-release function. A path that reaches a return, panic, or the end of
+// the function while still holding the value is a leak, reported at the
+// acquire site.
+//
+// Acquire expressions that are never bound to a variable — used directly
+// inside a composite literal or call — transfer ownership at birth and are
+// skipped; an acquire whose result is discarded outright is always a leak.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"neurospatial/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "pooled scratch (sync.Pool.Get / get* helpers) must be released on every exit path; " +
+		"release with Put / a put* helper, defer the release, or transfer ownership",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body. Nested function literals are handled
+// by their own checkFunc call: the CFG flattens only the outer statement
+// list, so an acquire inside a closure is invisible here.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := analysis.BuildCFG(body)
+	if g.Unsupported {
+		return // goto or unresolved branch: don't guess
+	}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			call, names := acquireIn(pass, n)
+			if call == nil {
+				continue
+			}
+			if len(names) == 0 {
+				pass.Reportf(call.Pos(), "result of %s is discarded; the pooled value leaks", callName(call))
+				continue
+			}
+			objs := map[types.Object]bool{}
+			for _, id := range names {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					objs[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					objs[obj] = true
+				}
+			}
+			if len(objs) == 0 {
+				continue
+			}
+			track(pass, g, b, i, call, objs)
+		}
+	}
+}
+
+// acquireIn recognizes statements of the form `v := acquire()` (any mix of
+// = / := and multi-value acquires) and bare `acquire()` expression
+// statements. It returns the acquire call and the bound identifiers; a bare
+// or all-blank binding returns no identifiers, which the caller reports.
+// Acquires nested deeper in an expression transfer ownership and are skipped.
+func acquireIn(pass *analysis.Pass, n ast.Node) (*ast.CallExpr, []*ast.Ident) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return nil, nil
+		}
+		call := acquireCall(pass, s.Rhs[0])
+		if call == nil {
+			return nil, nil
+		}
+		var ids []*ast.Ident
+		for _, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				return nil, nil // stored into a field/element: ownership transferred
+			}
+			if id.Name != "_" {
+				ids = append(ids, id)
+			}
+		}
+		return call, ids
+	case *ast.ExprStmt:
+		return acquireCall(pass, s.X), nil
+	}
+	return nil, nil
+}
+
+// acquireCall unwraps parens/type assertions and reports whether the
+// expression is an acquire call.
+func acquireCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.TypeAssertExpr:
+			e = t.X
+		default:
+			call, ok := e.(*ast.CallExpr)
+			if !ok || !isAcquire(pass, call) {
+				return nil
+			}
+			return call
+		}
+	}
+}
+
+// isAcquire: sync.Pool.Get, or a same-package function/method named get*.
+func isAcquire(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+		if t, ok := pass.TypesInfo.Types[sel.X]; ok && isSyncPool(t.Type) {
+			return true
+		}
+	}
+	return isPoolHelper(pass, call, "get")
+}
+
+// isRelease: sync.Pool.Put, or a same-package function/method named put*.
+func isRelease(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" {
+		if t, ok := pass.TypesInfo.Types[sel.X]; ok && isSyncPool(t.Type) {
+			return true
+		}
+	}
+	return isPoolHelper(pass, call, "put")
+}
+
+// isPoolHelper reports whether call targets a function in the analyzed
+// package whose name starts with prefix followed by an upper-case letter —
+// the repo's getIDCollector/putIDCollector naming convention.
+func isPoolHelper(pass *analysis.Pass, call *ast.CallExpr, prefix string) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	name := id.Name
+	if !strings.HasPrefix(name, prefix) || len(name) == len(prefix) {
+		return false
+	}
+	if c := name[len(prefix)]; c < 'A' || c > 'Z' {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && fn.Pkg() == pass.Pkg
+}
+
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "pool acquire"
+}
+
+// use classification for one statement with respect to the tracked objects.
+type useKind int
+
+const (
+	useNone    useKind = iota // statement doesn't touch the value
+	useRead                   // touches it harmlessly (v.f, v[i], *v, append)
+	useRelease                // releases it
+	useEscape                 // transfers ownership
+	useLeakRet                // a return/exit not mentioning the value
+)
+
+// track walks all paths from the statement after the acquire and reports the
+// first path that exits while still holding the value.
+func track(pass *analysis.Pass, g *analysis.CFG, b *analysis.Block, idx int, call *ast.CallExpr, objs map[types.Object]bool) {
+	visited := map[*analysis.Block]bool{}
+	var walk func(blk *analysis.Block, start int) bool // true = leak reported
+	walk = func(blk *analysis.Block, start int) bool {
+		for i := start; i < len(blk.Nodes); i++ {
+			switch classify(pass, blk.Nodes[i], objs) {
+			case useRelease, useEscape:
+				return false // this path is settled
+			case useLeakRet:
+				pass.Reportf(call.Pos(),
+					"%s result is not released on every path: leaks at the exit on line %d "+
+						"(release it, defer the release, or transfer ownership)",
+					callName(call), pass.Fset.Position(blk.Nodes[i].Pos()).Line)
+				return true
+			}
+		}
+		if len(blk.Succs) == 0 {
+			pass.Reportf(call.Pos(),
+				"%s result is not released on every path: function can end on line %d still holding it",
+				callName(call), pass.Fset.Position(endPos(blk, call).Pos()).Line)
+			return true
+		}
+		for _, s := range blk.Succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(b, idx+1)
+}
+
+// endPos picks a position representing a block's exit for the leak message.
+func endPos(blk *analysis.Block, fallback ast.Node) ast.Node {
+	if len(blk.Nodes) > 0 {
+		return blk.Nodes[len(blk.Nodes)-1]
+	}
+	return fallback
+}
+
+// classify inspects one CFG node for the tracked objects.
+func classify(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool) useKind {
+	// A return or panic that doesn't mention the value exits while holding it.
+	exit := false
+	switch s := n.(type) {
+	case *ast.ReturnStmt:
+		exit = true
+	case *ast.ExprStmt:
+		if c, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				exit = true
+			}
+		}
+	}
+
+	k := scan(pass, n, objs, false)
+	if k == useNone && exit {
+		return useLeakRet
+	}
+	if k == useEscape && exit {
+		return useEscape // e.g. `return v`: ownership moves to the caller
+	}
+	return k
+}
+
+// scan recursively classifies ident uses under n. inFuncLit marks that we
+// are inside a closure: any mention there is a capture, i.e. an escape —
+// except the defer'd-release closure, which the DeferStmt case handles.
+func scan(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool, inFuncLit bool) useKind {
+	result := useNone
+	upgrade := func(k useKind) {
+		if k > result && result != useRelease { // release wins over escape
+			result = k
+		}
+		if k == useRelease {
+			result = useRelease
+		}
+	}
+
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		if isRelease(pass, s.Call) && mentions(pass, s.Call, objs) {
+			return useRelease
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// defer func() { ...; pool.Put(v) }(): scan the closure body for a
+			// release of the tracked value.
+			found := useNone
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok && isRelease(pass, c) && mentions(pass, c, objs) {
+					found = useRelease
+					return false
+				}
+				return true
+			})
+			if found == useRelease {
+				return useRelease
+			}
+		}
+		if mentions(pass, s.Call, objs) {
+			return useEscape // deferred into unknown code: assume it takes over
+		}
+		return useNone
+	case *ast.FuncLit:
+		if mentions(pass, s, objs) {
+			return useEscape // captured by a closure
+		}
+		return useNone
+	case *ast.ReturnStmt:
+		if mentions(pass, s, objs) {
+			return useEscape
+		}
+		return useNone
+	case *ast.CallExpr:
+		if isRelease(pass, s) && mentions(pass, s, objs) {
+			return useRelease
+		}
+		if id, ok := s.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "len", "cap", "copy", "delete", "clear":
+				// Reads through the value, not a transfer.
+				for _, a := range s.Args {
+					upgrade(scan(pass, a, objs, inFuncLit))
+				}
+				return result
+			case "append":
+				// append(v, ...): the base slice is a read; tracked values
+				// appended INTO a slice escape into it.
+				upgrade(scan(pass, s.Args[0], objs, inFuncLit))
+				for _, a := range s.Args[1:] {
+					if id, ok := a.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
+						upgrade(useEscape)
+					} else {
+						upgrade(scan(pass, a, objs, inFuncLit))
+					}
+				}
+				return result
+			}
+		}
+		// Bare tracked ident as an argument of any other call: handed off.
+		for _, a := range s.Args {
+			if id, ok := a.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
+				upgrade(useEscape)
+			}
+		}
+		// Keep scanning nested expressions (args may contain closures, etc).
+		for _, a := range s.Args {
+			if _, ok := a.(*ast.Ident); ok {
+				continue
+			}
+			upgrade(scan(pass, a, objs, inFuncLit))
+		}
+		upgrade(scan(pass, s.Fun, objs, inFuncLit))
+		return result
+	case *ast.AssignStmt:
+		// Tracked ident used as an RHS value (not inside a call we already
+		// classified): aliasing, treat as escape. LHS mentions are either
+		// harmless writes through v (v.f = x, v[i] = x) or a rebind of v,
+		// which drops the held value — also conservatively an escape rather
+		// than a second kind of leak report.
+		for _, rhs := range s.Rhs {
+			if id, ok := rhs.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
+				upgrade(useEscape)
+			} else {
+				upgrade(scan(pass, rhs, objs, inFuncLit))
+			}
+		}
+		for _, lhs := range s.Lhs {
+			upgrade(scan(pass, lhs, objs, inFuncLit))
+		}
+		return result
+	case *ast.CompositeLit:
+		if mentions(pass, s, objs) {
+			return useEscape
+		}
+		return useNone
+	case *ast.SendStmt, *ast.GoStmt:
+		if mentions(pass, s, objs) {
+			return useEscape
+		}
+		return useNone
+	case *ast.UnaryExpr:
+		if s.Op.String() == "&" {
+			if id, ok := s.X.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
+				return useEscape // address taken
+			}
+		}
+	case *ast.Ident:
+		if objs[pass.TypesInfo.Uses[s]] {
+			if inFuncLit {
+				return useEscape
+			}
+			return useRead
+		}
+		return useNone
+	}
+
+	// Generic node: recurse over children.
+	done := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if done || m == nil || m == n {
+			return !done
+		}
+		switch m.(type) {
+		case *ast.DeferStmt, *ast.FuncLit, *ast.ReturnStmt, *ast.CallExpr,
+			*ast.AssignStmt, *ast.CompositeLit, *ast.SendStmt, *ast.GoStmt,
+			*ast.UnaryExpr, *ast.Ident:
+			k := scan(pass, m, objs, inFuncLit)
+			upgrade(k)
+			if result == useRelease {
+				done = true
+			}
+			return false // scan already recursed
+		}
+		return true
+	})
+	return result
+}
+
+// mentions reports whether any tracked ident occurs under n.
+func mentions(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

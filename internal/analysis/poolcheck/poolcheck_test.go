@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/poolcheck"
+)
+
+func TestPoolcheckFixtures(t *testing.T) {
+	antest.Run(t, "testdata/pool", poolcheck.Analyzer)
+}

@@ -1,0 +1,169 @@
+// Fixture for poolcheck: pooled-scratch acquire/release discipline.
+package poolfix
+
+import (
+	"errors"
+	"sync"
+)
+
+type scratch struct{ buf []int }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// getPair is a multi-value acquire helper, like parallel's getSegs.
+func getPair() (*scratch, []int) {
+	s := scratchPool.Get().(*scratch)
+	return s, s.buf
+}
+
+func putPair(s *scratch) { scratchPool.Put(s) }
+
+// --- non-flagging cases ---
+
+// deferRelease is the canonical pattern: defer right after the acquire
+// covers every exit, including panics.
+func deferRelease() int {
+	s := getScratch()
+	defer putScratch(s)
+	return len(s.buf)
+}
+
+// straightRelease releases without defer on the only path.
+func straightRelease() int {
+	s := getScratch()
+	n := len(s.buf)
+	putScratch(s)
+	return n
+}
+
+// deferredClosureRelease resets before returning to the pool inside a
+// deferred closure.
+func deferredClosureRelease() int {
+	s := scratchPool.Get().(*scratch)
+	defer func() {
+		s.buf = s.buf[:0]
+		scratchPool.Put(s)
+	}()
+	return len(s.buf)
+}
+
+// transferByReturn hands ownership to the caller.
+func transferByReturn() *scratch {
+	s := getScratch()
+	s.buf = s.buf[:0]
+	return s
+}
+
+// transferToSink hands ownership to another function.
+func transferToSink(sink func(*scratch)) {
+	s := getScratch()
+	sink(s)
+}
+
+// capturedByClosure transfers ownership into the returned closure.
+func capturedByClosure() func() {
+	s := getScratch()
+	return func() { putScratch(s) }
+}
+
+// loopRelease releases on both the break path and the fallthrough path.
+func loopRelease(n int) {
+	for i := 0; i < n; i++ {
+		s := getScratch()
+		if i == 3 {
+			putScratch(s)
+			break
+		}
+		putScratch(s)
+	}
+}
+
+// branchBothRelease releases on each branch of an if/else.
+func branchBothRelease(fail bool) error {
+	s := getScratch()
+	if fail {
+		putScratch(s)
+		return errors.New("boom")
+	}
+	putScratch(s)
+	return nil
+}
+
+// warmPool drops a value on purpose; the escape hatch names the reason.
+func warmPool() {
+	//lint:ignore poolcheck deliberately dropping one value to exercise pool refill
+	getScratch()
+}
+
+// leakIgnored documents a leak the analyzer would otherwise flag.
+func leakIgnored(fail bool) error {
+	//lint:ignore poolcheck ownership documented: test double released by caller
+	s := getScratch()
+	if fail {
+		return errors.New("boom")
+	}
+	putScratch(s)
+	return nil
+}
+
+// --- flagging cases ---
+
+// leakOnError releases on the happy path only.
+func leakOnError(fail bool) error {
+	s := getScratch() // want `not released on every path`
+	if fail {
+		return errors.New("boom")
+	}
+	putScratch(s)
+	return nil
+}
+
+// directPool leaks a raw sync.Pool value the same way.
+func directPool(fail bool) error {
+	s := scratchPool.Get().(*scratch) // want `not released on every path`
+	if fail {
+		return errors.New("boom")
+	}
+	scratchPool.Put(s)
+	return nil
+}
+
+// discarded never binds the acquired value at all.
+func discarded() {
+	getScratch() // want `discarded`
+}
+
+// leakOnPanic exits through panic while holding the value.
+func leakOnPanic(bad bool) {
+	s := getScratch() // want `not released on every path`
+	if bad {
+		panic("bad input")
+	}
+	putScratch(s)
+}
+
+// switchLeak misses the release in one case arm.
+func switchLeak(mode int) {
+	s := getScratch() // want `not released on every path`
+	switch mode {
+	case 0:
+		putScratch(s)
+	case 1:
+		// missing release
+	default:
+		putScratch(s)
+	}
+}
+
+// multiValueLeak tracks every binding of a multi-value acquire.
+func multiValueLeak(fail bool) error {
+	box, buf := getPair() // want `not released on every path`
+	if len(buf) == 0 && fail {
+		return errors.New("empty")
+	}
+	putPair(box)
+	return nil
+}

@@ -56,11 +56,11 @@ func BenchmarkDoHotPath(b *testing.B) {
 }
 
 // TestDoHotPathAllocs asserts the zero-alloc cells stay at zero — every
-// Range/KNN/Point/WithinDistance execution on the flat and grid contenders —
-// and pins per-cell ceilings on the cells with irreducible allocations: the
-// rtree's per-query NodesPerLevel stats record (retained by the caller, so it
-// cannot be pooled) plus its KNN candidate set, and the sharded scatter's
-// per-shard gather state. The ceilings can only shrink.
+// Range/KNN/Point/WithinDistance execution on the flat, grid and (since the
+// per-level stats record became an inline array) rtree contenders — and pins
+// per-cell ceilings on the cells with irreducible allocations: the rtree
+// KNN candidate set and the sharded scatter's per-shard gather state. The
+// ceilings can only shrink.
 func TestDoHotPathAllocs(t *testing.T) {
 	if race.Enabled {
 		t.Skip("race instrumentation allocates; alloc gate runs in uninstrumented builds")
@@ -72,14 +72,11 @@ func TestDoHotPathAllocs(t *testing.T) {
 	sink := func(engine.Hit) {}
 	// ceilings["name/kind"] is the per-op allocation budget; absent means 0.
 	ceilings := map[string]float64{
-		"rtree/range":    3,
-		"rtree/knn":      12,
-		"rtree/point":    3,
-		"rtree/within":   3,
-		"sharded/range":  24,
-		"sharded/knn":    8,
-		"sharded/point":  8,
-		"sharded/within": 22,
+		"rtree/knn":      9,
+		"sharded/range":  19,
+		"sharded/knn":    5,
+		"sharded/point":  6,
+		"sharded/within": 18,
 	}
 	for _, ix := range indexes {
 		for _, req := range hotPathRequests(vol) {

@@ -82,9 +82,41 @@ type QueryStats struct {
 	// batch stats count exactly the consultations made.
 	PlanCacheHits   int64
 	PlanCacheMisses int64
-	// NodesPerLevel is the R-tree's per-level node-access breakdown
-	// (leaves first; nil for other indexes).
-	NodesPerLevel []int64
+	// LevelNodes / Levels are the R-tree's per-level node-access breakdown
+	// (leaves first; Levels == 0 for other indexes): LevelNodes[l] counts
+	// node accesses at level l, Levels is the number of meaningful entries.
+	// An inline array rather than a slice so a stats record never allocates;
+	// NodesPerLevel renders the display form.
+	LevelNodes [MaxLevels]int64
+	Levels     int
+}
+
+// MaxLevels bounds the per-level breakdown, matching the rtree record so the
+// native array copies straight across.
+const MaxLevels = rtree.MaxLevels
+
+// NodesPerLevel renders the per-level breakdown (leaves first) as a freshly
+// allocated slice, nil when no R-tree nodes were accessed — the display
+// form. Hot paths read LevelNodes[:Levels] in place instead.
+func (s QueryStats) NodesPerLevel() []int64 {
+	if s.Levels == 0 {
+		return nil
+	}
+	out := make([]int64, s.Levels)
+	copy(out, s.LevelNodes[:s.Levels])
+	return out
+}
+
+// addNode records one node access at level — the allocation-free bump the
+// streaming descent shares with the rtree-native record.
+func (s *QueryStats) addNode(level int) {
+	if level >= MaxLevels {
+		level = MaxLevels - 1
+	}
+	s.LevelNodes[level]++
+	if level+1 > s.Levels {
+		s.Levels = level + 1
+	}
 }
 
 // TotalReads returns index reads plus page reads — the total access count
@@ -97,21 +129,14 @@ func (s QueryStats) Cost() float64 {
 	return float64(s.PagesRead) + float64(s.IndexReads)/8
 }
 
-// Aggregate sums per-query statistics into batch totals; NodesPerLevel is
-// summed element-wise. The level slice is sized once to the deepest input
-// (one pass up front), not grown record by record: the per-record grow loop
-// was O(levels) appends for every record of a large batch.
+// Aggregate sums per-query statistics into batch totals; the per-level
+// breakdown is summed element-wise. Allocation-free: the level counters are
+// inline arrays on both sides, so aggregating a batch performs no heap work
+// at all (the former []int64 form allocated the output slice).
+//
+//neurospatial:hotpath
 func Aggregate(sts []QueryStats) QueryStats {
 	var out QueryStats
-	levels := 0
-	for i := range sts {
-		if l := len(sts[i].NodesPerLevel); l > levels {
-			levels = l
-		}
-	}
-	if levels > 0 {
-		out.NodesPerLevel = make([]int64, levels)
-	}
 	for i := range sts {
 		out.IndexReads += sts[i].IndexReads
 		out.PagesRead += sts[i].PagesRead
@@ -123,8 +148,11 @@ func Aggregate(sts []QueryStats) QueryStats {
 		out.Tombstones += sts[i].Tombstones
 		out.PlanCacheHits += sts[i].PlanCacheHits
 		out.PlanCacheMisses += sts[i].PlanCacheMisses
-		for l, c := range sts[i].NodesPerLevel {
-			out.NodesPerLevel[l] += c
+		for l, c := range sts[i].LevelNodes[:sts[i].Levels] {
+			out.LevelNodes[l] += c
+		}
+		if sts[i].Levels > out.Levels {
+			out.Levels = sts[i].Levels
 		}
 	}
 	return out

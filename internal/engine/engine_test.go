@@ -174,7 +174,7 @@ func TestEngineMatchesDirectCalls(t *testing.T) {
 				t.Fatalf("query %d: hit sequence diverged from direct call", qi)
 			}
 			if es.PagesRead != ds.NodeAccesses() || es.EntriesTested != ds.EntriesTested ||
-				es.Results != ds.Results || !reflect.DeepEqual(es.NodesPerLevel, ds.NodesPerLevel) {
+				es.Results != ds.Results || !reflect.DeepEqual(es.NodesPerLevel(), ds.NodesPerLevel()) {
 				t.Errorf("query %d: engine stats %+v, direct %+v", qi, es, ds)
 			}
 		}

@@ -90,6 +90,8 @@ func catchCancel(fn func()) (err error) {
 
 // emitIDHits sorts ids ascending in place and emits them as zero-distance
 // hits — the canonical order of the boolean kinds (Range, Point).
+//
+//neurospatial:hotpath
 func emitIDHits(ids []int32, visit func(Hit)) {
 	slices.Sort(ids)
 	for _, id := range ids {
@@ -101,6 +103,8 @@ func emitIDHits(ids []int32, visit func(Hit)) {
 // Dist2Point sphere test, and emits the surviving hits with their distances —
 // the shared refinement of every WithinDistance implementation. It returns
 // the number of hits emitted and the number of exact tests performed.
+//
+//neurospatial:hotpath
 func withinRefine(ids []int32, boxOf func(int32) geom.AABB, center geom.Vec,
 	radius float64, visit func(Hit)) (results, tested int64) {
 
@@ -149,6 +153,8 @@ func (a *knnAcc) Bound() float64 {
 }
 
 // Offer considers one candidate.
+//
+//neurospatial:hotpath
 func (a *knnAcc) Offer(h Hit) {
 	if len(a.h) < a.k {
 		a.h = append(a.h, h)
@@ -224,6 +230,8 @@ func cmpHitID(x, y Hit) int {
 // ascending ID). The accumulator must not be offered to afterwards; when the
 // accumulator is pooled, callers must copy the hits out (visit emits by
 // value) before releasing it.
+//
+//neurospatial:hotpath
 func (a *knnAcc) Hits() []Hit {
 	slices.SortFunc(a.h, cmpHit)
 	return a.h

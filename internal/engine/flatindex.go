@@ -142,12 +142,15 @@ func (f *Flat) srcOrStore() pager.PageSource {
 // path skips the catchCancel/ctxSource machinery entirely — no panic is
 // possible without a ctx-wrapped source, and the skipped closure is itself a
 // per-call allocation the zero-alloc path cannot afford.
+//
+//neurospatial:hotpath
 func (f *Flat) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (QueryStats, error) {
 	if !cancelable(ctx) {
 		return fromFlat(f.idx.QueryVia(q, f.srcOrStore(), col.visit)), nil
 	}
 	src := &ctxSource{ctx: ctx, src: f.srcOrStore()}
 	var st QueryStats
+	//lint:ignore hotpath the catchCancel closure is the cancelable path's one per-call allocation; the background path above skips it
 	err := catchCancel(func() {
 		st = fromFlat(f.idx.QueryVia(q, src, col.visit))
 	})
@@ -165,6 +168,8 @@ func (f *Flat) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (Que
 // evaluations are the RAM-resident IndexReads of the record), pages are read
 // through the configured source nearest-first, and the scan stops as soon as
 // the next page's lower bound exceeds the current k-th distance.
+//
+//neurospatial:hotpath
 func (f *Flat) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
 	if err := req.Validate(); err != nil {
 		return QueryStats{}, err
@@ -214,6 +219,8 @@ func (f *Flat) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats
 
 // doKNN is the FLAT k-nearest-neighbors execution. The order buffer and the
 // top-k accumulator are pooled; hits are emitted by value before release.
+//
+//neurospatial:hotpath
 func (f *Flat) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit)) (QueryStats, error) {
 	var st QueryStats
 	np := f.idx.NumPages()
@@ -250,15 +257,20 @@ func (f *Flat) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit
 	return st, nil
 }
 
-// Query implements SpatialIndex, reading data pages through the configured
-// source (cold store reads by default).
-//
-// Deprecated: route new call sites through Session.Do with a Range request.
-func (f *Flat) Query(q geom.AABB, visit func(int32)) QueryStats {
+// queryNative implements nativeQuerier: one range query reading data pages
+// through the configured source (cold store reads by default).
+func (f *Flat) queryNative(q geom.AABB, visit func(int32)) QueryStats {
 	if f.idx == nil {
 		return QueryStats{}
 	}
 	return fromFlat(f.idx.QueryVia(q, f.src, visit))
+}
+
+// Query implements SpatialIndex.
+//
+// Deprecated: route new call sites through Session.Do with a Range request.
+func (f *Flat) Query(q geom.AABB, visit func(int32)) QueryStats {
+	return f.queryNative(q, visit)
 }
 
 // BatchQuery implements SpatialIndex via the shared deterministic executor.

@@ -169,6 +169,7 @@ var gridRangePool = sync.Pool{New: func() any {
 	s := &gridRangeScratch{}
 	s.cell = func(_ int, ids []int32) {
 		s.stats.IndexReads++
+		//lint:ignore ctxpage cancellation rides the ctxSource wrapper rangeIDs installs on cancelable contexts (ReadPage panics when canceled)
 		for _, id := range ids {
 			if pg := s.gx.pageOf[id]; s.seen[pg] != s.stamp {
 				s.seen[pg] = s.stamp
@@ -210,6 +211,7 @@ func putGridRange(s *gridRangeScratch) {
 	gridRangePool.Put(s)
 }
 
+//neurospatial:hotpath
 func (gx *Grid) queryVia(q geom.AABB, src pager.PageSource, emit func(int32)) QueryStats {
 	if gx.g == nil {
 		return QueryStats{}
@@ -264,12 +266,15 @@ func (gx *Grid) iterate(ctx context.Context, req Request, after *Hit) (HitIterat
 // collector, with cancellation checked at every data-page read. The caller
 // owns releasing col regardless of error; the background-context path skips
 // the catchCancel closure (itself a per-call allocation).
+//
+//neurospatial:hotpath
 func (gx *Grid) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (QueryStats, error) {
 	if !cancelable(ctx) {
 		return gx.queryVia(q, gx.source(), col.visit), nil
 	}
 	src := &ctxSource{ctx: ctx, src: gx.source()}
 	var st QueryStats
+	//lint:ignore hotpath the catchCancel closure is the cancelable path's one per-call allocation; the background path above skips it
 	err := catchCancel(func() {
 		st = gx.queryVia(q, src, col.visit)
 	})
@@ -288,6 +293,8 @@ func (gx *Grid) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (Qu
 // nearest-first, their candidates read through the configured source (one
 // read per distinct page, as in the range path), and the scan stops when the
 // next cell's bound exceeds the current k-th distance.
+//
+//neurospatial:hotpath
 func (gx *Grid) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
 	if err := req.Validate(); err != nil {
 		return QueryStats{}, err
@@ -359,6 +366,8 @@ var cellBoundPool = sync.Pool{New: func() any { s := make([]cellBound, 0, 64); r
 
 // doKNN is the grid k-nearest-neighbors execution. The cell order, the
 // read-page set and the top-k accumulator are pooled.
+//
+//neurospatial:hotpath
 func (gx *Grid) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit)) (QueryStats, error) {
 	var st QueryStats
 	orderBuf := cellBoundPool.Get().(*[]cellBound)
@@ -403,11 +412,16 @@ func (gx *Grid) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hi
 	return st, nil
 }
 
+// queryNative implements nativeQuerier.
+func (gx *Grid) queryNative(q geom.AABB, visit func(int32)) QueryStats {
+	return gx.queryVia(q, gx.source(), visit)
+}
+
 // Query implements SpatialIndex.
 //
 // Deprecated: route new call sites through Session.Do with a Range request.
 func (gx *Grid) Query(q geom.AABB, visit func(int32)) QueryStats {
-	return gx.queryVia(q, gx.source(), visit)
+	return gx.queryNative(q, visit)
 }
 
 // BatchQuery implements SpatialIndex via the shared deterministic executor.

@@ -454,6 +454,7 @@ func (ps *pageStream) useCoords(c *pager.Coords, boxQ geom.AABB) {
 	ps.boxQ = boxQ
 }
 
+//neurospatial:hotpath
 func (ps *pageStream) Next() (Hit, bool) {
 	for {
 		if ps.err != nil {

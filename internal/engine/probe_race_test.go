@@ -42,9 +42,19 @@ func TestProbeVsQueryRace(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
-		// First KNN plan: probes the sharded index, toggling probeCold.
-		if _, err := sess.Do(ctx, engine.KNNRequest(geom.V(10, 10, 10), 5)); err != nil {
-			t.Error(err)
+		// First plans for the three unprofiled kinds: each probes the
+		// sharded index, toggling probeCold while the Range goroutine is
+		// mid-query. Three probes widen the toggle window enough that the
+		// race detector caught the unsynchronized bool reliably.
+		for _, req := range []engine.Request{
+			engine.KNNRequest(geom.V(10, 10, 10), 5),
+			engine.PointRequest(geom.V(25, 25, 25)),
+			engine.WithinDistanceRequest(geom.V(40, 40, 40), 15),
+		} {
+			if _, err := sess.Do(ctx, req); err != nil {
+				t.Error(err)
+				return
+			}
 		}
 	}()
 	wg.Wait()

@@ -89,8 +89,8 @@ func TestRTreeKNNNativeStats(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(st.NodesPerLevel, native.NodesPerLevel) {
-			t.Fatalf("k=%d: NodesPerLevel %v, native %v", k, st.NodesPerLevel, native.NodesPerLevel)
+		if !reflect.DeepEqual(st.NodesPerLevel(), native.NodesPerLevel()) {
+			t.Fatalf("k=%d: NodesPerLevel %v, native %v", k, st.NodesPerLevel(), native.NodesPerLevel())
 		}
 		if st.PagesRead != native.NodeAccesses() {
 			t.Fatalf("k=%d: PagesRead %d, native node accesses %d", k, st.PagesRead, native.NodeAccesses())
@@ -121,45 +121,49 @@ func TestRTreeKNNNativeStats(t *testing.T) {
 	}
 }
 
-// TestAggregateNodesPerLevel: the single-allocation Aggregate must sum
-// ragged per-level slices element-wise, exactly as the old grow loop did.
+// TestAggregateNodesPerLevel: the allocation-free Aggregate must sum ragged
+// per-level records element-wise, exactly as the old slice-grow loop did.
 func TestAggregateNodesPerLevel(t *testing.T) {
 	in := []engine.QueryStats{
-		{PagesRead: 1, NodesPerLevel: []int64{3, 2, 1}},
+		{PagesRead: 1, LevelNodes: [engine.MaxLevels]int64{3, 2, 1}, Levels: 3},
 		{PagesRead: 2},
-		{PagesRead: 4, NodesPerLevel: []int64{10}},
-		{PagesRead: 8, NodesPerLevel: []int64{1, 1, 1, 1, 1}},
+		{PagesRead: 4, LevelNodes: [engine.MaxLevels]int64{10}, Levels: 1},
+		{PagesRead: 8, LevelNodes: [engine.MaxLevels]int64{1, 1, 1, 1, 1}, Levels: 5},
 	}
 	got := engine.Aggregate(in)
 	if got.PagesRead != 15 {
 		t.Fatalf("PagesRead %d", got.PagesRead)
 	}
-	if want := []int64{14, 3, 2, 1, 1}; !reflect.DeepEqual(got.NodesPerLevel, want) {
-		t.Fatalf("NodesPerLevel %v, want %v", got.NodesPerLevel, want)
+	if want := []int64{14, 3, 2, 1, 1}; !reflect.DeepEqual(got.NodesPerLevel(), want) {
+		t.Fatalf("NodesPerLevel %v, want %v", got.NodesPerLevel(), want)
 	}
-	if agg := engine.Aggregate(nil); agg.NodesPerLevel != nil {
-		t.Fatalf("empty aggregate allocated NodesPerLevel %v", agg.NodesPerLevel)
+	if agg := engine.Aggregate(nil); agg.NodesPerLevel() != nil {
+		t.Fatalf("empty aggregate reported NodesPerLevel %v", agg.NodesPerLevel())
+	}
+	if allocs := testing.AllocsPerRun(20, func() { _ = engine.Aggregate(in) }); allocs != 0 {
+		t.Fatalf("Aggregate allocated %v times per run, want 0", allocs)
 	}
 }
 
 // BenchmarkAggregateNodesPerLevel measures Aggregate over a large batch of
-// deep per-level records — the case the per-record grow loop made O(levels)
-// appends per record.
+// deep per-level records — the case the original per-record grow loop made
+// O(levels) appends per record (and the later sized form one allocation).
 func BenchmarkAggregateNodesPerLevel(b *testing.B) {
 	const records, levels = 4096, 8
 	sts := make([]engine.QueryStats, records)
 	for i := range sts {
-		per := make([]int64, levels)
-		for l := range per {
-			per[l] = int64(i + l)
+		st := &sts[i]
+		st.PagesRead = int64(i)
+		st.Levels = levels
+		for l := 0; l < levels; l++ {
+			st.LevelNodes[l] = int64(i + l)
 		}
-		sts[i] = engine.QueryStats{PagesRead: int64(i), NodesPerLevel: per}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agg := engine.Aggregate(sts)
-		if len(agg.NodesPerLevel) != levels {
+		if agg.Levels != levels {
 			b.Fatal("bad aggregate")
 		}
 	}

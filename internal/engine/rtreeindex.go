@@ -178,7 +178,8 @@ func fromRTree(s rtree.QueryStats) QueryStats {
 		PagesRead:     s.NodeAccesses(),
 		EntriesTested: s.EntriesTested,
 		Results:       s.Results,
-		NodesPerLevel: s.NodesPerLevel,
+		LevelNodes:    s.LevelNodes,
+		Levels:        s.Levels,
 	}
 }
 
@@ -197,6 +198,8 @@ func (r *RTree) query(q geom.AABB, emit func(int32)) QueryStats {
 // context the descent reads node pages through the paged layout (the
 // traversal — and therefore the stats record — is identical to the unpaged
 // one), so cancellation is checked at every node-page read.
+//
+//neurospatial:hotpath
 func (r *RTree) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (QueryStats, error) {
 	if r.paged != nil && (r.src != nil || cancelable(ctx)) {
 		base := r.src
@@ -205,6 +208,7 @@ func (r *RTree) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (Qu
 		}
 		src := wrapCtxSource(ctx, base)
 		var st QueryStats
+		//lint:ignore hotpath the catchCancel closure is the cancelable path's one per-call allocation; the unpaged path below skips it
 		err := catchCancel(func() {
 			st = fromRTree(r.paged.QueryVia(q, src, col.visitItem))
 		})
@@ -228,6 +232,8 @@ func (r *RTree) rangeIDs(ctx context.Context, q geom.AABB, col *idCollector) (Qu
 // coordinates, so the first probe almost always suffices); the record is the
 // widest search executed. Cancellation is checked between native calls (the
 // KNN traversal is RAM-resident — it performs no page reads to check at).
+//
+//neurospatial:hotpath
 func (r *RTree) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
 	if err := req.Validate(); err != nil {
 		return QueryStats{}, err
@@ -276,6 +282,8 @@ func (r *RTree) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStat
 }
 
 // doKNN wraps rtree.Tree.KNN with the canonical tie resolution.
+//
+//neurospatial:hotpath
 func (r *RTree) doKNN(ctx context.Context, center geom.Vec, k int, visit func(Hit)) (QueryStats, error) {
 	size := r.tree.Size()
 	// Probe one past k: when the (k+1)-st distance strictly exceeds the k-th,
@@ -380,6 +388,7 @@ type rtreeStream struct {
 	err         error
 }
 
+//neurospatial:hotpath
 func (s *rtreeStream) Next() (Hit, bool) {
 	for {
 		if s.err != nil {
@@ -402,10 +411,7 @@ func (s *rtreeStream) Next() (Hit, bool) {
 		// one-node-per-page convention of the eager descent.
 		ids := s.src.ReadPage(n.page)
 		s.st.PagesRead++
-		for len(s.st.NodesPerLevel) <= n.level {
-			s.st.NodesPerLevel = append(s.st.NodesPerLevel, 0)
-		}
-		s.st.NodesPerLevel[n.level]++
+		s.st.addNode(n.level)
 		if n.leaf {
 			if s.boxKind {
 				base := s.r.coords.PageOffset(n.page)
@@ -527,12 +533,17 @@ func (h *nodeHeap) pop(r *RTree) int32 {
 	return top
 }
 
-// Query implements SpatialIndex, reading node pages through the configured
-// source when one is attached.
+// queryNative implements nativeQuerier, reading node pages through the
+// configured source when one is attached.
+func (r *RTree) queryNative(q geom.AABB, visit func(int32)) QueryStats {
+	return r.query(q, visit)
+}
+
+// Query implements SpatialIndex.
 //
 // Deprecated: route new call sites through Session.Do with a Range request.
 func (r *RTree) Query(q geom.AABB, visit func(int32)) QueryStats {
-	return r.query(q, visit)
+	return r.queryNative(q, visit)
 }
 
 // BatchQuery implements SpatialIndex via the shared deterministic executor.

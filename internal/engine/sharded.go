@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"neurospatial/internal/flat"
 	"neurospatial/internal/geom"
@@ -98,12 +99,15 @@ type Sharded struct {
 	// src is the externally attached global-space PageSource (SetSource).
 	src pager.PageSource
 	// probeCold routes reads around the per-shard pools (planner
-	// calibration must not warm or count against internal caches).
-	probeCold bool
+	// calibration must not warm or count against internal caches). Atomic
+	// because the query read path observes it without holding probeMu:
+	// queries may run concurrently with a planner probe toggling it.
+	probeCold atomic.Bool
 	// pqMu serializes PagedQuery's temporary source swap.
 	pqMu sync.Mutex
 	// probeMu is the per-instance probe-execution lock (see planner.go);
-	// it also guards probeCold toggles across planners sharing the instance.
+	// it serializes probe runs (and so probeCold toggles) across planners
+	// sharing the instance.
 	probeMu sync.Mutex
 }
 
@@ -246,7 +250,7 @@ func (ss *shardSource) ReadPage(p pager.PageID) []int32 {
 		src.ReadPage(sh.pageBase + p)
 		return sh.sub.Store().Page(p)
 	}
-	if sh.pool != nil && !ss.owner.probeCold {
+	if sh.pool != nil && !ss.owner.probeCold.Load() {
 		return sh.pool.Get(p)
 	}
 	return sh.sub.Store().Page(p)
@@ -256,7 +260,7 @@ func (ss *shardSource) ReadPage(p pager.PageID) []int32 {
 // reads bypass the per-shard pools (cold store), so a calibration probe
 // neither warms nor counts against them. Like SetSource, it is configuration
 // of the read path, not concurrent-execution state.
-func (s *Sharded) setProbeCold(on bool) { s.probeCold = on }
+func (s *Sharded) setProbeCold(on bool) { s.probeCold.Store(on) }
 
 // Bounds implements SpatialIndex.
 func (s *Sharded) Bounds() geom.AABB { return s.bounds }
@@ -264,9 +268,18 @@ func (s *Sharded) Bounds() geom.AABB { return s.bounds }
 // NumItems implements SpatialIndex.
 func (s *Sharded) NumItems() int { return s.n }
 
-// query is the scatter-gather: fan out to intersecting shards in shard
+// nativeQuerier is the non-deprecated form of the legacy range-query shape.
+// Every contender keeps its real implementation under this unexported method
+// so internal fan-out — the sharded scatter, the paged read path — never
+// routes through the deprecated Query/BatchQuery wrappers, which exist only
+// for external callers mid-migration.
+type nativeQuerier interface {
+	queryNative(q geom.AABB, emit func(int32)) QueryStats
+}
+
+// queryNative is the scatter-gather: fan out to intersecting shards in shard
 // order, sum their stats, merge hits into ascending global ID.
-func (s *Sharded) query(q geom.AABB, emit func(int32)) QueryStats {
+func (s *Sharded) queryNative(q geom.AABB, emit func(int32)) QueryStats {
 	var subs []QueryStats
 	var hits []int32
 	for i := range s.shards {
@@ -274,7 +287,8 @@ func (s *Sharded) query(q geom.AABB, emit func(int32)) QueryStats {
 		if !sh.bounds.Intersects(q) {
 			continue
 		}
-		subs = append(subs, sh.sub.Query(q, func(lid int32) { hits = append(hits, sh.global[lid]) }))
+		nq := sh.sub.(nativeQuerier)
+		subs = append(subs, nq.queryNative(q, func(lid int32) { hits = append(hits, sh.global[lid]) }))
 	}
 	st := Aggregate(subs)
 	st.ShardsTouched = int64(len(subs))
@@ -318,6 +332,8 @@ func (s *Sharded) scatter(ctx context.Context, sub Request, keep func(sh *shardS
 // ID) accumulator, and the fan-out stops as soon as the next shard's bound
 // exceeds the current k-th distance — ShardsTouched records how many shards
 // the gather actually consulted.
+//
+//neurospatial:hotpath
 func (s *Sharded) Do(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
 	if err := req.Validate(); err != nil {
 		return QueryStats{}, err
@@ -341,6 +357,7 @@ func (s *Sharded) Do(ctx context.Context, req Request, visit func(Hit)) (QuerySt
 			q = geom.Box(req.Center, req.Center)
 		}
 		var hits []Hit
+		//lint:ignore hotpath the sharded gather buffers hits per query by design; ceilinged by TestDoHotPathAllocs
 		st, err := s.scatter(ctx, req, func(sh *shardState) bool { return sh.bounds.Intersects(q) },
 			func(i int, h Hit) { hits = append(hits, Hit{ID: s.shards[i].global[h.ID]}) })
 		if err != nil {
@@ -354,6 +371,7 @@ func (s *Sharded) Do(ctx context.Context, req Request, visit func(Hit)) (QuerySt
 	case WithinDistance:
 		r2 := req.Radius * req.Radius
 		var hits []Hit
+		//lint:ignore hotpath the sharded gather buffers hits per query by design; ceilinged by TestDoHotPathAllocs
 		st, err := s.scatter(ctx, req,
 			func(sh *shardState) bool { return sh.bounds.Dist2Point(req.Center) <= r2 },
 			func(i int, h Hit) { hits = append(hits, Hit{ID: s.shards[i].global[h.ID], Dist2: h.Dist2}) })
@@ -372,11 +390,14 @@ func (s *Sharded) Do(ctx context.Context, req Request, visit func(Hit)) (QuerySt
 }
 
 // doKNN is the sharded bound-tightening kNN gather.
+//
+//neurospatial:hotpath
 func (s *Sharded) doKNN(ctx context.Context, req Request, visit func(Hit)) (QueryStats, error) {
 	type shardBound struct {
 		d2 float64
 		i  int
 	}
+	//lint:ignore hotpath the shard-order buffer is O(shards) per query by design; ceilinged by TestDoHotPathAllocs
 	order := make([]shardBound, len(s.shards))
 	for i := range s.shards {
 		order[i] = shardBound{s.shards[i].bounds.Dist2Point(req.Center), i}
@@ -402,12 +423,14 @@ func (s *Sharded) doKNN(ctx context.Context, req Request, visit func(Hit)) (Quer
 		// global IDs within a shard, so the local tie-break agrees with the
 		// global (Dist2, ID) order and the union provably contains the
 		// canonical top-k.
+		//lint:ignore hotpath one translation closure per consulted shard by design; ceilinged by TestDoHotPathAllocs
 		st, err := sh.sub.Do(ctx, req, func(h Hit) {
 			acc.Offer(Hit{ID: sh.global[h.ID], Dist2: h.Dist2})
 		})
 		if err != nil {
 			return QueryStats{}, err
 		}
+		//lint:ignore hotpath per-shard stats gather is O(shards) per query by design; ceilinged by TestDoHotPathAllocs
 		subs = append(subs, st)
 	}
 	st := Aggregate(subs)
@@ -484,7 +507,7 @@ func (s *Sharded) Query(q geom.AABB, visit func(int32)) QueryStats {
 	if visit == nil {
 		visit = func(int32) {}
 	}
-	return s.query(q, visit)
+	return s.queryNative(q, visit)
 }
 
 // BatchQuery implements SpatialIndex via the shared deterministic executor:
@@ -492,7 +515,7 @@ func (s *Sharded) Query(q geom.AABB, visit func(int32)) QueryStats {
 //
 // Deprecated: route new call sites through Session.DoBatch.
 func (s *Sharded) BatchQuery(qs []geom.AABB, workers int, visit func(int, int32)) []QueryStats {
-	return batchQuery(workers, qs, s.query, visit)
+	return batchQuery(workers, qs, s.queryNative, visit)
 }
 
 // Store implements Paged: the dense global page space over all shards (nil
@@ -560,5 +583,5 @@ func (s *Sharded) PagedQuery(q geom.AABB, pool *pager.BufferPool, visit func(int
 	old := s.src
 	s.src = pool
 	defer func() { s.src = old }()
-	s.query(q, visit)
+	s.queryNative(q, visit)
 }

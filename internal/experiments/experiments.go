@@ -292,7 +292,7 @@ func RunE2(cfg E2Config) ([]E2Row, error) {
 			SeedReads:     fs.IndexReads,
 			CrawlPages:    fs.PagesRead,
 			Reseeds:       fs.Reseeds,
-			RTreePerLevel: ts.NodesPerLevel,
+			RTreePerLevel: ts.NodesPerLevel(),
 		})
 	}
 	return rows, nil

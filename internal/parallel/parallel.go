@@ -90,6 +90,8 @@ func Split(n, parts int) []Range {
 //
 // When the resolved worker count is 1 (or n <= 1), fn runs on the calling
 // goroutine with worker == 0 and no goroutines are spawned.
+//
+//neurospatial:hotpath
 func ForEach(workers, n int, fn func(worker, slot int)) {
 	if n <= 0 {
 		return
@@ -115,6 +117,7 @@ func ForEach(workers, n int, fn func(worker, slot int)) {
 	var wg sync.WaitGroup
 	for wk := 0; wk < w; wk++ {
 		wg.Add(1)
+		//lint:ignore hotpath w goroutine closures per call — worker count, not slot count
 		go func(wk int) {
 			defer wg.Done()
 			for {
@@ -155,10 +158,13 @@ var segPool = sync.Pool{New: func() any {
 
 // getSegs returns a pooled slot→segment table of length n (zeroed by
 // construction: every slot writes its entry before it is read).
+//
+//neurospatial:hotpath
 func getSegs(n int) (*[]seg, []seg) {
 	box := segPool.Get().(*[]seg)
 	b := *box
 	if cap(b) < n {
+		//lint:ignore hotpath pool refill when the table first grows to n slots; amortized across the pool
 		b = make([]seg, n)
 	} else {
 		b = b[:n]
@@ -167,6 +173,8 @@ func getSegs(n int) (*[]seg, []seg) {
 }
 
 // putSegs recycles a table obtained from getSegs.
+//
+//neurospatial:hotpath
 func putSegs(box *[]seg, b []seg) {
 	*box = b[:0]
 	segPool.Put(box)

@@ -21,16 +21,17 @@ func (t *Tree) BatchQuery(qs []geom.AABB, workers int, visit func(q int, it Item
 	}, visit)
 }
 
-// Aggregate sums per-query statistics into batch totals; NodesPerLevel is
-// summed element-wise.
+// Aggregate sums per-query statistics into batch totals; the per-level
+// breakdown is summed element-wise. Allocation-free: the level counters are
+// inline arrays on both sides.
 func Aggregate(sts []QueryStats) QueryStats {
 	var out QueryStats
 	for i := range sts {
-		for l, c := range sts[i].NodesPerLevel {
-			for len(out.NodesPerLevel) <= l {
-				out.NodesPerLevel = append(out.NodesPerLevel, 0)
-			}
-			out.NodesPerLevel[l] += c
+		for l, c := range sts[i].LevelNodes[:sts[i].Levels] {
+			out.LevelNodes[l] += c
+		}
+		if sts[i].Levels > out.Levels {
+			out.Levels = sts[i].Levels
 		}
 		out.EntriesTested += sts[i].EntriesTested
 		out.Results += sts[i].Results

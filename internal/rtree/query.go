@@ -8,30 +8,57 @@ import (
 // panel (Figure 3 of the paper) shows exactly these numbers for the R-tree:
 // node accesses broken down by level, which exposes how MBR overlap forces an
 // R-tree to read several nodes per level in dense regions.
+// MaxLevels bounds the per-level node-access breakdown. An STR tree of
+// height 32 holds at least 2^32 items even at fanout 2, far past anything the
+// engine indexes; deeper accesses (unreachable in practice) fold into the
+// top bucket rather than growing the record.
+const MaxLevels = 32
+
 type QueryStats struct {
-	// NodesPerLevel[l] counts node accesses at level l (0 = leaves).
-	NodesPerLevel []int64
+	// LevelNodes[l] counts node accesses at level l (0 = leaves); entries at
+	// Levels and beyond are zero. An inline array rather than a slice so a
+	// stats record never allocates — the caller-retained per-level slice was
+	// the rtree Do path's only remaining per-query heap allocation.
+	LevelNodes [MaxLevels]int64
+	// Levels is the number of meaningful LevelNodes entries — the height of
+	// the deepest access recorded.
+	Levels int
 	// EntriesTested counts box comparisons against leaf entries.
 	EntriesTested int64
 	// Results counts items reported.
 	Results int64
 }
 
+// NodesPerLevel renders the per-level breakdown (leaves first) as a freshly
+// allocated slice, nil when no nodes were accessed — the display form. Hot
+// paths read LevelNodes[:Levels] in place instead.
+func (s QueryStats) NodesPerLevel() []int64 {
+	if s.Levels == 0 {
+		return nil
+	}
+	out := make([]int64, s.Levels)
+	copy(out, s.LevelNodes[:s.Levels])
+	return out
+}
+
 // NodeAccesses returns the total node accesses across all levels. Under the
 // one-node-per-page layout this is the query's page-read count.
 func (s QueryStats) NodeAccesses() int64 {
 	var n int64
-	for _, c := range s.NodesPerLevel {
+	for _, c := range s.LevelNodes[:s.Levels] {
 		n += c
 	}
 	return n
 }
 
 func (s *QueryStats) visit(level int) {
-	for len(s.NodesPerLevel) <= level {
-		s.NodesPerLevel = append(s.NodesPerLevel, 0)
+	if level >= MaxLevels {
+		level = MaxLevels - 1
 	}
-	s.NodesPerLevel[level]++
+	s.LevelNodes[level]++
+	if level+1 > s.Levels {
+		s.Levels = level + 1
+	}
 }
 
 // Query reports every item whose box intersects q to visit, in unspecified

@@ -316,15 +316,15 @@ func TestQueryStatsPerLevel(t *testing.T) {
 	tr, _ := STR(items, 8)
 	q := geom.BoxAround(geom.V(50, 50, 50), 20)
 	stats := tr.Query(q, func(Item) {})
-	if len(stats.NodesPerLevel) != tr.Height() {
-		t.Fatalf("levels in stats = %d, height = %d", len(stats.NodesPerLevel), tr.Height())
+	if stats.Levels != tr.Height() {
+		t.Fatalf("levels in stats = %d, height = %d", stats.Levels, tr.Height())
 	}
 	// Exactly one root access.
-	if stats.NodesPerLevel[tr.Height()-1] != 1 {
-		t.Errorf("root accesses = %d", stats.NodesPerLevel[tr.Height()-1])
+	if stats.LevelNodes[tr.Height()-1] != 1 {
+		t.Errorf("root accesses = %d", stats.LevelNodes[tr.Height()-1])
 	}
 	// Leaf accesses dominate.
-	if stats.NodesPerLevel[0] == 0 {
+	if stats.LevelNodes[0] == 0 {
 		t.Error("no leaf accesses for a central query")
 	}
 	if stats.Results == 0 || stats.EntriesTested < stats.Results {
