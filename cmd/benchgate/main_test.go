@@ -90,6 +90,19 @@ func TestGatedSelectsDeterministicCounts(t *testing.T) {
 		"grid_knn_churn_alloc_est":   false,
 		"flat_range_ns":              false,
 		"plan_cache_hit_rate":        false,
+		// Schema 7 (E13): page-fault counts through the reopened disk store
+		// are deterministic under the fixed seed — open_page_reads is pinned
+		// at zero (the no-rescan witness), cold faults must not grow. The
+		// open/re-index timings and their ratio move with the runner.
+		"open_page_reads":     true,
+		"flat_cold_pages":     true,
+		"sharded_warm_pages":  true,
+		"rtree_segment_pages": true,
+		"open_ms":             false,
+		"reindex_ms":          false,
+		"open_speedup_x":      false,
+		"disk_mb":             false,
+		"grid_cold_query_ms":  false,
 	} {
 		if gated(name) != want {
 			t.Errorf("gated(%q) = %v, want %v", name, !want, want)
@@ -157,6 +170,11 @@ func TestReadReportFailsLoudly(t *testing.T) {
 		`{"schema":6,"headlines":[{"experiment":"E12","metrics":{"flat_range_allocs":0}}]}`)
 	if _, err := readReport(good); err != nil {
 		t.Fatalf("well-formed file rejected: %v", err)
+	}
+	schema7 := write("schema7.json",
+		`{"schema":7,"headlines":[{"experiment":"E13","metrics":{"open_page_reads":0,"flat_cold_pages":3}}]}`)
+	if _, err := readReport(schema7); err != nil {
+		t.Fatalf("schema-7 report rejected: %v", err)
 	}
 
 	for name, body := range map[string]string{

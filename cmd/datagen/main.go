@@ -11,11 +11,20 @@
 //	                                                 # batches on the generated
 //	                                                 # dataset and report the
 //	                                                 # maintenance cost
-//	go run ./cmd/datagen -info circuit.nsc
+//	go run ./cmd/datagen -out circuit.ds -durable    # write a durable dataset
+//	                                                 # directory instead: a
+//	                                                 # checkpointed, crash-
+//	                                                 # recoverable store that
+//	                                                 # engine.OpenDataset serves
+//	                                                 # without re-indexing
+//	go run ./cmd/datagen -info circuit.nsc           # also accepts a durable
+//	                                                 # dataset directory
 //
 // -info and -out are mutually exclusive, and -churn applies only with -out;
-// contradictory combinations are rejected with a one-line usage error
-// instead of one flag silently winning.
+// with -durable, -churn commits its mutation batches through the write-ahead
+// log before the final checkpoint, so the written dataset is the churned
+// epoch, not the pristine one. Contradictory combinations are rejected with
+// a one-line usage error instead of one flag silently winning.
 package main
 
 import (
@@ -43,6 +52,7 @@ func main() {
 	layered := flag.Bool("layered", false, "use the cortical layer density profile")
 	workers := flag.Int("workers", -1, "morphology generation workers (0 or 1: serial; negative: one per CPU)")
 	churn := flag.Int("churn", 0, "with -out: simulate this many mutation batches on the generated dataset and report the maintenance cost")
+	durableOut := flag.Bool("durable", false, "with -out: write a durable dataset directory (reopenable with engine.OpenDataset) instead of an elements file")
 	flag.Parse()
 
 	usageErr := func(format string, args ...any) {
@@ -58,6 +68,9 @@ func main() {
 	if *churn > 0 && *out == "" {
 		usageErr("-churn applies only with -out (there is no dataset to mutate)")
 	}
+	if *durableOut && *out == "" {
+		usageErr("-durable applies only with -out (it selects the output format)")
+	}
 
 	switch {
 	case *info != "":
@@ -65,7 +78,11 @@ func main() {
 			log.Fatal(err)
 		}
 	case *out != "":
-		if err := generate(*out, *neurons, *edge, *seed, *layered, *workers, *churn); err != nil {
+		gen := generate
+		if *durableOut {
+			gen = generateDurable
+		}
+		if err := gen(*out, *neurons, *edge, *seed, *layered, *workers, *churn); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -74,7 +91,7 @@ func main() {
 	}
 }
 
-func generate(path string, neurons int, edge float64, seed int64, layered bool, workers, churn int) error {
+func buildCircuit(neurons int, edge float64, seed int64, layered bool, workers int) (*circuit.Circuit, error) {
 	p := circuit.DefaultParams()
 	p.Neurons = neurons
 	p.Volume = geom.Box(geom.V(0, 0, 0), geom.V(edge, edge, edge))
@@ -83,7 +100,11 @@ func generate(path string, neurons int, edge float64, seed int64, layered bool, 
 	if layered {
 		p.Layers = circuit.CorticalLayers()
 	}
-	c, err := circuit.Build(p)
+	return circuit.Build(p)
+}
+
+func generate(path string, neurons int, edge float64, seed int64, layered bool, workers, churn int) error {
+	c, err := buildCircuit(neurons, edge, seed, layered, workers)
 	if err != nil {
 		return err
 	}
@@ -124,10 +145,24 @@ func churnReport(c *circuit.Circuit, seed int64, batches int) error {
 	if err != nil {
 		return err
 	}
+	if err := churnBatches(ds, c.Params.Volume, len(items), seed, batches); err != nil {
+		return err
+	}
+	st := ds.Stats()
+	tb := stats.NewTable(fmt.Sprintf("simulated churn: %d batches of 64 ops over the generated dataset", batches),
+		"epoch", "live", "delta", "tombstones", "compactions", "layout shared/patched/appended")
+	tb.AddRow(st.Epoch, st.Live, st.DeltaEntries, st.Tombstones, st.Compactions,
+		fmt.Sprintf("%d/%d/%d", st.Cow.Shared, st.Cow.Patched, st.Cow.Appended))
+	return tb.Render(os.Stdout)
+}
+
+// churnBatches commits the standard churn workload (64 half-insert
+// half-delete ops per batch) against ds. When ds belongs to a durable
+// dataset every commit goes through its write-ahead log.
+func churnBatches(ds *engine.Dataset, vol geom.AABB, initial int, seed int64, batches int) error {
 	rng := rand.New(rand.NewSource(seed))
-	vol := c.Params.Volume
 	size := vol.Size()
-	live := make([]int32, len(items))
+	live := make([]int32, initial)
 	for i := range live {
 		live[i] = int32(i)
 	}
@@ -151,15 +186,62 @@ func churnReport(c *circuit.Circuit, seed int64, batches int) error {
 			return err
 		}
 	}
-	st := ds.Stats()
-	tb := stats.NewTable(fmt.Sprintf("simulated churn: %d batches of 64 ops over the generated dataset", batches),
-		"epoch", "live", "delta", "tombstones", "compactions", "layout shared/patched/appended")
-	tb.AddRow(st.Epoch, st.Live, st.DeltaEntries, st.Tombstones, st.Compactions,
-		fmt.Sprintf("%d/%d/%d", st.Cow.Shared, st.Cow.Patched, st.Cow.Appended))
-	return tb.Render(os.Stdout)
+	return nil
+}
+
+// generateDurable writes the generated circuit as a durable dataset
+// directory: every contender built, checkpointed and fsynced, so
+// engine.OpenDataset serves it without re-indexing. A churn count first
+// commits that many batches through the WAL, so the written state is the
+// churned epoch and the final checkpoint folds the delta into base pages.
+func generateDurable(dir string, neurons int, edge float64, seed int64, layered bool, workers, churn int) error {
+	c, err := buildCircuit(neurons, edge, seed, layered, workers)
+	if err != nil {
+		return err
+	}
+	items := make([]rtree.Item, len(c.Elements))
+	for i := range c.Elements {
+		items[i] = rtree.Item{Box: c.Elements[i].Bounds(), ID: c.Elements[i].ID}
+	}
+	dd, err := engine.CreateDataset(dir, items, engine.DatasetOptions{
+		Contenders: []string{"flat", "rtree", "grid", "sharded"},
+		Workers:    workers,
+	})
+	if err != nil {
+		return err
+	}
+	if churn > 0 {
+		if err := churnBatches(dd.Dataset, c.Params.Volume, len(items), seed, churn); err != nil {
+			dd.Close()
+			return err
+		}
+		if err := dd.Checkpoint(); err != nil {
+			dd.Close()
+			return err
+		}
+	}
+	var bytes int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		dd.Close()
+		return err
+	}
+	for _, ent := range ents {
+		if info, err := ent.Info(); err == nil {
+			bytes += info.Size()
+		}
+	}
+	man := dd.Manifest()
+	fmt.Printf("wrote durable dataset %s: %d neurons, %s elements, epoch %d, %s on disk (%s, %s, %s)\n",
+		dir, neurons, stats.Count(int64(dd.Current().NumItems())), man.Epoch, stats.Bytes(bytes),
+		man.Snapshot, man.Pages, man.WAL)
+	return dd.Close()
 }
 
 func printInfo(path string) error {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		return printDatasetInfo(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -181,5 +263,32 @@ func printInfo(path string) error {
 	}
 	fmt.Printf("%s: %s elements, %d neurons (%d somas), bounds %v\n",
 		path, stats.Count(int64(len(elems))), len(neurons), somas, bounds)
+	return nil
+}
+
+// printDatasetInfo summarizes a durable dataset directory: what OpenDataset
+// recovered and what it cost on disk. Opening reads headers and the snapshot
+// only — the item pages stay on disk, so -info on a huge dataset is cheap.
+func printDatasetInfo(dir string) error {
+	dd, err := engine.OpenDataset(dir)
+	if err != nil {
+		return err
+	}
+	defer dd.Close()
+	var bytes int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if info, err := ent.Info(); err == nil {
+			bytes += info.Size()
+		}
+	}
+	man := dd.Manifest()
+	st := dd.Stats()
+	fmt.Printf("%s: durable dataset, %s items live, epoch %d, %s on disk (%s, %s, %s), delta %d, tombstones %d\n",
+		dir, stats.Count(int64(st.Live)), man.Epoch, stats.Bytes(bytes),
+		man.Snapshot, man.Pages, man.WAL, st.DeltaEntries, st.Tombstones)
 	return nil
 }

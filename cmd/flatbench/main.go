@@ -22,6 +22,9 @@
 //	go run ./cmd/flatbench -alloc     # E12: hot-path allocs/op per contender ×
 //	                                  # kind × churn + plan-cache hit rate
 //	                                  # (zero-alloc + ≥10× reduction enforced)
+//	go run ./cmd/flatbench -reopen    # E13: cold OpenDataset vs full re-index
+//	                                  # + first-query latency through the cold
+//	                                  # disk store (zero reads through open)
 //	go run ./cmd/flatbench -all       # everything
 //
 //	go run ./cmd/flatbench -kind knn -k 8       # one-off Session demo: a handful
@@ -34,8 +37,8 @@
 //
 //	go run ./cmd/flatbench -json BENCH_engine.json [-quick]
 //	                                  # machine-readable E1/E4/E7/E8/E9/E10/
-//	                                  # E11/E12 headline numbers (the CI
-//	                                  # artifact, schema 6)
+//	                                  # E11/E12/E13 headline numbers (the CI
+//	                                  # artifact, schema 7)
 //
 // Contradictory flag combinations (-k without -kind knn, -radius with a
 // kind that has no radius, -limit without -kind, -cursor without -limit,
@@ -70,6 +73,7 @@ func main() {
 	churn := flag.Bool("churn", false, "run E10 (interleaved updates and queries through the mutable Dataset)")
 	stream := flag.Bool("stream", false, "run E11 (streaming first page vs full drain)")
 	alloc := flag.Bool("alloc", false, "run E12 (hot-path allocations per op + plan-cache hit rate)")
+	reopen := flag.Bool("reopen", false, "run E13 (cold OpenDataset vs full re-index through the durable store)")
 	all := flag.Bool("all", false, "run every FLAT experiment")
 	workers := flag.Int("workers", -1, "circuit-construction workers (0 or 1: serial; negative: one per CPU)")
 	jsonOut := flag.String("json", "", "write E1/E4/E7/E8/E9/E10/E11/E12 headline numbers as JSON to this path and exit")
@@ -132,7 +136,7 @@ func main() {
 		return
 	}
 
-	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && !*churn && !*stream && !*alloc && *shards == 0)
+	runDensity := *all || (!*crawl && !*scale && !*batch && !*mixed && !*churn && !*stream && !*alloc && !*reopen && *shards == 0)
 	if runDensity {
 		cfg := experiments.DefaultE1()
 		cfg.Workers = *workers
@@ -259,6 +263,16 @@ func main() {
 		}
 		fmt.Println()
 		if err := experiments.E12Summary(res).Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *reopen {
+		res, err := experiments.RunE13(experiments.DefaultE13())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.E13Table(res).Render(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

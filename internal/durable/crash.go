@@ -1,0 +1,124 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// CrashEnv is the environment variable the crash-recovery subprocess tests
+// use to arm a sync-point crash in the child process: its value is a spec
+// accepted by SetCrashPoint.
+const CrashEnv = "NEUROSPATIAL_DURABLE_CRASH"
+
+// Crash sync points. Each names a precise moment in the durability protocol
+// where the kill-mid-commit test severs the process; the recovery invariant
+// (reopen sees exactly the batches whose WAL fsync completed) must hold at
+// every one of them.
+const (
+	// CrashWALAppend fires before the WAL record is written: the batch
+	// vanishes entirely.
+	CrashWALAppend = "wal-append"
+	// CrashWALTorn fires after writing only a prefix of the WAL record: the
+	// reopened log has a torn tail that must be truncated, not replayed.
+	CrashWALTorn = "wal-torn"
+	// CrashWALWritten fires after the record is fully written but before
+	// fsync: the batch may or may not survive; if it does, it must replay
+	// whole.
+	CrashWALWritten = "wal-written"
+	// CrashWALSynced fires after fsync, before the in-memory epoch
+	// publishes: the batch is durable and must be recovered.
+	CrashWALSynced = "wal-synced"
+	// CrashCheckpointFiles fires during checkpoint, after the new snapshot,
+	// page file and fresh WAL are on disk but before the manifest rename:
+	// recovery must still use the old manifest and the old, untruncated WAL.
+	CrashCheckpointFiles = "ckpt-files"
+	// CrashCheckpointRenamed fires after the manifest rename, before the
+	// stale files are deleted: recovery uses the new checkpoint and must
+	// tolerate the leftovers.
+	CrashCheckpointRenamed = "ckpt-renamed"
+)
+
+// CrashPoints lists every injectable sync point, in protocol order, for test
+// drivers that sweep all of them.
+var CrashPoints = []string{
+	CrashWALAppend,
+	CrashWALTorn,
+	CrashWALWritten,
+	CrashWALSynced,
+	CrashCheckpointFiles,
+	CrashCheckpointRenamed,
+}
+
+// crashPlan is the armed sync point: nil when disabled (the production
+// state; a single atomic load on the WAL path).
+var crashPlan atomic.Pointer[crashSpec]
+
+type crashSpec struct {
+	point string
+	left  atomic.Int64 // crash on the hit that drives this to 0
+}
+
+// SetCrashPoint arms a crash at the n-th hit (1-based) of the named sync
+// point, from a spec of the form "point:n". An empty spec disarms. It exists
+// for the re-exec crash tests; the child process calls it with the value of
+// CrashEnv before touching the dataset.
+func SetCrashPoint(spec string) error {
+	if spec == "" {
+		crashPlan.Store(nil)
+		return nil
+	}
+	point, nstr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("durable: crash spec %q is not point:n", spec)
+	}
+	n, err := strconv.Atoi(nstr)
+	if err != nil || n < 1 {
+		return fmt.Errorf("durable: crash spec %q has bad count", spec)
+	}
+	found := false
+	for _, p := range CrashPoints {
+		if p == point {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("durable: crash spec %q names unknown point", spec)
+	}
+	s := &crashSpec{point: point}
+	s.left.Store(int64(n))
+	crashPlan.Store(s)
+	return nil
+}
+
+// shouldCrash reports whether the armed plan fires at this hit of point.
+// The caller performs any point-specific damage (e.g. the torn partial
+// write) and then calls crashNow.
+func shouldCrash(point string) bool {
+	s := crashPlan.Load()
+	if s == nil || s.point != point {
+		return false
+	}
+	return s.left.Add(-1) == 0
+}
+
+// MaybeCrash fires the armed crash if it targets point and this hit drives
+// its countdown to zero. Protocol steps outside this package (the engine's
+// checkpoint sequence) mark their sync points with it; inside the package the
+// WAL calls shouldCrash/crashNow directly where point-specific damage (the
+// torn partial write) happens between the two.
+func MaybeCrash(point string) {
+	if shouldCrash(point) {
+		crashNow(point)
+	}
+}
+
+// crashNow severs the process without running deferred cleanup — the closest
+// portable stand-in for kill -9 at an exact instruction boundary.
+func crashNow(point string) {
+	fmt.Fprintf(os.Stderr, "durable: injected crash at %s\n", point)
+	os.Exit(137)
+}

@@ -1,0 +1,170 @@
+// Package durable is the persistence subsystem: a file-backed page store
+// behind pager.PageSource, a write-ahead log for Dataset commits, and a
+// snapshot codec for the base index structures, together making a Dataset
+// crash-recoverable (engine.OpenDataset recovers the last durable epoch and
+// serves queries without re-indexing).
+//
+// On-disk layout of a dataset directory:
+//
+//	MANIFEST          atomic commit point (temp+rename), names the rest
+//	snap-<E>.nss      snapshot of the compacted epoch E (items + index records)
+//	pages-<E>.nsp     page file: checksummed fixed-size slots per segment
+//	wal-<E>.nsl       write-ahead log of commits since epoch E
+//
+// Every file carries a magic, a version, and CRC-32C (Castagnoli) checksums:
+// whole-file for MANIFEST and snapshots, per-record for the WAL, per-slot for
+// pages. Parsing failures surface as typed errors (*FormatError for
+// structurally invalid input, *CorruptError for checksum mismatches) — never
+// panics — except on the page read path, where pager.PageSource has no error
+// channel and a checksum mismatch is a storage-corruption assert.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// File format versions. A reader rejects versions it does not know.
+const (
+	walVersion      = 1
+	manifestVersion = 1
+	pageVersion     = 1
+	snapVersion     = 1
+)
+
+// File magics, little-endian u32 at offset 0.
+const (
+	walMagic      = 0x4c57534e // "NSWL"
+	manifestMagic = 0x464d534e // "NSMF"
+	pageMagic     = 0x4650534e // "NSPF"
+	snapMagic     = 0x5353534e // "NSSS"
+)
+
+// castagnoli is the CRC-32C table shared by every checksum in the package.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// FormatError reports structurally invalid input: wrong magic, unknown
+// version, impossible lengths, trailing garbage.
+type FormatError struct {
+	File   string // which format ("wal", "manifest", "pages", "snapshot")
+	Reason string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("durable: invalid %s: %s", e.File, e.Reason)
+}
+
+// CorruptError reports data that parsed structurally but failed a checksum,
+// or a mid-file record that cannot be skipped. Offset is the byte offset of
+// the failing unit when known, -1 otherwise.
+type CorruptError struct {
+	File   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("durable: corrupt %s at offset %d: %s", e.File, e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("durable: corrupt %s: %s", e.File, e.Reason)
+}
+
+// le is the byte order of every on-disk integer in this package.
+var le = binary.LittleEndian
+
+// enc is an append-only little-endian encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = le.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = le.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = le.AppendUint64(e.b, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	if len(s) > 0xffff {
+		panic("durable: string too long for format")
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec is a consuming little-endian decoder. Reads past the end set err once
+// and make every later read return zero, so parse code can decode a whole
+// header and check err at the end.
+type dec struct {
+	b    []byte
+	off  int64 // absolute offset of b[0] in the original input
+	err  bool
+	file string
+}
+
+func (d *dec) fail() {
+	d.err = true
+}
+
+// truncated reports whether any read ran past the end of input.
+func (d *dec) truncated() bool { return d.err }
+
+func (d *dec) remaining() int { return len(d.b) }
+
+func (d *dec) take(n int) []byte {
+	if d.err || n < 0 || n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	d.off += int64(n)
+	return out
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return le.Uint16(b)
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return le.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return le.Uint64(b)
+}
+
+func (d *dec) i32() int32   { return int32(d.u32()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) str() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,127 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the file the manifest lives under inside a dataset
+// directory. Writing it is the atomic commit point of a checkpoint: the
+// bytes land in a temp file first and reach this name via rename, so a
+// reader sees either the old checkpoint or the new one, never a mix.
+const ManifestName = "MANIFEST"
+
+// Manifest names the current durable generation of a dataset.
+type Manifest struct {
+	// Epoch is the compacted epoch captured by Snapshot/Pages; WAL replays
+	// commits after it.
+	Epoch uint64
+	// NextID is the dataset's ID allocator watermark at checkpoint time.
+	NextID int32
+	// Snapshot, Pages and WAL are file names relative to the dataset
+	// directory.
+	Snapshot string
+	Pages    string
+	WAL      string
+}
+
+// EncodeManifest renders m to its on-disk image:
+//
+//	magic u32, version u32, epoch u64, nextID i32,
+//	snapshot str, pages str, wal str, crc u32 (CRC-32C of all preceding)
+func EncodeManifest(m Manifest) []byte {
+	var e enc
+	e.u32(manifestMagic)
+	e.u32(manifestVersion)
+	e.u64(m.Epoch)
+	e.i32(m.NextID)
+	e.str(m.Snapshot)
+	e.str(m.Pages)
+	e.str(m.WAL)
+	e.u32(checksum(e.b))
+	return e.b
+}
+
+// ParseManifest decodes a manifest image, returning typed errors for any
+// damage. It is pure — FuzzManifestParse drives it with hostile input.
+func ParseManifest(data []byte) (Manifest, error) {
+	if len(data) < 4+4+8+4+4 {
+		return Manifest{}, &FormatError{File: "manifest", Reason: "truncated"}
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if checksum(body) != le.Uint32(tail) {
+		return Manifest{}, &CorruptError{File: "manifest", Offset: -1, Reason: "checksum mismatch"}
+	}
+	d := &dec{b: body, file: "manifest"}
+	if d.u32() != manifestMagic {
+		return Manifest{}, &FormatError{File: "manifest", Reason: "bad magic"}
+	}
+	if v := d.u32(); v != manifestVersion {
+		return Manifest{}, &FormatError{File: "manifest", Reason: fmt.Sprintf("unsupported version %d", v)}
+	}
+	var m Manifest
+	m.Epoch = d.u64()
+	m.NextID = d.i32()
+	m.Snapshot = d.str()
+	m.Pages = d.str()
+	m.WAL = d.str()
+	if d.truncated() {
+		return Manifest{}, &FormatError{File: "manifest", Reason: "truncated body"}
+	}
+	if d.remaining() != 0 {
+		return Manifest{}, &FormatError{File: "manifest", Reason: "trailing garbage"}
+	}
+	if m.Snapshot == "" || m.Pages == "" || m.WAL == "" {
+		return Manifest{}, &FormatError{File: "manifest", Reason: "empty file name"}
+	}
+	return m, nil
+}
+
+// WriteManifest atomically installs m as dir's manifest: temp file, fsync,
+// rename over ManifestName, fsync of the directory. After it returns the new
+// generation is the one recovery will see.
+func WriteManifest(dir string, m Manifest) error {
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: write manifest: %w", err)
+	}
+	if _, err := f.Write(EncodeManifest(m)); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: write manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("durable: write manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadManifest loads and validates dir's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("durable: read manifest: %w", err)
+	}
+	return ParseManifest(data)
+}
+
+// syncDir fsyncs a directory so a preceding rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync dir: %w", err)
+	}
+	return nil
+}

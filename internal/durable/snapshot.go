@@ -1,0 +1,245 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/rtree"
+)
+
+// SnapshotRec is the durable image of one compacted dataset epoch: the live
+// items plus, per contender, the sort outputs its build phase computed (page
+// layouts, leaf runs, grid dims, shard partitions). Recovery re-derives
+// everything else from these records with linear work — no re-sorting, no
+// re-indexing.
+type SnapshotRec struct {
+	// Epoch is the compacted epoch this snapshot captures.
+	Epoch uint64
+	// NextID is the dataset's ID allocator watermark.
+	NextID int32
+	// Options is the engine's own opaque encoding of the dataset options;
+	// durable stores it verbatim.
+	Options []byte
+	// Items are the live items in ascending ID order.
+	Items []rtree.Item
+	// Indexes holds one record per contender, in dataset contender order.
+	Indexes []IndexRec
+}
+
+// IndexRec is the recorded build output of one index. The engine gives each
+// field contender-specific meaning:
+//
+//	flat     Order = page contents concatenated, GroupLens = page lengths
+//	rtree    Order = leaf items in pre-order, GroupLens = leaf run lengths,
+//	         Meta = [fanout]
+//	grid     Meta = [nx, ny, nz]
+//	sharded  GroupLens = shard sizes, Order = concatenated shard-local
+//	         parent IDs, Bounds = shard bounds, Subs = per-shard sub-records
+type IndexRec struct {
+	Name      string
+	Order     []int32
+	GroupLens []int32
+	Meta      []int64
+	Bounds    []geom.AABB
+	Subs      []IndexRec
+}
+
+// snapMaxDepth bounds IndexRec nesting (sharded nests one level; hostile
+// input must not recurse unboundedly).
+const snapMaxDepth = 4
+
+// EncodeSnapshot renders rec to its on-disk image: magic, version, body,
+// trailing whole-file CRC-32C.
+func EncodeSnapshot(rec *SnapshotRec) []byte {
+	var e enc
+	e.u32(snapMagic)
+	e.u32(snapVersion)
+	e.u64(rec.Epoch)
+	e.i32(rec.NextID)
+	e.u32(uint32(len(rec.Options)))
+	e.b = append(e.b, rec.Options...)
+	e.u32(uint32(len(rec.Items)))
+	for _, it := range rec.Items {
+		e.i32(it.ID)
+		encodeBox(&e, it.Box)
+	}
+	e.u32(uint32(len(rec.Indexes)))
+	for i := range rec.Indexes {
+		encodeIndexRec(&e, &rec.Indexes[i])
+	}
+	e.u32(checksum(e.b))
+	return e.b
+}
+
+func encodeBox(e *enc, b geom.AABB) {
+	e.f64(b.Min.X)
+	e.f64(b.Min.Y)
+	e.f64(b.Min.Z)
+	e.f64(b.Max.X)
+	e.f64(b.Max.Y)
+	e.f64(b.Max.Z)
+}
+
+func encodeIndexRec(e *enc, r *IndexRec) {
+	e.str(r.Name)
+	e.u32(uint32(len(r.Order)))
+	for _, v := range r.Order {
+		e.i32(v)
+	}
+	e.u32(uint32(len(r.GroupLens)))
+	for _, v := range r.GroupLens {
+		e.i32(v)
+	}
+	e.u32(uint32(len(r.Meta)))
+	for _, v := range r.Meta {
+		e.u64(uint64(v))
+	}
+	e.u32(uint32(len(r.Bounds)))
+	for _, b := range r.Bounds {
+		encodeBox(e, b)
+	}
+	e.u32(uint32(len(r.Subs)))
+	for i := range r.Subs {
+		encodeIndexRec(e, &r.Subs[i])
+	}
+}
+
+// DecodeSnapshot parses a snapshot image, returning typed errors for any
+// damage.
+func DecodeSnapshot(data []byte) (*SnapshotRec, error) {
+	if len(data) < 4+4+8+4+4+4+4+4 {
+		return nil, &FormatError{File: "snapshot", Reason: "truncated"}
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if checksum(body) != le.Uint32(tail) {
+		return nil, &CorruptError{File: "snapshot", Offset: -1, Reason: "checksum mismatch"}
+	}
+	d := &dec{b: body, file: "snapshot"}
+	if d.u32() != snapMagic {
+		return nil, &FormatError{File: "snapshot", Reason: "bad magic"}
+	}
+	if v := d.u32(); v != snapVersion {
+		return nil, &FormatError{File: "snapshot", Reason: fmt.Sprintf("unsupported version %d", v)}
+	}
+	rec := &SnapshotRec{}
+	rec.Epoch = d.u64()
+	rec.NextID = d.i32()
+	optLen := int(d.u32())
+	rec.Options = append([]byte(nil), d.take(optLen)...)
+	nitems, ok := countField(d, 4+48)
+	if !ok {
+		return nil, &FormatError{File: "snapshot", Reason: "implausible item count"}
+	}
+	rec.Items = make([]rtree.Item, nitems)
+	for i := range rec.Items {
+		rec.Items[i].ID = d.i32()
+		rec.Items[i].Box = decodeBox(d)
+	}
+	nidx, ok := countField(d, 2)
+	if !ok {
+		return nil, &FormatError{File: "snapshot", Reason: "implausible index count"}
+	}
+	rec.Indexes = make([]IndexRec, nidx)
+	for i := range rec.Indexes {
+		if err := decodeIndexRec(d, &rec.Indexes[i], 0); err != nil {
+			return nil, err
+		}
+	}
+	if d.truncated() {
+		return nil, &FormatError{File: "snapshot", Reason: "truncated body"}
+	}
+	if d.remaining() != 0 {
+		return nil, &FormatError{File: "snapshot", Reason: "trailing garbage"}
+	}
+	return rec, nil
+}
+
+func decodeBox(d *dec) geom.AABB {
+	return geom.AABB{
+		Min: geom.Vec{X: d.f64(), Y: d.f64(), Z: d.f64()},
+		Max: geom.Vec{X: d.f64(), Y: d.f64(), Z: d.f64()},
+	}
+}
+
+// countField reads a u32 count and rejects values whose minimal encoding
+// (elemLen bytes each) could not fit in the remaining input, so a flipped
+// length field cannot drive a huge allocation.
+func countField(d *dec, elemLen int) (int, bool) {
+	n := int64(d.u32())
+	if d.truncated() || n*int64(elemLen) > int64(d.remaining()) {
+		return 0, false
+	}
+	return int(n), true
+}
+
+func decodeIndexRec(d *dec, r *IndexRec, depth int) error {
+	if depth > snapMaxDepth {
+		return &FormatError{File: "snapshot", Reason: "index record nesting too deep"}
+	}
+	r.Name = d.str()
+	n, ok := countField(d, 4)
+	if !ok {
+		return &FormatError{File: "snapshot", Reason: "implausible order length"}
+	}
+	r.Order = make([]int32, n)
+	for i := range r.Order {
+		r.Order[i] = d.i32()
+	}
+	if n, ok = countField(d, 4); !ok {
+		return &FormatError{File: "snapshot", Reason: "implausible group count"}
+	}
+	r.GroupLens = make([]int32, n)
+	for i := range r.GroupLens {
+		r.GroupLens[i] = d.i32()
+	}
+	if n, ok = countField(d, 8); !ok {
+		return &FormatError{File: "snapshot", Reason: "implausible meta length"}
+	}
+	r.Meta = make([]int64, n)
+	for i := range r.Meta {
+		r.Meta[i] = int64(d.u64())
+	}
+	if n, ok = countField(d, 48); !ok {
+		return &FormatError{File: "snapshot", Reason: "implausible bounds count"}
+	}
+	r.Bounds = make([]geom.AABB, n)
+	for i := range r.Bounds {
+		r.Bounds[i] = decodeBox(d)
+	}
+	if n, ok = countField(d, 2); !ok {
+		return &FormatError{File: "snapshot", Reason: "implausible sub count"}
+	}
+	r.Subs = make([]IndexRec, n)
+	for i := range r.Subs {
+		if err := decodeIndexRec(d, &r.Subs[i], depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot writes rec to path and fsyncs it.
+func WriteSnapshot(path string, rec *SnapshotRec) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(EncodeSnapshot(rec)); err != nil {
+		return fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads and validates the snapshot at path.
+func ReadSnapshot(path string) (*SnapshotRec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	return DecodeSnapshot(data)
+}

@@ -153,6 +153,13 @@ type Dataset struct {
 	commits, compactions, autoCompactions int64
 	inserts, deletes, updates             int64
 	cowTotal                              pager.CowStats
+
+	// onCommit, when set, is called under writeMu after a batch validates
+	// (and before the new epoch publishes) with the epoch the batch will
+	// publish as and its raw ops. An error aborts the whole batch — the
+	// durability layer uses this to refuse to publish an epoch whose WAL
+	// record did not reach disk.
+	onCommit func(epoch uint64, ops []txOp) error
 }
 
 // NewDataset builds the initial snapshot (epoch 0) over items, which must
@@ -433,6 +440,12 @@ func (t *Tx) Commit() (*Snapshot, error) {
 		delta = append(delta, rtree.Item{Box: box, ID: id})
 	}
 	sort.Slice(delta, func(a, b int) bool { return delta[a].ID < delta[b].ID })
+
+	if d.onCommit != nil {
+		if err := d.onCommit(uint64(prev.epoch)+1, t.ops); err != nil {
+			return nil, fmt.Errorf("engine: commit aborted by durability hook: %w", err)
+		}
+	}
 
 	layout, nBasePages, cow := d.remapLayout(prev, tombs, newTombs, delta)
 	snap := newSnapshot(prev.epoch+1, d.opts, prev.baseItems, prev.bases, delta, tombs,

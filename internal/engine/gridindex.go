@@ -76,7 +76,16 @@ func (gx *Grid) Name() string { return "grid" }
 // Build implements SpatialIndex. Rebuilding restores cold reads from the
 // new store: an attached PageSource is dropped, since a pool wrapping the
 // previous store would serve stale pages.
-func (gx *Grid) Build(items []rtree.Item) error {
+func (gx *Grid) Build(items []rtree.Item) error { return gx.build(items, 0, 0, 0) }
+
+// buildFixed is Build with the cell directory's dimensions pinned instead of
+// auto-sized — the durable-snapshot recovery path, which must reproduce the
+// recorded build exactly even if the auto-sizing heuristic changes.
+func (gx *Grid) buildFixed(items []rtree.Item, nx, ny, nz int) error {
+	return gx.build(items, nx, ny, nz)
+}
+
+func (gx *Grid) build(items []rtree.Item, nx, ny, nz int) error {
 	gx.g, gx.store, gx.pageOf, gx.src = nil, nil, nil, nil
 	gx.coords, gx.itemOff = nil, nil
 	gx.zoneMu.Lock()
@@ -110,7 +119,13 @@ func (gx *Grid) Build(items []rtree.Item) error {
 		c := b.Center()
 		centers[id] = geom.Box(c, c)
 	}
-	g, err := grid.NewAuto(gx.bounds, centers, gx.opts.PerCell)
+	var g *grid.Grid
+	var err error
+	if nx > 0 && ny > 0 && nz > 0 {
+		g, err = grid.New(gx.bounds, nx, ny, nz, centers)
+	} else {
+		g, err = grid.NewAuto(gx.bounds, centers, gx.opts.PerCell)
+	}
 	if err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}

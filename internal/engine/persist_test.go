@@ -1,0 +1,374 @@
+package engine_test
+
+// Durability differential suite and the kill-mid-commit crash-recovery
+// subprocess test.
+//
+// The differential side pins, for every contender × shards {1,4}, that a
+// checkpointed-then-reopened dataset serves identical hit sets, emission
+// order and worker-count-invariant stats versus the in-memory build — before
+// a checkpoint (pure WAL replay), after one (pure snapshot thaw), and after
+// further post-reopen commits.
+//
+// The crash side re-execs the test binary with an injected sync-point crash
+// (durable.CrashEnv), kills it mid-commit at every point in
+// durable.CrashPoints, and asserts the reopened dataset equals the versioned
+// oracle at exactly the last durable epoch — never a torn batch. On failure
+// the injection spec ("point:n") and the child output are logged so the run
+// can be reproduced by hand.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"testing"
+
+	"neurospatial/internal/durable"
+	"neurospatial/internal/engine"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/rtree"
+)
+
+func TestDurableReopenDifferential(t *testing.T) {
+	items := testItems(t, 8, 9001)
+	vol := geom.Box(geom.V(0, 0, 0), geom.V(200, 200, 200))
+
+	for _, cell := range datasetCells() {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(41*int64(len(cell.name)) + 7))
+			dir := t.TempDir()
+			dd, err := engine.CreateDataset(dir, items, cell.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := newVersionedOracle(items)
+
+			// Committed batches with an explicit compaction between them: the
+			// compaction bumps the epoch without a WAL record, so replay has
+			// to reproduce the gap.
+			mutateStep(t, rng, dd.Dataset, o, 12, vol)
+			mutateStep(t, rng, dd.Dataset, o, 12, vol)
+			if _, err := dd.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			mutateStep(t, rng, dd.Dataset, o, 12, vol)
+			verifyEpoch(t, cell.name+"/live", dd.Dataset, o, vol, cell.opts)
+
+			// Reopen with no checkpoint since creation: recovery is WAL
+			// replay alone, and must land on the exact same epoch.
+			re1, err := engine.OpenDataset(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := re1.Current().Epoch(), dd.Current().Epoch(); got != want {
+				t.Fatalf("replayed reopen at epoch %d, live dataset at %d", got, want)
+			}
+			verifyEpoch(t, cell.name+"/replayed", re1.Dataset, o, vol, cell.opts)
+			if err := re1.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Checkpoint, commit more (onto the fresh WAL), close, reopen:
+			// recovery is a snapshot thaw plus a short replay.
+			if err := dd.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			mutateStep(t, rng, dd.Dataset, o, 12, vol)
+			if err := dd.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re2, err := engine.OpenDataset(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyEpoch(t, cell.name+"/checkpointed", re2.Dataset, o, vol, cell.opts)
+
+			// Post-reopen commits must keep matching, and survive one more
+			// checkpoint + reopen cycle.
+			mutateStep(t, rng, re2.Dataset, o, 12, vol)
+			mutateStep(t, rng, re2.Dataset, o, 12, vol)
+			verifyEpoch(t, cell.name+"/post-reopen", re2.Dataset, o, vol, cell.opts)
+			if err := re2.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := re2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re3, err := engine.OpenDataset(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re3.Close()
+			verifyEpoch(t, cell.name+"/post-reopen-checkpointed", re3.Dataset, o, vol, cell.opts)
+		})
+	}
+}
+
+// --- Crash-recovery subprocess suite ---
+
+// The child workload is fully deterministic so the parent can reconstruct
+// the expected state for any recovered prefix of it: crashBatches committed
+// batches over crashInitialN initial items, with an explicit compaction
+// before batch crashCompactAt (a WAL epoch gap) and a checkpoint before
+// batch crashCheckpointAt.
+const (
+	crashChildDirEnv  = "NEUROSPATIAL_CRASH_CHILD_DIR"
+	crashInitialN     = 24
+	crashBatches      = 6
+	crashCompactAt    = 3
+	crashCheckpointAt = 5
+	// crashSweepLimit bounds the per-point injection sweep; the workload hits
+	// each point at most crashBatches times, so reaching this is a bug.
+	crashSweepLimit = crashBatches + 2
+)
+
+var crashVol = geom.Box(geom.V(0, 0, 0), geom.V(100, 100, 100))
+
+// crashItemBox is the deterministic box of item id in the crash workload.
+func crashItemBox(id int32) geom.AABB {
+	x := float64((id*37)%97) + 0.5
+	y := float64((id*53)%89) + 0.5
+	z := float64((id*71)%83) + 0.5
+	return geom.BoxAround(geom.V(x, y, z), 1+float64(id%5))
+}
+
+func crashInitialItems() []rtree.Item {
+	items := make([]rtree.Item, crashInitialN)
+	for i := range items {
+		items[i] = rtree.Item{ID: int32(i), Box: crashItemBox(int32(i))}
+	}
+	return items
+}
+
+// crashBatchOps describes batch b (1-based): two inserts whose IDs the
+// sequential allocator is guaranteed to assign, an update of an initial item
+// from batch 2 on, and from batch 3 on a delete of the first item inserted
+// two batches earlier.
+type crashOp struct {
+	kind int // 0 insert, 1 delete, 2 update
+	id   int32
+}
+
+func crashBatchOps(b int) []crashOp {
+	first := int32(crashInitialN + 2*(b-1))
+	ops := []crashOp{{kind: 0, id: first}, {kind: 0, id: first + 1}}
+	if b >= 2 {
+		ops = append(ops, crashOp{kind: 2, id: int32((b * 5) % crashInitialN)})
+	}
+	if b >= 3 {
+		ops = append(ops, crashOp{kind: 1, id: int32(crashInitialN + 2*(b-3))})
+	}
+	return ops
+}
+
+// crashOracleAt returns the live item set after batches 1..k, via the same
+// versioned oracle the differential suite uses.
+func crashOracleAt(k int) []rtree.Item {
+	o := newVersionedOracle(crashInitialItems())
+	for b := 1; b <= k; b++ {
+		for _, op := range crashBatchOps(b) {
+			switch op.kind {
+			case 0:
+				o.insert(op.id, crashItemBox(op.id+100*int32(b)))
+			case 1:
+				o.remove(op.id)
+			case 2:
+				o.remove(op.id)
+				o.insert(op.id, crashItemBox(op.id+100*int32(b)))
+			}
+		}
+	}
+	return o.live()
+}
+
+func crashNumItems(k int) int {
+	return len(crashOracleAt(k))
+}
+
+func crashDatasetOptions() engine.DatasetOptions {
+	return engine.DatasetOptions{
+		Contenders:         []string{"flat", "rtree", "grid", "sharded"},
+		Shards:             4,
+		DisableAutoCompact: true, // epoch sequence must be script-controlled
+	}
+}
+
+// TestDurableCrashChild is the re-exec entry point: it only runs when the
+// parent set crashChildDirEnv, performs the deterministic workload with the
+// injected crash armed, and exits 0 if the crash never fired.
+func TestDurableCrashChild(t *testing.T) {
+	dir := os.Getenv(crashChildDirEnv)
+	if dir == "" {
+		t.Skip("subprocess entry point; set " + crashChildDirEnv + " to run")
+	}
+	dd, err := engine.CreateDataset(dir, crashInitialItems(), crashDatasetOptions())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Arm only after creation so the recovery invariant starts from an
+	// existing manifest; the creation checkpoint is not part of the sweep.
+	if err := durable.SetCrashPoint(os.Getenv(durable.CrashEnv)); err != nil {
+		t.Fatalf("arm crash point: %v", err)
+	}
+	for b := 1; b <= crashBatches; b++ {
+		if b == crashCompactAt {
+			if _, err := dd.Compact(); err != nil {
+				t.Fatalf("compact before batch %d: %v", b, err)
+			}
+		}
+		if b == crashCheckpointAt {
+			if err := dd.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint before batch %d: %v", b, err)
+			}
+		}
+		tx := dd.Begin()
+		for _, op := range crashBatchOps(b) {
+			switch op.kind {
+			case 0:
+				if got := tx.Insert(crashItemBox(op.id + 100*int32(b))); got != op.id {
+					t.Fatalf("batch %d: allocator assigned %d, workload expects %d", b, got, op.id)
+				}
+			case 1:
+				tx.Delete(op.id)
+			case 2:
+				tx.Update(op.id, crashItemBox(op.id+100*int32(b)))
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	if err := dd.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestDurableCrashRecovery sweeps every injectable sync point: for each
+// point it re-execs the child with the crash armed at hit 1, 2, ... until
+// the child survives the whole workload, and after every kill asserts that
+// reopening recovers exactly the batches whose WAL fsync semantics say must
+// (or legitimately may) be durable — then replays queries hit-for-hit on
+// every contender against the oracle at that prefix.
+func TestDurableCrashRecovery(t *testing.T) {
+	if os.Getenv(crashChildDirEnv) != "" {
+		t.Skip("running inside a crash child")
+	}
+	for _, point := range durable.CrashPoints {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			fired := false
+			for n := 1; ; n++ {
+				if n >= crashSweepLimit {
+					t.Fatalf("injection sweep for %s did not terminate", point)
+				}
+				spec := fmt.Sprintf("%s:%d", point, n)
+				dir := t.TempDir()
+				cmd := exec.Command(os.Args[0], "-test.run", "^TestDurableCrashChild$", "-test.v")
+				cmd.Env = append(os.Environ(),
+					crashChildDirEnv+"="+dir,
+					durable.CrashEnv+"="+spec,
+				)
+				out, err := cmd.CombinedOutput()
+				if err == nil {
+					// The workload finished without hitting the armed count:
+					// the sweep for this point is complete.
+					if !fired {
+						t.Fatalf("crash point %s never fired", point)
+					}
+					break
+				}
+				exit := cmd.ProcessState.ExitCode()
+				if exit != 137 {
+					t.Fatalf("injection %s: child failed (exit %d) instead of crashing:\n%s", spec, exit, out)
+				}
+				fired = true
+				verifyCrashRecovery(t, dir, point, n, string(out))
+			}
+		})
+	}
+}
+
+// verifyCrashRecovery opens the crashed-at-spec dataset directory and checks
+// the recovered state.
+func verifyCrashRecovery(t *testing.T, dir, point string, n int, childOut string) {
+	t.Helper()
+	dd, err := engine.OpenDataset(dir)
+	if err != nil {
+		t.Fatalf("injection %s:%d: reopen after crash: %v\nchild output:\n%s", point, n, err, childOut)
+	}
+	defer dd.Close()
+
+	live := dd.Current().NumItems()
+	k := -1
+	for c := 0; c <= crashBatches; c++ {
+		if crashNumItems(c) == live {
+			k = c
+			break
+		}
+	}
+	if k < 0 {
+		t.Fatalf("injection %s:%d: recovered %d live items, matching no workload prefix\nchild output:\n%s",
+			point, n, live, childOut)
+	}
+
+	// Which prefix must the recovery land on? The n-th hit of each WAL point
+	// happens inside batch n's commit; the checkpoint points fire during the
+	// explicit checkpoint, after batch crashCheckpointAt-1.
+	switch point {
+	case durable.CrashWALAppend, durable.CrashWALTorn:
+		// The record never fully reached the file: batch n must vanish.
+		if k != n-1 {
+			t.Fatalf("injection %s:%d: recovered %d batches, want %d (batch must vanish)\nchild output:\n%s",
+				point, n, k, n-1, childOut)
+		}
+	case durable.CrashWALWritten:
+		// Written but not fsynced: with a process kill (no kernel crash) the
+		// write is visible, so the whole batch replays; a real power cut
+		// could also legitimately lose it. Either way, never a torn batch.
+		if k != n && k != n-1 {
+			t.Fatalf("injection %s:%d: recovered %d batches, want %d or %d\nchild output:\n%s",
+				point, n, k, n-1, n, childOut)
+		}
+	case durable.CrashWALSynced:
+		// Fsynced before the crash: the batch is durable and must survive.
+		if k != n {
+			t.Fatalf("injection %s:%d: recovered %d batches, want %d (batch was fsynced)\nchild output:\n%s",
+				point, n, k, n, childOut)
+		}
+	case durable.CrashCheckpointFiles, durable.CrashCheckpointRenamed:
+		// The checkpoint runs before batch crashCheckpointAt: whichever side
+		// of the manifest rename the crash lands on, the committed prefix is
+		// the same — only the generation serving it differs.
+		if k != crashCheckpointAt-1 {
+			t.Fatalf("injection %s:%d: recovered %d batches, want %d\nchild output:\n%s",
+				point, n, k, crashCheckpointAt-1, childOut)
+		}
+	}
+
+	// Hit-for-hit against the oracle at the recovered prefix, on every
+	// contender.
+	oracle := crashOracleAt(k)
+	reqs := mixedRequests(oracle, crashVol)
+	for _, name := range []string{"flat", "rtree", "grid", "sharded"} {
+		sess, err := engine.Open(engine.WithDataset(dd.Dataset), engine.WithIndexName(name))
+		if err != nil {
+			t.Fatalf("injection %s:%d: open %s session: %v", point, n, name, err)
+		}
+		got, err := sess.DoBatch(context.Background(), reqs, 2)
+		if err != nil {
+			sess.Close()
+			t.Fatalf("injection %s:%d: %s batch: %v", point, n, name, err)
+		}
+		for i, r := range reqs {
+			want := oracleHits(oracle, r)
+			if !hitsEqual(got[i].Hits, want) {
+				sess.Close()
+				t.Fatalf("injection %s:%d: %s request %d (%s): recovered dataset returned %v, oracle %v\nchild output:\n%s",
+					point, n, name, i, r, got[i].Hits, want, childOut)
+			}
+		}
+		sess.Close()
+	}
+}

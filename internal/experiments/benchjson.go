@@ -39,12 +39,13 @@ type BenchConfigs struct {
 	E10 E10Config
 	E11 E11Config
 	E12 E12Config
+	E13 E13Config
 }
 
 // DefaultBenchConfigs returns the EXPERIMENTS.md-scale configurations.
 func DefaultBenchConfigs() BenchConfigs {
 	return BenchConfigs{E1: DefaultE1(), E4: DefaultE4(), E7: DefaultE7(), E8: DefaultE8(),
-		E9: DefaultE9(), E10: DefaultE10(), E11: DefaultE11(), E12: DefaultE12()}
+		E9: DefaultE9(), E10: DefaultE10(), E11: DefaultE11(), E12: DefaultE12(), E13: DefaultE13()}
 }
 
 // QuickBenchConfigs returns reduced configurations sized for a CI smoke
@@ -79,20 +80,25 @@ func QuickBenchConfigs() BenchConfigs {
 	c.E12.Ops = 16
 	c.E12.ChurnOps = []int{0, 64}
 	c.E12.Rounds = 10
+	c.E13.Items = 30_000
+	c.E13.Edge = 300
 	return c
 }
 
-// RunBenchJSON executes E1, E4, E7, E8, E9, E10, E11 and E12 with the given
-// configurations and writes the headline numbers as indented JSON to w.
+// RunBenchJSON executes E1, E4, E7, E8, E9, E10, E11, E12 and E13 with the
+// given configurations and writes the headline numbers as indented JSON to w.
 // Schema 3 added the E9 mixed-workload headlines (per-kind totals and
 // planner routing); schema 4 added the E10 churn headlines (update-rate
 // sweep, overlay work, compactions, copy-on-write layout reuse); schema 5
 // added the E11 streaming headlines (first-page versus full-drain page reads
-// and allocations on the large-result range query); schema 6 adds the E12
+// and allocations on the large-result range query); schema 6 added the E12
 // hot-path allocation headlines (allocs/op per contender × kind, the unpooled
-// reduction factor, and the plan cache's hit rate and probe count).
+// reduction factor, and the plan cache's hit rate and probe count); schema 7
+// adds the E13 durable-reopen headlines (cold OpenDataset versus full
+// re-index, zero page reads through open, per-contender cold-query page
+// faults).
 func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
-	report := BenchReport{Schema: 6, Engine: []string{"flat", "rtree", "grid", "sharded"}}
+	report := BenchReport{Schema: 7, Engine: []string{"flat", "rtree", "grid", "sharded"}}
 
 	e1, err := RunE1(cfgs.E1)
 	if err != nil {
@@ -293,6 +299,31 @@ func RunBenchJSON(w io.Writer, cfgs BenchConfigs) error {
 		}
 	}
 	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E12", Metrics: e12m})
+
+	e13, err := RunE13(cfgs.E13)
+	if err != nil {
+		return err
+	}
+	e13m := map[string]float64{
+		// Times move with the runner; the counts ("*_pages", "*_reads") are
+		// deterministic under the fixed seed and gated by cmd/benchgate.
+		// open_page_reads is the no-rescan witness — the runner already
+		// failed if it was nonzero, so the gate pins it at zero forever.
+		"items":           float64(e13.Items),
+		"open_page_reads": float64(e13.OpenReads),
+		"reindex_ms":      float64(e13.BuildTime) / float64(time.Millisecond),
+		"create_ms":       float64(e13.CreateTime) / float64(time.Millisecond),
+		"open_ms":         float64(e13.OpenTime) / float64(time.Millisecond),
+		"open_speedup_x":  e13.OpenSpeedup(),
+		"disk_mb":         float64(e13.DiskBytes) / (1 << 20),
+	}
+	for _, r := range e13.Rows {
+		e13m[r.Contender+"_segment_pages"] = float64(r.SegmentPages)
+		e13m[r.Contender+"_cold_pages"] = float64(r.ColdReads)
+		e13m[r.Contender+"_warm_pages"] = float64(r.WarmReads)
+		e13m[r.Contender+"_cold_query_ms"] = float64(r.ColdTime) / float64(time.Millisecond)
+	}
+	report.Headlines = append(report.Headlines, BenchHeadline{Experiment: "E13", Metrics: e13m})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

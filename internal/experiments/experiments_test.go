@@ -472,3 +472,39 @@ func TestRunE12HotPathAllocs(t *testing.T) {
 		t.Error("E12 tables malformed")
 	}
 }
+
+// TestRunE13DurableReopen runs the reopen experiment at test scale. The
+// runner self-enforces the durability guarantees (zero page reads through
+// open, cold queries faulting in a sliver of the segment, zero warm re-reads,
+// contender agreement), so the test mostly pins the shape: all four
+// contenders present, a sane speedup figure, and a well-formed table.
+func TestRunE13DurableReopen(t *testing.T) {
+	cfg := DefaultE13()
+	cfg.Items = 20_000
+	cfg.Edge = 300
+	res, err := RunE13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	if res.OpenReads != 0 {
+		t.Errorf("open reads = %d, want 0", res.OpenReads)
+	}
+	if res.DiskBytes <= 0 {
+		t.Errorf("disk bytes = %d, want > 0", res.DiskBytes)
+	}
+	if res.OpenSpeedup() <= 0 {
+		t.Errorf("open speedup = %g, want > 0", res.OpenSpeedup())
+	}
+	for _, row := range res.Rows {
+		if row.Hits != res.Rows[0].Hits {
+			t.Errorf("%s hit %d, %s hit %d — contenders disagree",
+				row.Contender, row.Hits, res.Rows[0].Contender, res.Rows[0].Hits)
+		}
+	}
+	if !strings.Contains(E13Table(res).String(), "cold pages") {
+		t.Error("E13 table malformed")
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+// Experiment E13 — durable reopen: cold OpenDataset versus a full re-index.
+//
+// The durable layer's whole bargain is that a checkpointed dataset comes back
+// without rebuilding anything: OpenDataset parses a manifest, thaws the
+// serialized index skeletons, and attaches every contender to its on-disk
+// page segment — item pages stay on disk until a query faults them in. E13
+// measures both sides of that bargain on the million-item Hilbert set: the
+// wall-clock cost of a full in-memory build (what reopening used to require),
+// the cost of CreateDataset (build + checkpoint), and the cost of a cold
+// OpenDataset, plus the first-query latency through the still-cold disk
+// store for every contender.
+//
+// The runner does not trust timings alone. The page file's own physical-read
+// counter must be zero through open (opening reads headers, not pages), the
+// cold first query must fault in only a sliver of the contender's segment
+// (anything near half the segment means the open path degenerated into a
+// scan), the repeated query must read zero new pages (the frame cache
+// holds), and all contenders must agree on the hit set.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"neurospatial/internal/engine"
+	"neurospatial/internal/flat"
+	"neurospatial/internal/geom"
+	"neurospatial/internal/stats"
+)
+
+// E13Config parameterizes the durable-reopen experiment.
+type E13Config struct {
+	// Items is the dataset size.
+	Items int
+	// Edge is the volume edge.
+	Edge float64
+	// HalfMin and HalfMax bound the item half-extents.
+	HalfMin, HalfMax float64
+	// PageSize is the contenders' disk-page capacity.
+	PageSize int
+	// Seed drives item placement.
+	Seed int64
+	// Dir, when non-empty, is the directory the durable dataset is written
+	// to (it must not exist; it is left behind for inspection). Empty uses
+	// a temporary directory that is removed when the run ends.
+	Dir string
+}
+
+// DefaultE13 returns the configuration used in EXPERIMENTS.md: the same
+// million-item Hilbert-ordered set E11 streams over, checkpointed to disk
+// and reopened cold.
+func DefaultE13() E13Config {
+	return E13Config{
+		Items:    1_000_000,
+		Edge:     1000,
+		HalfMin:  0.5,
+		HalfMax:  2,
+		PageSize: 64,
+		Seed:     31,
+	}
+}
+
+// E13Row is one contender's cold-versus-warm first query through the
+// reopened dataset.
+type E13Row struct {
+	// Contender names the index.
+	Contender string
+	// Hits is the query's result size (identical across contenders by
+	// construction; the runner fails otherwise).
+	Hits int64
+	// SegmentPages is the contender's on-disk segment size in pages.
+	SegmentPages int64
+	// ColdReads is the number of page slots the first query faulted in from
+	// disk, counted by the page file's own physical-read counter. The
+	// runner fails unless 0 < ColdReads < SegmentPages/2.
+	ColdReads int64
+	// WarmReads is the number of additional physical reads of the repeated
+	// query — zero when the frame cache holds (the runner enforces it).
+	WarmReads int64
+	// ColdTime and WarmTime are the two queries' wall-clock times.
+	ColdTime, WarmTime time.Duration
+}
+
+// E13Result is the full reopen experiment: the three build/open timings and
+// the per-contender cold-query rows.
+type E13Result struct {
+	// Items is the dataset size actually persisted and recovered.
+	Items int
+	// BuildTime is the full in-memory re-index (engine.NewDataset over all
+	// contenders) — the cost OpenDataset replaces.
+	BuildTime time.Duration
+	// CreateTime is CreateDataset: the same build plus the initial
+	// checkpoint (snapshot + page file + WAL + manifest, fsynced).
+	CreateTime time.Duration
+	// OpenTime is the cold OpenDataset on the checkpointed directory.
+	OpenTime time.Duration
+	// OpenReads is the page file's physical-read count through open — the
+	// no-rescan witness; the runner fails unless it is zero.
+	OpenReads int64
+	// DiskBytes is the durable directory's total size.
+	DiskBytes int64
+	// Rows are the per-contender cold first queries.
+	Rows []E13Row
+}
+
+// OpenSpeedup is the headline ratio: full re-index time over cold open time.
+func (r *E13Result) OpenSpeedup() float64 {
+	if r.OpenTime <= 0 {
+		return 0
+	}
+	return float64(r.BuildTime) / float64(r.OpenTime)
+}
+
+// RunE13 checkpoints the Hilbert set to disk, reopens it cold, and runs the
+// first query through every contender's disk segment.
+func RunE13(cfg E13Config) (*E13Result, error) {
+	if cfg.Items <= 0 {
+		return nil, fmt.Errorf("experiments: E13: Items must be positive")
+	}
+	items := hilbertItems(E11Config{Items: cfg.Items, Edge: cfg.Edge,
+		HalfMin: cfg.HalfMin, HalfMax: cfg.HalfMax, Seed: cfg.Seed})
+	contenders := []string{"flat", "rtree", "grid", "sharded"}
+	opts := engine.DatasetOptions{
+		Contenders: contenders,
+		Flat:       flat.Options{PageSize: cfg.PageSize},
+		Grid:       engine.GridOptions{PageSize: cfg.PageSize},
+		PageSize:   cfg.PageSize,
+	}
+
+	// The cost OpenDataset replaces: a full build of every contender.
+	t0 := time.Now()
+	if _, err := engine.NewDataset(items, opts); err != nil {
+		return nil, fmt.Errorf("experiments: E13: re-index build: %w", err)
+	}
+	res := &E13Result{Items: cfg.Items, BuildTime: time.Since(t0)}
+
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "neurospatial-e13-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else {
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: E13: create dataset dir: %w", err)
+		}
+	}
+
+	t0 = time.Now()
+	dd, err := engine.CreateDataset(dir, items, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E13: CreateDataset: %w", err)
+	}
+	res.CreateTime = time.Since(t0)
+	if err := dd.Close(); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range ents {
+		if info, err := os.Stat(filepath.Join(dir, ent.Name())); err == nil {
+			res.DiskBytes += info.Size()
+		}
+	}
+
+	t0 = time.Now()
+	re, err := engine.OpenDataset(dir)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: E13: OpenDataset: %w", err)
+	}
+	res.OpenTime = time.Since(t0)
+	defer re.Close()
+	if got := re.Current().NumItems(); got != cfg.Items {
+		return nil, fmt.Errorf("experiments: E13: reopened dataset holds %d items, want %d", got, cfg.Items)
+	}
+	pf := re.PageFiles()[len(re.PageFiles())-1]
+	res.OpenReads = pf.Reads()
+	if res.OpenReads != 0 {
+		return nil, fmt.Errorf("experiments: E13: open issued %d physical page reads, want 0 (full-store scan?)", res.OpenReads)
+	}
+
+	// A small interior box sized so the expected hit count stays near 100
+	// at any Items scale: large enough that every contender does real work,
+	// small enough that a cold read of even a tenth of a segment is a red
+	// flag.
+	side := cfg.Edge * math.Cbrt(100/float64(cfg.Items))
+	lo := geom.V(cfg.Edge*0.25, cfg.Edge*0.25, cfg.Edge*0.25)
+	query := engine.RangeRequest(geom.Box(lo, geom.V(lo.X+side, lo.Y+side, lo.Z+side)))
+
+	var canonical []engine.Hit
+	for _, name := range contenders {
+		sess, err := engine.Open(engine.WithDataset(re.Dataset), engine.WithIndexName(name))
+		if err != nil {
+			return nil, err
+		}
+		seg, err := pf.Segment(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E13: %s has no disk segment: %w", name, err)
+		}
+		row := E13Row{Contender: name, SegmentPages: int64(seg.NumPages())}
+
+		before := pf.Reads()
+		t0 = time.Now()
+		cold, err := sess.Do(context.Background(), query)
+		row.ColdTime = time.Since(t0)
+		if err != nil {
+			sess.Close()
+			return nil, fmt.Errorf("experiments: E13: %s cold query: %w", name, err)
+		}
+		row.ColdReads = pf.Reads() - before
+		row.Hits = int64(len(cold.Hits))
+
+		before = pf.Reads()
+		t0 = time.Now()
+		warm, err := sess.Do(context.Background(), query)
+		row.WarmTime = time.Since(t0)
+		sess.Close()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E13: %s warm query: %w", name, err)
+		}
+		row.WarmReads = pf.Reads() - before
+
+		if row.ColdReads == 0 {
+			return nil, fmt.Errorf("experiments: E13: %s cold query read no pages through the disk segment", name)
+		}
+		if row.ColdReads >= row.SegmentPages/2 {
+			return nil, fmt.Errorf("experiments: E13: %s cold query read %d of %d segment pages — a scan, not a lookup",
+				name, row.ColdReads, row.SegmentPages)
+		}
+		if row.WarmReads != 0 {
+			return nil, fmt.Errorf("experiments: E13: %s warm query re-read %d pages — the frame cache did not hold", name, row.WarmReads)
+		}
+		if len(warm.Hits) != len(cold.Hits) {
+			return nil, fmt.Errorf("experiments: E13: %s warm query returned %d hits, cold %d", name, len(warm.Hits), len(cold.Hits))
+		}
+		if canonical == nil {
+			if len(cold.Hits) == 0 {
+				return nil, fmt.Errorf("experiments: E13: the probe query hit nothing — widen the box")
+			}
+			canonical = cold.Hits
+		} else if !sameHitIDs(canonical, cold.Hits) {
+			return nil, fmt.Errorf("experiments: E13: %s disagrees with %s on the cold hit set", name, res.Rows[0].Contender)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// sameHitIDs reports whether two hit lists carry the same IDs in the same
+// order (contenders emit canonical ascending-ID order, so order is part of
+// the contract).
+func sameHitIDs(a, b []engine.Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// E13Table renders the reopen experiment.
+func E13Table(r *E13Result) *stats.Table {
+	tb := stats.NewTable(fmt.Sprintf(
+		"E13: cold OpenDataset vs full re-index (%s items, %s on disk)"+
+			"\nre-index %s   create+checkpoint %s   cold open %s (%.0fx faster than re-index, %d page reads)",
+		stats.Count(int64(r.Items)), stats.Bytes(r.DiskBytes),
+		stats.Dur(r.BuildTime), stats.Dur(r.CreateTime), stats.Dur(r.OpenTime),
+		r.OpenSpeedup(), r.OpenReads),
+		"contender", "hits", "segment pages", "cold pages", "warm pages", "cold query", "warm query")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Contender, row.Hits, row.SegmentPages, row.ColdReads, row.WarmReads,
+			stats.Dur(row.ColdTime), stats.Dur(row.WarmTime))
+	}
+	return tb
+}

@@ -1,0 +1,78 @@
+package flat
+
+import (
+	"fmt"
+
+	"neurospatial/internal/geom"
+	"neurospatial/internal/pager"
+	"neurospatial/internal/rtree"
+)
+
+// Rehydrate reconstructs a FLAT index from its recorded page layout: pages
+// lists, per page, the item IDs laid out on it, exactly as a prior Build
+// placed them. The expensive phase of Build — the STR pack that decides the
+// layout — is skipped; everything else (page MBRs, coordinate sidecar,
+// neighborhood graph, seed tree) is re-derived from the layout with the same
+// code paths Build uses, so the result is indistinguishable from the
+// original index. Item IDs must be dense in [0, len(items)) and each must
+// appear on exactly one page.
+func Rehydrate(items []rtree.Item, pages [][]int32, opts Options) (*Index, error) {
+	o := opts.sanitize()
+	idx := &Index{opts: o, boxes: make([]geom.AABB, len(items))}
+	for _, it := range items {
+		if it.ID < 0 || int(it.ID) >= len(items) {
+			return nil, fmt.Errorf("flat: item ID %d not dense in [0,%d)", it.ID, len(items))
+		}
+		idx.boxes[it.ID] = it.Box
+	}
+
+	builder, err := pager.NewBuilder(o.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	idx.pageOf = make([]pager.PageID, len(items))
+	idx.pageBox = make([]geom.AABB, 0, len(pages))
+	placed := make([]bool, len(items))
+	total := 0
+	for p, page := range pages {
+		if len(page) == 0 || len(page) > o.PageSize {
+			return nil, fmt.Errorf("flat: recorded page %d holds %d items, want 1..%d", p, len(page), o.PageSize)
+		}
+		box := geom.EmptyAABB()
+		for _, id := range page {
+			if id < 0 || int(id) >= len(items) || placed[id] {
+				return nil, fmt.Errorf("flat: recorded page %d places invalid or duplicate item %d", p, id)
+			}
+			placed[id] = true
+			pid := builder.Add(id)
+			idx.pageOf[id] = pid
+			box = box.Union(idx.boxes[id])
+		}
+		builder.FlushPage()
+		idx.pageBox = append(idx.pageBox, box)
+		total += len(page)
+	}
+	if total != len(items) {
+		return nil, fmt.Errorf("flat: recorded layout places %d of %d items", total, len(items))
+	}
+	idx.store = builder.Build()
+	if idx.store.NumPages() != len(idx.pageBox) {
+		return nil, fmt.Errorf("flat: page bookkeeping diverged: %d pages, %d boxes",
+			idx.store.NumPages(), len(idx.pageBox))
+	}
+	idx.coords = pager.BuildCoords(idx.store, func(id int32) geom.AABB { return idx.boxes[id] })
+
+	if err := idx.buildNeighborhood(); err != nil {
+		return nil, err
+	}
+
+	pageItems := make([]rtree.Item, len(idx.pageBox))
+	for p, b := range idx.pageBox {
+		pageItems[p] = rtree.Item{Box: b, ID: int32(p)}
+	}
+	idx.seedTree, err = rtree.STR(pageItems, o.SeedFanout)
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
