@@ -38,7 +38,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := analysis.Run(a, pkg)
+	diags, err := analysis.Run(a, pkg, nil)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}
@@ -64,6 +64,191 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.rx)
 		}
 	}
+}
+
+// RunSummaries builds a single-package module over the fixture in dir and
+// diffs each function's computed interprocedural summary against
+// "// want-summary" comments written above or trailing the declaration:
+//
+//	// want-summary acquires=1 err=format
+//	func openPinned(d *Dataset) (*Snapshot, error) { ... }
+//
+// Supported keys: acquires, releases-recv, checks-ctx, panics (0/1);
+// releases-param, puts-param, retains-param (comma-separated true indices,
+// or "none"); effects (io, write, fsync, dirfsync, rename, walappend, or
+// "none"); err (format, corrupt, opaque, or "none"); locks (lock names, or
+// "none"). Set-valued keys assert exact equality, so a fixture pins the
+// whole fact sheet, not a lower bound.
+func RunSummaries(t *testing.T, dir string) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	mod := analysis.BuildModule([]*analysis.Package{pkg})
+
+	byLine := map[int]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "// want-summary "); ok {
+					byLine[pkg.Fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	if len(byLine) == 0 {
+		t.Fatalf("fixture %s has no want-summary comments", dir)
+	}
+
+	checked := 0
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			line := pkg.Fset.Position(fd.Pos()).Line
+			spec, ok := byLine[line]
+			if !ok {
+				spec, ok = byLine[line-1]
+			}
+			if !ok {
+				continue
+			}
+			checked++
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				t.Errorf("%s: no object for %s", dir, fd.Name.Name)
+				continue
+			}
+			s := mod.Summary(analysis.KeyForFunc(fn))
+			if s == nil {
+				t.Errorf("%s: no summary computed for %s", dir, fd.Name.Name)
+				continue
+			}
+			checkSummary(t, fd.Name.Name, spec, s)
+		}
+	}
+	if checked != len(byLine) {
+		t.Errorf("%s: %d want-summary comments but %d matched a declaration", dir, len(byLine), checked)
+	}
+}
+
+// checkSummary diffs one function's summary against a want-summary spec.
+func checkSummary(t *testing.T, fname, spec string, s *analysis.Summary) {
+	t.Helper()
+	boolOf := func(v string) bool { return v == "1" || v == "true" }
+	setOf := func(v string) map[string]bool {
+		out := map[string]bool{}
+		if v == "none" {
+			return out
+		}
+		for _, p := range strings.Split(v, ",") {
+			out[strings.TrimSpace(p)] = true
+		}
+		return out
+	}
+	paramSet := func(bits []bool) map[string]bool {
+		out := map[string]bool{}
+		for i, b := range bits {
+			if b {
+				out[fmt.Sprint(i)] = true
+			}
+		}
+		return out
+	}
+	eqSet := func(key string, got, wantSet map[string]bool) {
+		t.Helper()
+		for k := range wantSet {
+			if !got[k] {
+				t.Errorf("%s: summary %s: missing %q (got %v)", fname, key, k, keys(got))
+			}
+		}
+		for k := range got {
+			if !wantSet[k] {
+				t.Errorf("%s: summary %s: unexpected %q (want %v)", fname, key, k, keys(wantSet))
+			}
+		}
+	}
+
+	for _, field := range strings.Fields(spec) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			t.Errorf("%s: malformed want-summary field %q", fname, field)
+			continue
+		}
+		switch key {
+		case "acquires":
+			if s.Acquires != boolOf(val) {
+				t.Errorf("%s: summary acquires = %v, want %v", fname, s.Acquires, boolOf(val))
+			}
+		case "releases-recv":
+			if s.ReleasesRecv != boolOf(val) {
+				t.Errorf("%s: summary releases-recv = %v, want %v", fname, s.ReleasesRecv, boolOf(val))
+			}
+		case "checks-ctx":
+			if s.ChecksCtx != boolOf(val) {
+				t.Errorf("%s: summary checks-ctx = %v, want %v", fname, s.ChecksCtx, boolOf(val))
+			}
+		case "panics":
+			if s.Panics != boolOf(val) {
+				t.Errorf("%s: summary panics = %v, want %v", fname, s.Panics, boolOf(val))
+			}
+		case "releases-param":
+			eqSet("releases-param", paramSet(s.ReleasesParam), setOf(val))
+		case "puts-param":
+			eqSet("puts-param", paramSet(s.PutsParam), setOf(val))
+		case "retains-param":
+			eqSet("retains-param", paramSet(s.RetainsParam), setOf(val))
+		case "effects":
+			got := map[string]bool{}
+			for name, bit := range effectBits {
+				if s.Effects&bit != 0 {
+					got[name] = true
+				}
+			}
+			eqSet("effects", got, setOf(val))
+		case "err":
+			got := map[string]bool{}
+			if s.ErrFormat {
+				got["format"] = true
+			}
+			if s.ErrCorrupt {
+				got["corrupt"] = true
+			}
+			if s.ErrOpaque {
+				got["opaque"] = true
+			}
+			eqSet("err", got, setOf(val))
+		case "locks":
+			got := map[string]bool{}
+			for l := range s.Locks {
+				got[l] = true
+			}
+			eqSet("locks", got, setOf(val))
+		default:
+			t.Errorf("%s: unknown want-summary key %q", fname, key)
+		}
+	}
+}
+
+var effectBits = map[string]analysis.Effect{
+	"io":        analysis.EffIO,
+	"write":     analysis.EffWrite,
+	"fsync":     analysis.EffFsync,
+	"dirfsync":  analysis.EffDirFsync,
+	"rename":    analysis.EffRename,
+	"walappend": analysis.EffWALAppend,
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 type want struct {

@@ -126,7 +126,10 @@ func isReadPage(pass *analysis.Pass, call *ast.CallExpr) bool {
 
 // loopChecksCtx reports whether any context check appears inside the loop,
 // at any depth: the check governs the loop path even when hoisted into a
-// helper condition or an inner loop that dominates the reads.
+// helper condition or an inner loop that dominates the reads. A call whose
+// callee checks the context — per its interprocedural summary, including
+// interface calls resolved through the call graph (a ctx-wrapping
+// PageSource's ReadPage that polls ctx.Err itself) — counts too.
 func loopChecksCtx(pass *analysis.Pass, loop ast.Node) bool {
 	found := false
 	ast.Inspect(loop, func(n ast.Node) bool {
@@ -145,6 +148,11 @@ func loopChecksCtx(pass *analysis.Pass, loop ast.Node) bool {
 					if tv, ok := pass.TypesInfo.Types[fun.X]; ok && isContext(tv.Type) {
 						found = true
 					}
+				}
+			}
+			if !found {
+				if merged := pass.Module.MergedCallSummary(pass.Package, n); merged != nil && merged.ChecksCtx {
+					found = true
 				}
 			}
 		}

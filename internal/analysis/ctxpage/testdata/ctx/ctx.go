@@ -82,6 +82,36 @@ func rangeExprRead(ctx context.Context, s *source, ids []PageID) int {
 	return total
 }
 
+// pageSource is the interface shape the engine reads through.
+type pageSource interface {
+	ReadPage(id PageID) []int32
+}
+
+// ctxSource wraps a source and polls the context on every read — the
+// engine's cancellation wrapper.
+type ctxSource struct {
+	ctx   context.Context
+	inner *source
+}
+
+func (c *ctxSource) ReadPage(id PageID) []int32 {
+	if c.ctx.Err() != nil {
+		return nil
+	}
+	return c.inner.ReadPage(id)
+}
+
+// summaryChecked has no syntactic check in the loop, but the interface
+// call resolves (via the call graph) to implementations including
+// ctxSource.ReadPage, whose summary checks the context.
+func summaryChecked(src pageSource, ids []PageID) int {
+	total := 0
+	for _, id := range ids {
+		total += len(src.ReadPage(id))
+	}
+	return total
+}
+
 // noReads iterates without touching pages: nothing to enforce.
 func noReads(ids []PageID) int {
 	total := 0

@@ -1,0 +1,12 @@
+package errcontract_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/errcontract"
+)
+
+func TestErrcontractFixtures(t *testing.T) {
+	antest.Run(t, "testdata/errs", errcontract.Analyzer)
+}

@@ -1,0 +1,152 @@
+// Fixture for errcontract: decode paths must fail with typed errors.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+type FormatError struct{ Reason string }
+
+func (e *FormatError) Error() string { return e.Reason }
+
+type CorruptError struct{ Reason string }
+
+func (e *CorruptError) Error() string { return e.Reason }
+
+// checkHeader is a helper whose summary carries the format classification.
+func checkHeader(data []byte) error {
+	if len(data) < 4 {
+		return &FormatError{Reason: "truncated header"}
+	}
+	return nil
+}
+
+// readAll is a helper that fails opaquely; wrapping it stays opaque.
+func readAll(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("no data")
+	}
+	return nil
+}
+
+// mustU32 panics on short input; its summary records the panic.
+func mustU32(data []byte) uint32 {
+	if len(data) < 4 {
+		panic("short read")
+	}
+	return uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
+}
+
+// --- non-flagging cases ---
+
+// DecodeGood fails only with typed errors, directly and via helper.
+func DecodeGood(data []byte) (int, error) {
+	if err := checkHeader(data); err != nil {
+		return 0, err
+	}
+	if len(data) > 8 && data[4] != 0x7f {
+		return 0, &CorruptError{Reason: "checksum mismatch"}
+	}
+	return len(data), nil
+}
+
+// ParseWrapped keeps the kind through a %w wrap.
+func ParseWrapped(data []byte) (int, error) {
+	if err := checkHeader(data); err != nil {
+		return 0, fmt.Errorf("parse frame: %w", err)
+	}
+	return len(data), nil
+}
+
+// decodeInternal is unexported: out of contract scope.
+func decodeInternal(data []byte) error {
+	return errors.New("scratch decode")
+}
+
+// DecodeRecovered converts panics to typed errors with a recover guard.
+func DecodeRecovered(data []byte) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &FormatError{Reason: "panic during decode"}
+		}
+	}()
+	if data == nil {
+		panic("nil input")
+	}
+	return len(data), nil
+}
+
+// decodeNested recurses; every base return is typed, and the recursive
+// forward must not read as opaque (the SCC fixpoint regression case).
+func decodeNested(data []byte, depth int) error {
+	if depth > 8 {
+		return &FormatError{Reason: "nesting too deep"}
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if data[0] == 0xff {
+		return &CorruptError{Reason: "reserved tag"}
+	}
+	if err := decodeNested(data[1:], depth+1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DecodeTree forwards a recursive helper's typed errors.
+func DecodeTree(data []byte) (int, error) {
+	if err := decodeNested(data, 0); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// DecodeLegacy documents a contract exception with the escape hatch.
+func DecodeLegacy(data []byte) (int, error) {
+	if len(data) == 0 {
+		//lint:ignore errcontract legacy path, migrating at the next format bump
+		return 0, errors.New("legacy: empty")
+	}
+	return len(data), nil
+}
+
+// --- flagging cases ---
+
+// DecodeBare fails with a bare fmt.Errorf.
+func DecodeBare(data []byte) (int, error) {
+	if len(data) < 4 {
+		return 0, fmt.Errorf("truncated: %d bytes", len(data)) // want `outside the decode contract`
+	}
+	return len(data), nil
+}
+
+// ParseOpaque fails with errors.New.
+func ParseOpaque(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("empty input") // want `outside the decode contract`
+	}
+	return nil
+}
+
+// DecodeWrapOpaque wraps an opaque helper error: still opaque.
+func DecodeWrapOpaque(data []byte) error {
+	if err := readAll(data); err != nil {
+		return fmt.Errorf("decode: %w", err) // want `outside the decode contract`
+	}
+	return nil
+}
+
+// DecodePanics panics directly on bad input.
+func DecodePanics(data []byte) (int, error) {
+	if len(data) < 4 {
+		panic("short buffer") // want `panics on bad input`
+	}
+	return len(data), nil
+}
+
+// DecodeViaPanic reaches a panic through a helper's summary.
+func DecodeViaPanic(data []byte) (uint32, error) {
+	return mustU32(data), nil // want `can panic`
+}

@@ -1,0 +1,12 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/fsyncorder"
+)
+
+func TestFsyncorderFixtures(t *testing.T) {
+	antest.Run(t, "testdata/fsync", fsyncorder.Analyzer)
+}

@@ -1,0 +1,169 @@
+// Fixture for fsyncorder: WAL-before-publish, atomic rename installs, and
+// synced file writes.
+package fsyncfix
+
+import (
+	"fmt"
+	"os"
+)
+
+type snapshot struct{ epoch uint64 }
+
+type WAL struct{ f *os.File }
+
+// Append logs one record and fsyncs it; call sites carry the WAL-append
+// effect.
+func (w *WAL) Append(rec []byte) error {
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+type Dataset struct {
+	wal *WAL
+	cur *snapshot
+}
+
+// syncDir fsyncs a directory handle; its summary carries the dir-fsync
+// effect for callers.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// syncAll wraps File.Sync; its summary carries the fsync effect.
+func syncAll(f *os.File) error { return f.Sync() }
+
+// --- non-flagging cases ---
+
+// goodCommit appends (when durable) before publishing the epoch.
+func (d *Dataset) goodCommit(rec []byte, snap *snapshot) error {
+	if d.wal != nil {
+		if err := d.wal.Append(rec); err != nil {
+			return err
+		}
+	}
+	d.cur = snap
+	return nil
+}
+
+// memCommit publishes without any WAL: the in-memory configuration.
+func (d *Dataset) memCommit(snap *snapshot) {
+	d.cur = snap
+}
+
+// goodManifest is the full atomic-install protocol.
+func goodManifest(dir string, data []byte) error {
+	tmp := dir + "/manifest.tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	if err := os.Rename(tmp, dir+"/manifest"); err != nil {
+		return fmt.Errorf("rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncedWrite syncs before its success return.
+func syncedWrite(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// helperSynced reaches the fsync through a wrapper's summary.
+func helperSynced(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := syncAll(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scratchSpill opts out explicitly: the file is a throwaway spill.
+func scratchSpill(f *os.File, data []byte) error {
+	//lint:ignore fsyncorder scratch spill file, durability not required
+	f.Write(data)
+	f.Close()
+	return nil
+}
+
+// --- flagging cases ---
+
+// badCommit publishes the epoch before the WAL record is durable.
+func (d *Dataset) badCommit(rec []byte, snap *snapshot) error {
+	d.cur = snap
+	return d.wal.Append(rec) // want `WAL append after the epoch publish`
+}
+
+// renameNoFsync installs a file that was never synced.
+func renameNoFsync(dir string, data []byte) error {
+	tmp := dir + "/state.tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dir+"/state"); err != nil { // want `without a preceding fsync`
+		return err
+	}
+	return syncDir(dir)
+}
+
+// renameNoDirSync renames but returns success without the directory fsync.
+func renameNoDirSync(dir string, data []byte) error {
+	tmp := dir + "/state.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Sync()
+	f.Close()
+	if err := os.Rename(tmp, dir+"/state"); err != nil { // want `without a directory fsync`
+		return err
+	}
+	return nil
+}
+
+// unsyncedWrite promises success while the bytes may still be in cache.
+func unsyncedWrite(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Write(data) // want `without an fsync`
+	f.Close()
+	return nil
+}

@@ -19,17 +19,28 @@ type Package struct {
 	ImportPath string
 	Dir        string
 	Fset       *token.FileSet
-	Files      []*ast.File // non-test GoFiles, parsed with comments
+	Files      []*ast.File // GoFiles + in-package TestGoFiles, parsed with comments
 	Types      *types.Package
 	Info       *types.Info
+
+	// XTest marks the external test package (pkg_test): it shares the
+	// ImportPath of the package it tests so analyzer scoping applies
+	// uniformly.
+	XTest bool
+
+	// usedIgnores records which //lint:ignore directives suppressed at
+	// least one diagnostic, accumulated across analyzer runs — see Used.
+	usedIgnores map[token.Pos]bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	Name       string
-	GoFiles    []string
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
 }
 
 // Load resolves patterns with `go list` and type-checks each package from
@@ -37,10 +48,12 @@ type listedPackage struct {
 // importer resolves `neurospatial/...` imports through go/build's module
 // support, which only engages inside the module tree.
 //
-// Test files are intentionally excluded — `go list`'s GoFiles field omits
-// them — which is also how nodeprecated exempts regression-test call sites.
+// In-package test files are merged into their package so the analyzers see
+// test code too (per-analyzer exemptions via Analyzer.ExemptTests replace
+// the old global skip); external _test packages load as their own Package
+// with XTest set, sharing the tested package's ImportPath for scoping.
 func Load(patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles", "--"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,TestGoFiles,XTestGoFiles", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -68,16 +81,7 @@ func Load(patterns ...string) ([]*Package, error) {
 	// type-checks, so the whole-repo run does each package's work once.
 	imp := importer.ForCompiler(fset, "source", nil)
 
-	var pkgs []*Package
-	for _, lp := range listed {
-		var files []*ast.File
-		for _, name := range lp.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %w", filepath.Join(lp.Dir, name), err)
-			}
-			files = append(files, f)
-		}
+	check := func(path string, files []*ast.File) (*types.Package, *types.Info, error) {
 		info := &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
 			Defs:       map[*ast.Ident]types.Object{},
@@ -86,7 +90,28 @@ func Load(patterns ...string) ([]*Package, error) {
 			Implicits:  map[ast.Node]types.Object{},
 		}
 		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		tpkg, err := conf.Check(path, fset, files, info)
+		return tpkg, info, err
+	}
+	parse := func(dir string, names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", filepath.Join(dir, name), err)
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		files, err := parse(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		tpkg, info, err := check(lp.ImportPath, files)
 		if err != nil {
 			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
 		}
@@ -98,6 +123,25 @@ func Load(patterns ...string) ([]*Package, error) {
 			Types:      tpkg,
 			Info:       info,
 		})
+		if len(lp.XTestGoFiles) > 0 {
+			xfiles, err := parse(lp.Dir, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			xpkg, xinfo, err := check(lp.ImportPath+"_test", xfiles)
+			if err != nil {
+				return nil, fmt.Errorf("type-checking %s external tests: %w", lp.ImportPath, err)
+			}
+			pkgs = append(pkgs, &Package{
+				ImportPath: lp.ImportPath,
+				Dir:        lp.Dir,
+				Fset:       fset,
+				Files:      xfiles,
+				Types:      xpkg,
+				Info:       xinfo,
+				XTest:      true,
+			})
+		}
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/lockorder"
+)
+
+func TestLockorderFixtures(t *testing.T) {
+	antest.Run(t, "testdata/locks", lockorder.Analyzer)
+}

@@ -1,0 +1,133 @@
+// Fixture for lockorder: annotated mutex ordering, reentrancy, and noio
+// critical sections.
+package lockfix
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	writeMu sync.Mutex   //neurospatial:lock fix.write
+	mu      sync.Mutex   //neurospatial:lock fix.state noio < fix.write
+	ro      sync.RWMutex //neurospatial:lock fix.index
+	cur     int
+	path    string
+}
+
+// bump is a helper whose summary records that it acquires fix.state.
+func (s *store) bump() {
+	s.mu.Lock()
+	s.cur++
+	s.mu.Unlock()
+}
+
+// flush is a helper whose summary carries an I/O effect.
+func (s *store) flush(data []byte) error {
+	return os.WriteFile(s.path, data, 0o644)
+}
+
+// --- non-flagging cases ---
+
+// properOrder follows the declared order: fix.write before fix.state.
+func (s *store) properOrder() {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	s.cur++
+	s.mu.Unlock()
+}
+
+// ioOutside performs the write before entering the noio section.
+func (s *store) ioOutside(data []byte) error {
+	if err := s.flush(data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cur++
+	s.mu.Unlock()
+	return nil
+}
+
+// ioUnderWriteMu: fix.write is not noio, so I/O under it is the point.
+func (s *store) ioUnderWriteMu(data []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.flush(data)
+}
+
+// rlockAgain reacquires a read lock after releasing it.
+func (s *store) rlockAgain() int {
+	s.ro.RLock()
+	n := s.cur
+	s.ro.RUnlock()
+	s.ro.RLock()
+	n += s.cur
+	s.ro.RUnlock()
+	return n
+}
+
+// branchUnlock releases on both paths; neither continues holding.
+func (s *store) branchUnlock(b bool) {
+	s.mu.Lock()
+	if b {
+		s.cur++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.flush(nil)
+}
+
+// reenterIgnored documents a deliberate violation; the escape hatch names
+// the reason.
+func (s *store) reenterIgnored() {
+	s.mu.Lock()
+	//lint:ignore lockorder deliberate double-lock to exercise deadlock detector
+	s.mu.Lock()
+	s.cur += 2
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// --- flagging cases ---
+
+// inverted acquires fix.write while holding fix.state, against the
+// declared order.
+func (s *store) inverted() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeMu.Lock() // want `lock order violation`
+	defer s.writeMu.Unlock()
+	s.cur++
+}
+
+// reenter double-locks the same mutex on one path.
+func (s *store) reenter() {
+	s.mu.Lock()
+	s.mu.Lock() // want `not reentrant`
+	s.cur += 2
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// reenterViaHelper deadlocks through a callee that acquires the held lock.
+func (s *store) reenterViaHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump() // want `self-deadlocks`
+}
+
+// ioUnderStateMu performs file I/O directly inside the noio section.
+func (s *store) ioUnderStateMu(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(s.path, data, 0o644) // want `noio`
+}
+
+// ioViaHelper reaches the I/O through a callee's summary effects.
+func (s *store) ioViaHelper(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush(data) // want `noio`
+}

@@ -144,6 +144,28 @@ func isAcquire(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return isPoolHelper(pass, call, "get")
 }
 
+// callReleases reports whether call settles a tracked value's obligation:
+// a direct Put/put* mentioning it, or — interprocedurally — a callee whose
+// summary says the corresponding parameter is returned to a pool
+// (PutsParam), whatever the callee's name.
+func callReleases(pass *analysis.Pass, call *ast.CallExpr, objs map[types.Object]bool) bool {
+	if isRelease(pass, call) && mentions(pass, call, objs) {
+		return true
+	}
+	merged := pass.Module.MergedCallSummary(pass.Package, call)
+	if merged == nil {
+		return false
+	}
+	for i, a := range call.Args {
+		if id, ok := a.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
+			if i < len(merged.PutsParam) && merged.PutsParam[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // isRelease: sync.Pool.Put, or a same-package function/method named put*.
 func isRelease(pass *analysis.Pass, call *ast.CallExpr) bool {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" {
@@ -295,7 +317,7 @@ func scan(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool, inFuncLit
 
 	switch s := n.(type) {
 	case *ast.DeferStmt:
-		if isRelease(pass, s.Call) && mentions(pass, s.Call, objs) {
+		if callReleases(pass, s.Call, objs) {
 			return useRelease
 		}
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
@@ -303,7 +325,7 @@ func scan(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool, inFuncLit
 			// release of the tracked value.
 			found := useNone
 			ast.Inspect(lit.Body, func(m ast.Node) bool {
-				if c, ok := m.(*ast.CallExpr); ok && isRelease(pass, c) && mentions(pass, c, objs) {
+				if c, ok := m.(*ast.CallExpr); ok && callReleases(pass, c, objs) {
 					found = useRelease
 					return false
 				}
@@ -328,7 +350,7 @@ func scan(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool, inFuncLit
 		}
 		return useNone
 	case *ast.CallExpr:
-		if isRelease(pass, s) && mentions(pass, s, objs) {
+		if callReleases(pass, s, objs) {
 			return useRelease
 		}
 		if id, ok := s.Fun.(*ast.Ident); ok {
@@ -353,10 +375,19 @@ func scan(pass *analysis.Pass, n ast.Node, objs map[types.Object]bool, inFuncLit
 				return result
 			}
 		}
-		// Bare tracked ident as an argument of any other call: handed off.
-		for _, a := range s.Args {
+		// Bare tracked ident as an argument of any other call: consult the
+		// callee's summary. A putter released (handled above); a callee whose
+		// summary proves the parameter neither escapes nor is pooled merely
+		// borrows it — the obligation stays here and tracking continues. An
+		// unknown or retaining callee takes ownership, as before.
+		merged := pass.Module.MergedCallSummary(pass.Package, s)
+		for i, a := range s.Args {
 			if id, ok := a.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
-				upgrade(useEscape)
+				if merged != nil && i < len(merged.RetainsParam) && !merged.RetainsParam[i] {
+					upgrade(useRead) // summarized borrow
+				} else {
+					upgrade(useEscape)
+				}
 			}
 		}
 		// Keep scanning nested expressions (args may contain closures, etc).

@@ -109,7 +109,41 @@ func leakIgnored(fail bool) error {
 	return nil
 }
 
+// fill only borrows its argument; its summary proves the pointer neither
+// escapes nor returns to a pool.
+func fill(s *scratch) {
+	s.buf = append(s.buf, 1)
+}
+
+// recycle returns its argument to the pool without the put* naming.
+func recycle(s *scratch) {
+	scratchPool.Put(s)
+}
+
+// borrowThenRelease: a borrowing helper call does not end tracking; the
+// release after it settles the path.
+func borrowThenRelease() {
+	s := getScratch()
+	fill(s)
+	putScratch(s)
+}
+
+// summaryRelease settles through recycle's PutsParam summary despite the
+// non-put name.
+func summaryRelease() {
+	s := getScratch()
+	defer recycle(s)
+	fill(s)
+}
+
 // --- flagging cases ---
+
+// borrowLeak: the borrowing call leaves the obligation here, and the
+// function ends still holding the value.
+func borrowLeak() {
+	s := getScratch() // want `not released on every path`
+	fill(s)
+}
 
 // leakOnError releases on the happy path only.
 func leakOnError(fail bool) error {

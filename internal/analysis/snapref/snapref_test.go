@@ -1,0 +1,12 @@
+package snapref_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+	"neurospatial/internal/analysis/snapref"
+)
+
+func TestSnaprefFixtures(t *testing.T) {
+	antest.Run(t, "testdata/snap", snapref.Analyzer)
+}

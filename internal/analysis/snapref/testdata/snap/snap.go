@@ -1,0 +1,226 @@
+// Fixture for snapref: snapshot/session pin acquire/release discipline.
+package snapfix
+
+import "errors"
+
+type Snapshot struct{ refs int }
+
+func (s *Snapshot) Release() { s.refs-- }
+
+type Dataset struct{ cur *Snapshot }
+
+// Acquire pins the current snapshot: one result, method named Acquire —
+// the analyzer's primary intrinsic.
+func (d *Dataset) Acquire() *Snapshot {
+	d.cur.refs++
+	return d.cur
+}
+
+// pin acquires through a helper; its summary carries Acquires, so calls to
+// pin are themselves acquire sites.
+func pin(d *Dataset) *Snapshot { return d.Acquire() }
+
+// pinChecked is the multi-value form: callers get err-branch sensitivity.
+func pinChecked(d *Dataset) (*Snapshot, error) {
+	if d.cur == nil {
+		return nil, errors.New("dataset closed")
+	}
+	return d.Acquire(), nil
+}
+
+// drop releases its parameter: callers settle obligations through its
+// summary's ReleasesParam.
+func drop(s *Snapshot) { s.Release() }
+
+// Session mirrors engine.Open: the constructor pins into a body-local's
+// field and transfers by returning it, so Open's summary says Acquires and
+// the caller inherits the close obligation.
+type Session struct{ snap *Snapshot }
+
+func (s *Session) Close() {
+	if s.snap != nil {
+		s.snap.Release()
+	}
+}
+
+type Option struct{ d *Dataset }
+
+func WithDataset(d *Dataset) Option { return Option{d} }
+
+func Open(opts ...Option) *Session {
+	s := &Session{}
+	for _, o := range opts {
+		s.snap = o.d.Acquire()
+	}
+	return s
+}
+
+func mayPanic() {}
+
+// --- non-flagging cases ---
+
+// deferRelease is the canonical pattern: defer right after the acquire.
+func deferRelease(d *Dataset) int {
+	s := d.Acquire()
+	defer s.Release()
+	return s.refs
+}
+
+// straightRelease releases without defer on the only path.
+func straightRelease(d *Dataset) int {
+	s := d.Acquire()
+	n := s.refs
+	s.Release()
+	return n
+}
+
+// helperRelease settles through drop's ReleasesParam summary.
+func helperRelease(d *Dataset) {
+	s := pin(d)
+	drop(s)
+}
+
+// sessionClose settles an engine.Open-style acquire with Close.
+func sessionClose(d *Dataset) {
+	sess := Open(WithDataset(d))
+	defer sess.Close()
+	_ = sess.snap
+}
+
+// errBranch returns through the err != nil branch without releasing: the
+// acquire failed there, so nothing is held.
+func errBranch(d *Dataset) error {
+	s, err := pinChecked(d)
+	if err != nil {
+		return err
+	}
+	defer s.Release()
+	return nil
+}
+
+// errBranchEq is the inverted condition: the else branch is the failure.
+func errBranchEq(d *Dataset) error {
+	s, err := pinChecked(d)
+	if err == nil {
+		defer s.Release()
+		return nil
+	}
+	return err
+}
+
+// transferByReturn hands the pin to the caller.
+func transferByReturn(d *Dataset) *Snapshot {
+	s := d.Acquire()
+	return s
+}
+
+// transferToField stores the pin into a caller-owned struct.
+func transferToField(w *Session, d *Dataset) {
+	w.snap = d.Acquire()
+}
+
+// methodValue transfers ownership as a bound release func.
+func methodValue(d *Dataset) func() {
+	s := d.Acquire()
+	return s.Release
+}
+
+// loopDefer acquires per iteration; each defer still covers every later
+// exit of the function, so nothing leaks.
+func loopDefer(ds []*Dataset) {
+	for _, d := range ds {
+		s := d.Acquire()
+		defer s.Release()
+	}
+}
+
+// recoverGuard releases inside a deferred closure that also recovers, so
+// panic exits are covered too.
+func recoverGuard(d *Dataset) (err error) {
+	s := d.Acquire()
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("recovered")
+		}
+		s.Release()
+	}()
+	mayPanic()
+	return nil
+}
+
+// leakIgnored documents a deliberate hold; the escape hatch names the reason.
+func leakIgnored(d *Dataset, bad bool) error {
+	//lint:ignore snapref pin intentionally held for process lifetime
+	s := d.Acquire()
+	if bad {
+		return errors.New("bad")
+	}
+	s.Release()
+	return nil
+}
+
+// --- flagging cases ---
+
+// leakOnError releases on the happy path only.
+func leakOnError(d *Dataset, bad bool) error {
+	s := d.Acquire() // want `not released on every path`
+	if bad {
+		return errors.New("bad")
+	}
+	s.Release()
+	return nil
+}
+
+// helperLeak leaks a pin acquired through the pin helper's summary.
+func helperLeak(d *Dataset, bad bool) error {
+	s := pin(d) // want `not released on every path`
+	if bad {
+		return errors.New("bad")
+	}
+	drop(s)
+	return nil
+}
+
+// sessionLeak leaks an engine.Open-style session in one branch.
+func sessionLeak(d *Dataset, bad bool) error {
+	sess := Open(WithDataset(d)) // want `not released on every path`
+	if bad {
+		return errors.New("bad")
+	}
+	sess.Close()
+	return nil
+}
+
+// discarded never binds the pin at all.
+func discarded(d *Dataset) {
+	d.Acquire() // want `discarded`
+}
+
+// panicLeak exits through panic while holding the pin.
+func panicLeak(d *Dataset, bad bool) {
+	s := d.Acquire() // want `not released on every path`
+	if bad {
+		panic("bad input")
+	}
+	s.Release()
+}
+
+// errReassigned loses err-branch immunity once err is rebound to a later
+// operation: the err != nil return now exits while holding the pin.
+func errReassigned(d *Dataset) error {
+	s, err := pinChecked(d) // want `not released on every path`
+	err = otherOp()
+	if err != nil {
+		return err
+	}
+	s.Release()
+	return nil
+}
+
+func otherOp() error { return nil }
+
+// fallOff reaches the end of the function still holding the pin.
+func fallOff(d *Dataset) {
+	s := d.Acquire() // want `not released on every path`
+	_ = s.refs
+}

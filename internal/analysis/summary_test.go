@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"neurospatial/internal/analysis/antest"
+)
+
+// TestSummaries pins the interprocedural summaries of the fixture package:
+// acquire/release flow (including the error-result holder regression),
+// pool puts, parameter retention, file-effect classification and
+// propagation, context checks, recover-neutralized panics, and the error
+// taxonomy with its recursion fixpoint.
+func TestSummaries(t *testing.T) {
+	antest.RunSummaries(t, "testdata/summaries")
+}

@@ -1,0 +1,213 @@
+// Fixture for antest.RunSummaries: each want-summary comment pins the
+// interprocedural fact sheet the module computes for the function below it.
+package sum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+type FormatError struct{ Reason string }
+
+func (e *FormatError) Error() string { return e.Reason }
+
+type CorruptError struct{ Reason string }
+
+func (e *CorruptError) Error() string { return e.Reason }
+
+type Snapshot struct{ refs int }
+
+func (s *Snapshot) acquire() { s.refs++ }
+
+// The leaf disposer's own body carries no release fact — the Release/Close
+// NAME is the call-site intrinsic that settles obligations.
+// want-summary releases-recv=0
+func (s *Snapshot) Release() { s.refs-- }
+
+type wrapper struct{ snap *Snapshot }
+
+// A differently named disposer settles via its summary: it releases a field
+// of the receiver, so calling it settles the receiver's obligation.
+// want-summary releases-recv=1
+func (w *wrapper) shutdown() { w.snap.Release() }
+
+type Dataset struct {
+	mu  sync.Mutex //neurospatial:lock sum.state noio
+	cur *Snapshot
+}
+
+// want-summary locks=sum.state
+func (d *Dataset) Acquire() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cur.acquire()
+	return d.cur
+}
+
+// openPinned hands its caller a pin obligation: the Acquire result flows out.
+// want-summary acquires=1 err=none
+func openPinned(d *Dataset) (*Snapshot, error) {
+	snap := d.Acquire()
+	return snap, nil
+}
+
+// openChecked settles its own pin. Returning err must not read as returning
+// the handle (the error-result holder regression).
+// want-summary acquires=0 err=none
+func openChecked(d *Dataset) error {
+	snap, err := openPinned(d)
+	if err != nil {
+		return err
+	}
+	snap.Release()
+	return nil
+}
+
+// want-summary releases-param=0
+func drop(s *Snapshot, n int) {
+	_ = n
+	s.Release()
+}
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+// want-summary puts-param=0
+func putBack(b *[]byte) { pool.Put(b) }
+
+var sink *Snapshot
+
+// want-summary retains-param=0
+func stash(s *Snapshot) { sink = s }
+
+// want-summary effects=io,write,fsync,rename err=opaque
+func spill(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path, path+".done")
+}
+
+// syncDir exercises the read-only-handle heuristic: Sync on an os.Open
+// handle is the directory-fsync idiom.
+// want-summary effects=io,dirfsync err=opaque
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+type WAL struct{ f *os.File }
+
+// The WAL method's own summary carries its file-level effects…
+// want-summary effects=io,write,fsync err=opaque
+func (w *WAL) Append(rec []byte) error {
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// …while a caller sees the call-site intrinsic (walappend) plus the
+// propagated subset (io, fsync — write and rename stay local).
+// want-summary effects=io,fsync,walappend err=opaque
+func logRecord(w *WAL, rec []byte) error {
+	return w.Append(rec)
+}
+
+// want-summary checks-ctx=1
+func poll(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// want-summary panics=1
+func mustLen(b []byte) int {
+	if len(b) == 0 {
+		panic("empty")
+	}
+	return len(b)
+}
+
+// want-summary panics=0
+func safeLen(b []byte) (n int) {
+	defer func() {
+		if recover() != nil {
+			n = 0
+		}
+	}()
+	return mustLen(b)
+}
+
+// want-summary err=format
+func checkMagic(b []byte) error {
+	if len(b) < 4 {
+		return &FormatError{Reason: "short header"}
+	}
+	return nil
+}
+
+// want-summary err=format,corrupt
+func validate(b []byte) error {
+	if err := checkMagic(b); err != nil {
+		return err
+	}
+	if b[0] == 0xff {
+		return &CorruptError{Reason: "reserved tag"}
+	}
+	return nil
+}
+
+// want-summary err=opaque
+func slurp(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty input")
+	}
+	return nil
+}
+
+// A %w wrap keeps the wrapped kind.
+// want-summary err=format
+func wrapped(b []byte) error {
+	if err := checkMagic(b); err != nil {
+		return fmt.Errorf("header: %w", err)
+	}
+	return nil
+}
+
+// nested recurses; the SCC fixpoint must converge on format, not opaque.
+// want-summary err=format
+func nested(b []byte, depth int) error {
+	if depth > 4 {
+		return &FormatError{Reason: "nesting too deep"}
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	if err := nested(b[1:], depth+1); err != nil {
+		return err
+	}
+	return nil
+}

@@ -84,7 +84,7 @@ type Model struct {
 	// session is the model's query front door: a Session pinned to the
 	// Dataset's latest snapshot, re-pinned (under sessMu) after every
 	// Mutate/Compact.
-	sessMu  sync.RWMutex
+	sessMu  sync.RWMutex //neurospatial:lock core.session
 	session *engine.Session
 	opts    Options
 }

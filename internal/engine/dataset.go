@@ -142,10 +142,12 @@ type Dataset struct {
 	// writeMu serializes writers (Commit, Compact). Slow work — overlay
 	// derivation, compaction's index rebuilds — happens under writeMu only,
 	// so readers are never blocked by it.
-	writeMu sync.Mutex
+	writeMu sync.Mutex //neurospatial:lock dataset.write
 	// mu guards the published state (cur and the counters); it is held only
-	// for pointer swaps and counter updates, never across builds.
-	mu     sync.Mutex
+	// for pointer swaps and counter updates, never across builds — and in
+	// particular never across file I/O (noio), so readers can't stall on a
+	// slow disk.
+	mu     sync.Mutex //neurospatial:lock dataset.state noio < dataset.write
 	opts   DatasetOptions
 	cur    *Snapshot
 	nextID atomic.Int32

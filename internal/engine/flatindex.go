@@ -26,9 +26,9 @@ type Flat struct {
 	// probeMu is the per-instance probe-execution lock (see planner.go):
 	// planners sharing this instance serialize their calibration probes on
 	// it, since a probe detaches and restores src.
-	probeMu sync.Mutex
+	probeMu sync.Mutex //neurospatial:lock flat.probe
 	// zoneMu guards the lazily derived zone map of the current build.
-	zoneMu sync.Mutex
+	zoneMu sync.Mutex //neurospatial:lock flat.zone
 	zones  []idZone
 }
 

@@ -61,9 +61,9 @@ type Grid struct {
 	boxOf func(int32) geom.AABB
 	src   pager.PageSource
 	// probeMu is the per-instance probe-execution lock (see planner.go).
-	probeMu sync.Mutex
+	probeMu sync.Mutex //neurospatial:lock grid.probe
 	// zoneMu guards the lazily derived zone map of the current build.
-	zoneMu sync.Mutex
+	zoneMu sync.Mutex //neurospatial:lock grid.zone
 	zones  []idZone
 }
 
@@ -184,7 +184,6 @@ var gridRangePool = sync.Pool{New: func() any {
 	s := &gridRangeScratch{}
 	s.cell = func(_ int, ids []int32) {
 		s.stats.IndexReads++
-		//lint:ignore ctxpage cancellation rides the ctxSource wrapper rangeIDs installs on cancelable contexts (ReadPage panics when canceled)
 		for _, id := range ids {
 			if pg := s.gx.pageOf[id]; s.seen[pg] != s.stamp {
 				s.seen[pg] = s.stamp

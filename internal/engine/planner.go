@@ -39,7 +39,7 @@ type Planner struct {
 	ProbeQueries int
 
 	indexes []SpatialIndex
-	mu      sync.Mutex
+	mu      sync.Mutex                    //neurospatial:lock planner.state
 	learned map[plannerKey]*stats.Running // per-query Cost() history
 	selects map[plannerKey]*stats.Running // per-query selectivity (results/entries)
 	probes  map[plannerKey]chan struct{}  // in-flight probe latches

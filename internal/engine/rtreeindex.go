@@ -35,7 +35,7 @@ type RTree struct {
 	// streaming descent orders subtrees by. nodes[0] is the root.
 	nodes []rnode
 	// probeMu is the per-instance probe-execution lock (see planner.go).
-	probeMu sync.Mutex
+	probeMu sync.Mutex //neurospatial:lock rtree.probe
 }
 
 // rnode is one node of the RAM directory (see RTree.nodes).

@@ -104,11 +104,11 @@ type Sharded struct {
 	// queries may run concurrently with a planner probe toggling it.
 	probeCold atomic.Bool
 	// pqMu serializes PagedQuery's temporary source swap.
-	pqMu sync.Mutex
+	pqMu sync.Mutex //neurospatial:lock sharded.pq
 	// probeMu is the per-instance probe-execution lock (see planner.go);
 	// it serializes probe runs (and so probeCold toggles) across planners
 	// sharing the instance.
-	probeMu sync.Mutex
+	probeMu sync.Mutex //neurospatial:lock sharded.probe
 }
 
 // NewSharded returns an unbuilt sharded index.

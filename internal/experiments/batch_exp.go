@@ -50,6 +50,7 @@ func sessionBatchTotals(ix engine.SpatialIndex, reqs []engine.Request, workers i
 	if err != nil {
 		return engine.QueryStats{}, 0, err
 	}
+	defer sess.Close()
 	start := time.Now()
 	results, err := sess.DoBatch(context.Background(), reqs, workers)
 	elapsed := time.Since(start)

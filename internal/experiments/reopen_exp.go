@@ -204,6 +204,7 @@ func RunE13(cfg E13Config) (*E13Result, error) {
 		}
 		seg, err := pf.Segment(name)
 		if err != nil {
+			sess.Close()
 			return nil, fmt.Errorf("experiments: E13: %s has no disk segment: %w", name, err)
 		}
 		row := E13Row{Contender: name, SegmentPages: int64(seg.NumPages())}

@@ -137,91 +137,95 @@ func RunE11(cfg E11Config) ([]E11Row, error) {
 		if err := ix.Build(items); err != nil {
 			return nil, fmt.Errorf("experiments: E11: building %s: %w", ix.Name(), err)
 		}
-		pg, ok := ix.(engine.Paged)
-		if !ok {
-			return nil, fmt.Errorf("experiments: E11: %s is not Paged", ix.Name())
-		}
-		sess, err := engine.Open(engine.WithIndex(ix))
+		row, err := e11Contender(ix, query, cfg)
 		if err != nil {
 			return nil, err
 		}
-		tap := pager.NewCounting(pg.Store())
-		pg.SetSource(tap)
-
-		limited := query
-		limited.Limit = cfg.Limit
-		// Warm-up: derive the lazy zone maps outside the measured runs.
-		if _, err := sess.Do(context.Background(), limited); err != nil {
-			pg.SetSource(nil)
-			return nil, err
-		}
-
-		row := E11Row{Contender: ix.Name()}
-		tap.Reset()
-		var full engine.Result
-		t0 := time.Now()
-		fullAlloc := allocDuring(func() {
-			full, err = sess.Do(context.Background(), query)
-		})
-		row.FullTime = time.Since(t0)
-		if err != nil {
-			pg.SetSource(nil)
-			return nil, err
-		}
-		row.Hits = int64(len(full.Hits))
-		row.FullReads = tap.Reads()
-		row.FullAllocMB = float64(fullAlloc) / (1 << 20)
-
-		tap.Reset()
-		var page engine.Result
-		t0 = time.Now()
-		limAlloc := allocDuring(func() {
-			page, err = sess.Do(context.Background(), limited)
-		})
-		row.LimitTime = time.Since(t0)
-		if err != nil {
-			pg.SetSource(nil)
-			return nil, err
-		}
-		row.LimitReads = tap.Reads()
-		row.LimitAllocKB = float64(limAlloc) / (1 << 10)
-
-		// The early-stop guarantee, proven on the independent tap: the
-		// limited page must have stopped reading pages, strictly.
-		if len(page.Hits) != cfg.Limit {
-			pg.SetSource(nil)
-			return nil, fmt.Errorf("experiments: E11: %s limited page returned %d hits, want %d",
-				ix.Name(), len(page.Hits), cfg.Limit)
-		}
-		if row.LimitReads >= row.FullReads {
-			pg.SetSource(nil)
-			return nil, fmt.Errorf("experiments: E11: %s Limit %d read %d pages, full scan %d — no early stop",
-				ix.Name(), cfg.Limit, row.LimitReads, row.FullReads)
-		}
-		if page.Cursor == "" {
-			pg.SetSource(nil)
-			return nil, fmt.Errorf("experiments: E11: %s limited page returned no cursor", ix.Name())
-		}
-
-		// Cursor resume: the second page reads from where the first stopped,
-		// not from the start of the scan.
-		resume := limited
-		resume.Cursor = page.Cursor
-		tap.Reset()
-		if _, err := sess.Do(context.Background(), resume); err != nil {
-			pg.SetSource(nil)
-			return nil, err
-		}
-		row.ResumeReads = tap.Reads()
-		if row.ResumeReads >= row.FullReads {
-			pg.SetSource(nil)
-			return nil, fmt.Errorf("experiments: E11: %s cursor resume read %d pages, full scan %d — resume restarted the scan",
-				ix.Name(), row.ResumeReads, row.FullReads)
-		}
-		pg.SetSource(nil)
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// e11Contender measures one built contender: full scan, limited page, and
+// cursor resume, each through a counting tap. Factored out of RunE11 so the
+// session pin and the tap installation unwind on every exit path.
+func e11Contender(ix engine.SpatialIndex, query engine.Request, cfg E11Config) (E11Row, error) {
+	pg, ok := ix.(engine.Paged)
+	if !ok {
+		return E11Row{}, fmt.Errorf("experiments: E11: %s is not Paged", ix.Name())
+	}
+	sess, err := engine.Open(engine.WithIndex(ix))
+	if err != nil {
+		return E11Row{}, err
+	}
+	defer sess.Close()
+	tap := pager.NewCounting(pg.Store())
+	pg.SetSource(tap)
+	defer pg.SetSource(nil)
+
+	limited := query
+	limited.Limit = cfg.Limit
+	// Warm-up: derive the lazy zone maps outside the measured runs.
+	if _, err := sess.Do(context.Background(), limited); err != nil {
+		return E11Row{}, err
+	}
+
+	row := E11Row{Contender: ix.Name()}
+	tap.Reset()
+	var full engine.Result
+	t0 := time.Now()
+	fullAlloc := allocDuring(func() {
+		full, err = sess.Do(context.Background(), query)
+	})
+	row.FullTime = time.Since(t0)
+	if err != nil {
+		return E11Row{}, err
+	}
+	row.Hits = int64(len(full.Hits))
+	row.FullReads = tap.Reads()
+	row.FullAllocMB = float64(fullAlloc) / (1 << 20)
+
+	tap.Reset()
+	var page engine.Result
+	t0 = time.Now()
+	limAlloc := allocDuring(func() {
+		page, err = sess.Do(context.Background(), limited)
+	})
+	row.LimitTime = time.Since(t0)
+	if err != nil {
+		return E11Row{}, err
+	}
+	row.LimitReads = tap.Reads()
+	row.LimitAllocKB = float64(limAlloc) / (1 << 10)
+
+	// The early-stop guarantee, proven on the independent tap: the
+	// limited page must have stopped reading pages, strictly.
+	if len(page.Hits) != cfg.Limit {
+		return E11Row{}, fmt.Errorf("experiments: E11: %s limited page returned %d hits, want %d",
+			ix.Name(), len(page.Hits), cfg.Limit)
+	}
+	if row.LimitReads >= row.FullReads {
+		return E11Row{}, fmt.Errorf("experiments: E11: %s Limit %d read %d pages, full scan %d — no early stop",
+			ix.Name(), cfg.Limit, row.LimitReads, row.FullReads)
+	}
+	if page.Cursor == "" {
+		return E11Row{}, fmt.Errorf("experiments: E11: %s limited page returned no cursor", ix.Name())
+	}
+
+	// Cursor resume: the second page reads from where the first stopped,
+	// not from the start of the scan.
+	resume := limited
+	resume.Cursor = page.Cursor
+	tap.Reset()
+	if _, err := sess.Do(context.Background(), resume); err != nil {
+		return E11Row{}, err
+	}
+	row.ResumeReads = tap.Reads()
+	if row.ResumeReads >= row.FullReads {
+		return E11Row{}, fmt.Errorf("experiments: E11: %s cursor resume read %d pages, full scan %d — resume restarted the scan",
+			ix.Name(), row.ResumeReads, row.FullReads)
+	}
+	return row, nil
 }
 
 // RunPagingDemo issues one planner-routed request of the named kind with the
